@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared helpers for the table-reproduction harnesses: a tiny CLI flag
+// parser and formatting utilities. Each bench binary regenerates one table
+// or figure of the paper (see DESIGN.md, Sec. 5) and prints the same row
+// layout, plus a CSV block for machine consumption.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "util/table.h"
+
+namespace wnet::bench {
+
+/// "--key value" / "--flag" parser; unknown keys abort with a message so
+/// typos in experiment sweeps never pass silently.
+class Args {
+ public:
+  Args(int argc, char** argv, std::map<std::string, std::string> defaults)
+      : values_(std::move(defaults)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (values_.find(key) == values_.end()) {
+        std::fprintf(stderr, "unknown flag --%s; known:", key.c_str());
+        for (const auto& [k, v] : values_) std::fprintf(stderr, " --%s(=%s)", k.c_str(), v.c_str());
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+      }
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // bare flag
+      }
+    }
+  }
+
+  [[nodiscard]] int geti(const std::string& k) const { return std::atoi(values_.at(k).c_str()); }
+  [[nodiscard]] double getd(const std::string& k) const { return std::atof(values_.at(k).c_str()); }
+  [[nodiscard]] bool getb(const std::string& k) const { return values_.at(k) != "0"; }
+  [[nodiscard]] const std::string& gets(const std::string& k) const { return values_.at(k); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+inline void print_table(const char* title, const util::Table& t) {
+  std::printf("\n== %s ==\n%s\n[csv]\n%s[/csv]\n", title, t.to_string().c_str(),
+              t.to_csv().c_str());
+}
+
+}  // namespace wnet::bench

@@ -1,0 +1,77 @@
+// Reproduces Figure 1 of the paper as SVG files:
+//   fig1a_template.svg      the data-collection template (sensors, base
+//                           station, candidate relay locations)
+//   fig1b_topology.svg      the synthesized data-collection topology
+//   fig1c_localization.svg  evaluation points and generated anchor placement
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.h"
+#include "core/explorer.h"
+#include "core/render.h"
+#include "core/workloads/scenarios.h"
+
+using namespace wnet;
+using namespace wnet::archex;
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv,
+                   {{"sensors", "12"},
+                    {"gx", "6"},
+                    {"gy", "5"},
+                    {"agx", "8"},
+                    {"agy", "5"},
+                    {"time-limit", "45"},
+                    {"paper", "0"}});
+
+  // --- Fig. 1a + 1b: data collection.
+  workloads::DataCollectionConfig dcfg;
+  dcfg.sensors = args.getb("paper") ? 35 : args.geti("sensors");
+  dcfg.relay_grid_x = args.getb("paper") ? 10 : args.geti("gx");
+  dcfg.relay_grid_y = args.getb("paper") ? 10 : args.geti("gy");
+  {
+    const auto sc = workloads::make_data_collection(dcfg);
+    std::ofstream("fig1a_template.svg") << render_template_svg(*sc->tmpl, sc->plan, sc->spec);
+    std::printf("wrote fig1a_template.svg (%d nodes)\n", sc->tmpl->num_nodes());
+
+    Explorer ex(*sc->tmpl, sc->spec);
+    milp::SolveOptions so;
+    so.time_limit_s = args.getd("time-limit");
+    so.rel_gap = 0.03;
+    const auto res = ex.explore({}, so);
+    if (res.has_solution()) {
+      std::ofstream("fig1b_topology.svg")
+          << render_svg(res.architecture, *sc->tmpl, sc->plan, sc->spec);
+      std::printf("wrote fig1b_topology.svg (%s, $%.0f, %d nodes)\n",
+                  milp::to_string(res.status), res.architecture.total_cost_usd,
+                  res.architecture.num_nodes());
+    } else {
+      std::printf("fig1b: no solution (%s)\n", milp::to_string(res.status));
+    }
+  }
+
+  // --- Fig. 1c: localization placement.
+  workloads::LocalizationConfig lcfg;
+  lcfg.anchor_grid_x = args.getb("paper") ? 15 : args.geti("agx");
+  lcfg.anchor_grid_y = args.getb("paper") ? 10 : args.geti("agy");
+  lcfg.eval_grid_x = args.getb("paper") ? 15 : 7;
+  lcfg.eval_grid_y = args.getb("paper") ? 9 : 5;
+  {
+    const auto sc = workloads::make_localization(lcfg);
+    Explorer ex(*sc->tmpl, sc->spec);
+    milp::SolveOptions so;
+    so.time_limit_s = args.getd("time-limit");
+    so.rel_gap = 0.02;
+    const auto res = ex.explore({}, so);
+    if (res.has_solution()) {
+      std::ofstream("fig1c_localization.svg")
+          << render_svg(res.architecture, *sc->tmpl, sc->plan, sc->spec);
+      std::printf("wrote fig1c_localization.svg (%s, %d anchors, avg reach %.2f)\n",
+                  milp::to_string(res.status), res.architecture.num_nodes(),
+                  res.architecture.avg_reachable_anchors);
+    } else {
+      std::printf("fig1c: no solution (%s)\n", milp::to_string(res.status));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Table 4 of the paper: solution cost and solver time of the
+// approximate encoding as K* sweeps {1, 3, 5, 10, 20}, on a small template
+// T1 (where the exact optimum from the full encoding is also computed) and
+// a larger template T2 (where full enumeration times out, as in the paper).
+//
+// Expected shape: cost is non-increasing in K* and approaches the exact
+// optimum; time grows steeply for large K*; K*=1 (fixed routing) is the
+// heuristic regime of prior work with optimal sizing on a fixed topology.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/explorer.h"
+#include "core/workloads/scenarios.h"
+#include "util/table.h"
+
+using namespace wnet;
+using namespace wnet::archex;
+
+namespace {
+
+struct TemplateSpec {
+  const char* name;
+  int nodes;
+  int devices;
+  bool solve_full;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv,
+                   {{"time-limit", "30"},
+                    {"full-time-limit", "180"},
+                    {"gap", "0.02"},
+                    {"paper", "0"}});
+
+  std::vector<TemplateSpec> templates = {{"T1", 30, 10, true}, {"T2", 80, 40, false}};
+  if (args.getb("paper")) {
+    templates = {{"T1", 50, 20, true}, {"T2", 250, 200, false}};
+  }
+  const std::vector<int> ks = {1, 3, 5, 10, 20};
+
+  util::Table table({"Template", "Result", "K*=1", "K*=3", "K*=5", "K*=10", "K*=20", "opt"});
+
+  for (const TemplateSpec& ts : templates) {
+    workloads::ScalableConfig cfg;
+    cfg.total_nodes = ts.nodes;
+    cfg.end_devices = ts.devices;
+    const auto sc = workloads::make_scalable(cfg);
+    Explorer ex(*sc->tmpl, sc->spec);
+
+    std::vector<std::string> cost_row = {ts.name, "Cost ($)"};
+    std::vector<std::string> time_row = {ts.name, "Time (s)"};
+    for (int k : ks) {
+      EncoderOptions eo;
+      eo.k_star = k;
+      milp::SolveOptions so;
+      so.time_limit_s = args.getd("time-limit");
+      so.rel_gap = args.getd("gap");
+      const auto res = ex.explore(eo, so);
+      if (res.has_solution()) {
+        cost_row.push_back(util::fmt_double(res.architecture.total_cost_usd, 0));
+        time_row.push_back(util::fmt_double(res.total_time_s, 1));
+      } else {
+        cost_row.push_back("-");
+        time_row.push_back(milp::to_string(res.status));
+      }
+      std::fflush(stdout);
+    }
+    if (ts.solve_full) {
+      EncoderOptions full;
+      full.mode = EncoderOptions::PathMode::kFull;
+      milp::SolveOptions so;
+      so.time_limit_s = args.getd("full-time-limit");
+      so.rel_gap = args.getd("gap");
+      const auto res = ex.explore(full, so);
+      if (res.status == milp::SolveStatus::kOptimal) {
+        cost_row.push_back(util::fmt_double(res.architecture.total_cost_usd, 0));
+        time_row.push_back(util::fmt_double(res.total_time_s, 1));
+      } else if (res.has_solution()) {
+        cost_row.push_back(util::fmt_double(res.architecture.total_cost_usd, 0) + "*");
+        time_row.push_back("TO");
+      } else {
+        cost_row.push_back("-");
+        time_row.push_back("TO");
+      }
+    } else {
+      cost_row.push_back("-");
+      time_row.push_back("TO");
+    }
+    table.add_row(cost_row);
+    table.add_row(time_row);
+  }
+
+  std::printf("'opt' = exact full-enumeration encoding; '*' = best incumbent at timeout\n");
+  bench::print_table("Table 4: cost/time vs K* (approximate encoding)", table);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// File-driven workflow, mirroring the paper's tool inputs: a floor plan
+// file (the paper uses SVG; we use the plain-text format), a component
+// library, and a pattern-based specification file.
+//
+//   ./spec_driven [floorplan_path] [spec_path]
+//
+// Defaults to the files in examples/data/.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "channel/propagation.h"
+#include "core/explorer.h"
+#include "core/render.h"
+#include "core/spec/parser.h"
+
+using namespace wnet;
+using namespace wnet::archex;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string plan_path = argc > 1 ? argv[1] : "examples/data/office.floorplan";
+  const std::string spec_path = argc > 2 ? argv[2] : "examples/data/office.spec";
+
+  const geom::FloorPlan plan = geom::parse_floorplan(slurp(plan_path));
+  const channel::MultiWallModel model(2.4e9, 2.8, plan);
+  const ComponentLibrary library = make_reference_library();
+
+  // Template: four sensors in room corners, a sink in the corridor, and a
+  // relay candidate per room plus corridor positions.
+  NetworkTemplate tmpl(model, library);
+  tmpl.add_node({"sink", {plan.width() / 2, plan.height() / 2}, Role::kSink, NodeKind::kFixed,
+                 std::nullopt});
+  const geom::Vec2 sensor_at[] = {{3, 3}, {37, 3}, {3, 21}, {37, 21}};
+  for (int i = 0; i < 4; ++i) {
+    tmpl.add_node({"s" + std::to_string(i), sensor_at[i], Role::kSensor, NodeKind::kFixed,
+                   std::nullopt});
+  }
+  int idx = 0;
+  for (double x = 5; x < plan.width(); x += 10) {
+    for (double y : {5.0, 12.0, 19.0}) {
+      tmpl.add_node({"r" + std::to_string(idx++), {x, y}, Role::kRelay, NodeKind::kCandidate,
+                     std::nullopt});
+    }
+  }
+
+  const Specification spec = spec::parse(slurp(spec_path), tmpl);
+  std::printf("loaded %s (%zu walls) and %s (%zu routes)\n", plan_path.c_str(),
+              plan.walls().size(), spec_path.c_str(), spec.routes.size());
+
+  Explorer explorer(tmpl, spec);
+  milp::SolveOptions sopts;
+  sopts.time_limit_s = 60.0;
+  const auto result = explorer.explore({}, sopts);
+  std::printf("status: %s, objective $%.0f, %.1fs\n", milp::to_string(result.status),
+              result.objective, result.total_time_s);
+  if (!result.has_solution()) return 1;
+  std::printf("%s", describe(result.architecture, tmpl).c_str());
+
+  const auto report = verify_architecture(result.architecture, tmpl, spec);
+  std::printf("verification: %s\n", report.ok ? "OK" : "FAILED");
+  for (const auto& v : report.violations) std::printf("  - %s\n", v.c_str());
+
+  std::ofstream("spec_driven_topology.svg") << render_svg(result.architecture, tmpl, plan, spec);
+  std::printf("wrote spec_driven_topology.svg\n");
+  return report.ok ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "channel/propagation.h"
+
+namespace wnet::channel {
+
+/// Link-budget arithmetic for constraint (2a) of the paper:
+///   RSS_ij = -PL_ij + tx_i + g_i + g_j   (all in dB / dBm)
+/// The paper writes "+PL" with PL implicitly negative; we keep path loss
+/// positive and subtract, which is the conventional sign.
+struct LinkBudget {
+  double tx_power_dbm = 0.0;   ///< transmit power of the TX node
+  double tx_gain_dbi = 0.0;    ///< TX antenna gain
+  double rx_gain_dbi = 0.0;    ///< RX antenna gain
+  double path_loss_db = 0.0;   ///< propagation loss (positive)
+
+  /// Received signal strength in dBm.
+  [[nodiscard]] double rss_dbm() const {
+    return tx_power_dbm + tx_gain_dbi + rx_gain_dbi - path_loss_db;
+  }
+
+  /// Signal-to-noise ratio in dB given a noise floor in dBm.
+  [[nodiscard]] double snr_db(double noise_floor_dbm) const {
+    return rss_dbm() - noise_floor_dbm;
+  }
+};
+
+}  // namespace wnet::channel

@@ -1,0 +1,103 @@
+#include "channel/link_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wnet::channel {
+
+namespace {
+
+/// Gaussian Q-function via erfc.
+double q_func(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace
+
+double bit_error_rate(Modulation mod, double snr_db) {
+  const double snr = db_to_linear(snr_db);
+  switch (mod) {
+    case Modulation::kBpsk:
+    case Modulation::kQpsk:
+      // Per-bit error probability Q(sqrt(2 Eb/N0)); QPSK matches BPSK per
+      // bit with Gray coding.
+      return q_func(std::sqrt(2.0 * snr));
+    case Modulation::kFsk:
+      // Non-coherent binary FSK.
+      return 0.5 * std::exp(-snr / 2.0);
+  }
+  return 0.5;
+}
+
+double packet_error_rate(double ber, int packet_bytes) {
+  if (packet_bytes <= 0) throw std::invalid_argument("packet_error_rate: bytes must be > 0");
+  const double ber_c = std::clamp(ber, 0.0, 1.0);
+  return 1.0 - std::pow(1.0 - ber_c, 8.0 * packet_bytes);
+}
+
+double expected_transmissions(double per, double max_etx) {
+  const double per_c = std::clamp(per, 0.0, 1.0);
+  if (per_c >= 1.0 - 1.0 / max_etx) return max_etx;
+  return 1.0 / (1.0 - per_c);
+}
+
+double etx_from_snr(Modulation mod, double snr_db, int packet_bytes, double max_etx) {
+  return expected_transmissions(packet_error_rate(bit_error_rate(mod, snr_db), packet_bytes),
+                                max_etx);
+}
+
+double snr_for_ber(Modulation mod, double target_ber) {
+  if (target_ber <= 0.0 || target_ber >= 0.5) {
+    throw std::invalid_argument("snr_for_ber: target must be in (0, 0.5)");
+  }
+  double lo = -30.0;
+  double hi = 40.0;
+  if (bit_error_rate(mod, hi) > target_ber) {
+    throw std::invalid_argument("snr_for_ber: target unreachable below 40 dB SNR");
+  }
+  // BER is monotone non-increasing in SNR: bisect to ~1e-6 dB.
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (bit_error_rate(mod, mid) > target_ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+std::vector<EtxBreakpoint> build_etx_staircase(Modulation mod, int packet_bytes,
+                                               double snr_min_db, double snr_max_db, int steps,
+                                               double max_etx) {
+  if (steps < 2) throw std::invalid_argument("build_etx_staircase: need >= 2 steps");
+  if (snr_max_db <= snr_min_db) {
+    throw std::invalid_argument("build_etx_staircase: empty SNR range");
+  }
+  std::vector<EtxBreakpoint> table;
+  table.reserve(static_cast<size_t>(steps));
+  const double width = (snr_max_db - snr_min_db) / (steps - 1);
+  for (int i = 0; i < steps; ++i) {
+    const double snr = snr_min_db + i * width;
+    // Conservative: the ETX assigned to bin [snr, snr+width) is the value at
+    // the *left* edge, where ETX(SNR) is largest (ETX is non-increasing).
+    table.push_back({snr, etx_from_snr(mod, snr, packet_bytes, max_etx)});
+  }
+  return table;
+}
+
+double etx_staircase_lookup(const std::vector<EtxBreakpoint>& table, double snr_db) {
+  if (table.empty()) throw std::invalid_argument("etx_staircase_lookup: empty table");
+  double value = table.front().etx;  // worst case below the lowest breakpoint
+  for (const auto& bp : table) {
+    if (snr_db >= bp.snr_db) {
+      value = bp.etx;
+    } else {
+      break;
+    }
+  }
+  return value;
+}
+
+}  // namespace wnet::channel

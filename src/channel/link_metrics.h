@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+namespace wnet::channel {
+
+/// Modulation schemes with closed-form AWGN BER curves. The paper's
+/// experiments use QPSK at 250 kbps / 2.4 GHz (802.15.4-class radios).
+enum class Modulation { kBpsk, kQpsk, kFsk };
+
+/// Bit error rate for the given modulation at SNR (dB), assuming the
+/// bandwidth/bit-rate factor is folded into the noise floor (Eb/N0 ~ SNR).
+[[nodiscard]] double bit_error_rate(Modulation mod, double snr_db);
+
+/// Packet error rate for a packet of `packet_bytes` at the given BER,
+/// assuming independent bit errors: PER = 1 - (1 - BER)^(8 * bytes).
+[[nodiscard]] double packet_error_rate(double ber, int packet_bytes);
+
+/// Expected number of transmissions until first success (the paper's ETX):
+/// 1 / (1 - PER), clamped to `max_etx` as PER -> 1.
+[[nodiscard]] double expected_transmissions(double per, double max_etx = 100.0);
+
+/// Convenience: ETX directly from SNR, modulation, and packet size.
+[[nodiscard]] double etx_from_snr(Modulation mod, double snr_db, int packet_bytes,
+                                  double max_etx = 100.0);
+
+/// Inverse BER curve: the minimum SNR (dB) at which the modulation achieves
+/// `target_ber` or better. Solved by bisection on the monotone BER curve;
+/// lets BER-style link-quality requirements compile to the same RSS bound
+/// machinery as SNR ones (paper: "ArchEx also supports other link quality
+/// metrics, such as bit error rate").
+[[nodiscard]] double snr_for_ber(Modulation mod, double target_ber);
+
+/// One breakpoint of a piecewise-constant ETX(SNR) staircase.
+struct EtxBreakpoint {
+  double snr_db;  ///< staircase step location
+  double etx;     ///< ETX value for snr >= snr_db (until the next breakpoint)
+};
+
+/// Builds a conservative piecewise-constant upper approximation of
+/// ETX(SNR) over [snr_min_db, snr_max_db] with `steps` samples. This is the
+/// "piecewise-linear encoding" the paper alludes to for MILP-compatible
+/// energy constraints: within each SNR bin the worst-case (largest) ETX is
+/// used so the MILP never underestimates energy.
+[[nodiscard]] std::vector<EtxBreakpoint> build_etx_staircase(Modulation mod, int packet_bytes,
+                                                             double snr_min_db,
+                                                             double snr_max_db, int steps,
+                                                             double max_etx = 100.0);
+
+/// Looks up the staircase value for a given SNR (first breakpoint whose
+/// snr_db <= snr, scanning from the highest). Below the lowest breakpoint
+/// returns the worst-case ETX of the table.
+[[nodiscard]] double etx_staircase_lookup(const std::vector<EtxBreakpoint>& table,
+                                          double snr_db);
+
+}  // namespace wnet::channel

@@ -1,0 +1,78 @@
+#include "channel/propagation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wnet::channel {
+
+namespace {
+
+/// FSPL constant: 20log10(4*pi/c) = -147.55 dB with d in meters, f in Hz.
+constexpr double kFsplConst = -147.55221677811664;
+
+double fspl_db(double d_m, double f_hz) {
+  // Clamp below 1 m: the far-field formula is meaningless at d -> 0 and a
+  // floor keeps RSS finite for co-located template nodes.
+  const double d = std::max(d_m, 1.0);
+  return 20.0 * std::log10(d) + 20.0 * std::log10(f_hz) + kFsplConst;
+}
+
+}  // namespace
+
+FreeSpaceModel::FreeSpaceModel(double frequency_hz) : frequency_hz_(frequency_hz) {
+  if (frequency_hz <= 0) throw std::invalid_argument("FreeSpaceModel: frequency must be > 0");
+}
+
+double FreeSpaceModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
+  return fspl_db(tx.dist(rx), frequency_hz_);
+}
+
+LogDistanceModel::LogDistanceModel(double frequency_hz, double exponent, double d0_m)
+    : pl_d0_db_(fspl_db(d0_m, frequency_hz)), exponent_(exponent), d0_m_(d0_m) {
+  if (frequency_hz <= 0) throw std::invalid_argument("LogDistanceModel: frequency must be > 0");
+  if (exponent <= 0) throw std::invalid_argument("LogDistanceModel: exponent must be > 0");
+  if (d0_m <= 0) throw std::invalid_argument("LogDistanceModel: d0 must be > 0");
+}
+
+double LogDistanceModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
+  const double d = std::max(tx.dist(rx), d0_m_);
+  return pl_d0_db_ + 10.0 * exponent_ * std::log10(d / d0_m_);
+}
+
+MultiWallModel::MultiWallModel(double frequency_hz, double exponent,
+                               const geom::FloorPlan& plan, double d0_m)
+    : base_(frequency_hz, exponent, d0_m), plan_(&plan) {}
+
+double MultiWallModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
+  return base_.path_loss_db(tx, rx) + plan_->wall_loss_db(tx, rx);
+}
+
+ItuIndoorModel::ItuIndoorModel(double frequency_hz, double power_coefficient)
+    : fixed_term_db_(20.0 * std::log10(frequency_hz / 1e6) - 28.0), n_(power_coefficient) {
+  if (frequency_hz <= 0) throw std::invalid_argument("ItuIndoorModel: frequency must be > 0");
+  if (power_coefficient <= 0) {
+    throw std::invalid_argument("ItuIndoorModel: power coefficient must be > 0");
+  }
+}
+
+double ItuIndoorModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
+  const double d = std::max(tx.dist(rx), 1.0);
+  return fixed_term_db_ + n_ * std::log10(d);
+}
+
+TwoRayModel::TwoRayModel(double frequency_hz, double tx_height_m, double rx_height_m)
+    : fspl_(frequency_hz),
+      heights_term_db_(20.0 * std::log10(tx_height_m * rx_height_m)),
+      crossover_m_(4.0 * M_PI * tx_height_m * rx_height_m * frequency_hz / 299792458.0) {
+  if (tx_height_m <= 0 || rx_height_m <= 0) {
+    throw std::invalid_argument("TwoRayModel: antenna heights must be > 0");
+  }
+}
+
+double TwoRayModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
+  const double d = std::max(tx.dist(rx), 1.0);
+  if (d <= crossover_m_) return fspl_.path_loss_db(tx, rx);
+  return 40.0 * std::log10(d) - heights_term_db_;
+}
+
+}  // namespace wnet::channel

@@ -1,0 +1,68 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "milp/model.h"
+#include "util/table.h"
+
+namespace wnet::archex {
+
+ArchitectureStats analyze_architecture(const NetworkArchitecture& arch,
+                                       const NetworkTemplate& tmpl,
+                                       const Specification& spec) {
+  ArchitectureStats st;
+  st.total_cost_usd = arch.total_cost_usd;
+
+  for (const auto& r : arch.routes) ++st.hop_histogram[r.path.hops()];
+
+  const double floor = spec.min_rss_dbm().value_or(0.0);
+  double margin_sum = 0.0;
+  st.min_link_margin_db = milp::kInf;
+  for (const auto& l : arch.links) {
+    const double margin = l.rss_dbm - floor;
+    margin_sum += margin;
+    st.min_link_margin_db = std::min(st.min_link_margin_db, margin);
+  }
+  st.mean_link_margin_db = arch.links.empty() ? 0.0 : margin_sum / arch.links.size();
+  if (arch.links.empty()) st.min_link_margin_db = 0.0;
+
+  for (const auto& d : arch.nodes) {
+    ++st.component_mix[tmpl.library().at(d.component).name];
+    if (tmpl.node(d.node).kind == NodeKind::kCandidate &&
+        tmpl.node(d.node).role == Role::kRelay) {
+      ++st.relays_deployed;
+    }
+  }
+
+  // Traffic concentration: TX packets per cycle per node.
+  std::map<int, int> tx_load;
+  for (const auto& r : arch.routes) {
+    const auto& ns = r.path.nodes;
+    for (size_t k = 0; k + 1 < ns.size(); ++k) ++tx_load[ns[k]];
+  }
+  for (const auto& [node, load] : tx_load) {
+    if (load > st.max_tx_load_packets) {
+      st.max_tx_load_packets = load;
+      st.bottleneck_node = node;
+    }
+  }
+  return st;
+}
+
+std::string to_string(const ArchitectureStats& st) {
+  std::ostringstream os;
+  os << "stats: $" << util::fmt_double(st.total_cost_usd, 0) << ", " << st.relays_deployed
+     << " relays deployed\n";
+  os << "  hops:";
+  for (const auto& [hops, count] : st.hop_histogram) os << ' ' << hops << "x" << count;
+  os << "\n  link margin over LQ floor: mean " << util::fmt_double(st.mean_link_margin_db, 1)
+     << " dB, min " << util::fmt_double(st.min_link_margin_db, 1) << " dB\n";
+  os << "  components:";
+  for (const auto& [name, count] : st.component_mix) os << ' ' << name << "x" << count;
+  os << "\n  busiest node: " << st.bottleneck_node << " (" << st.max_tx_load_packets
+     << " TX packets/cycle)\n";
+  return os.str();
+}
+
+}  // namespace wnet::archex

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/network_template.h"
+#include "core/requirements.h"
+#include "core/solution.h"
+
+namespace wnet::archex {
+
+/// Post-synthesis architecture statistics: the engineering numbers a
+/// designer checks after the optimizer returns (link budget margins, hop
+/// depth, hardware mix, traffic concentration).
+struct ArchitectureStats {
+  std::map<int, int> hop_histogram;        ///< hops -> number of routes
+  double mean_link_margin_db = 0.0;        ///< mean RSS slack above the LQ floor
+  double min_link_margin_db = 0.0;         ///< tightest link's slack
+  std::map<std::string, int> component_mix;  ///< component name -> count
+  int max_tx_load_packets = 0;             ///< busiest node's TX packets/cycle
+  int bottleneck_node = -1;                ///< template node carrying that load
+  double total_cost_usd = 0.0;
+  int relays_deployed = 0;
+};
+
+/// Computes the statistics from the decoded architecture; margins use the
+/// specification's effective RSS floor (0 slack baseline if none is set).
+[[nodiscard]] ArchitectureStats analyze_architecture(const NetworkArchitecture& arch,
+                                                     const NetworkTemplate& tmpl,
+                                                     const Specification& spec);
+
+/// Renders the stats as a short human-readable block for examples/logs.
+[[nodiscard]] std::string to_string(const ArchitectureStats& stats);
+
+}  // namespace wnet::archex

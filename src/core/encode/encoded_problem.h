@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "milp/model.h"
+
+namespace wnet::archex {
+
+/// Sizes of the generated MILP (the quantity Tables 3-4 of the paper track)
+/// plus encoding-time bookkeeping.
+struct EncodeStats {
+  int num_vars = 0;
+  int num_constrs = 0;
+  size_t nonzeros = 0;
+  double encode_time_s = 0.0;
+  int candidate_paths = 0;  ///< approx mode: total Yen candidates kept
+};
+
+/// One Yen candidate kept by Algorithm 1: a concrete loopless path plus the
+/// binary selecting it into the topology.
+struct CandidatePath {
+  graph::Path path;
+  milp::Var selector;
+  int route_index = -1;  ///< index into Specification::routes
+  int replica = 0;       ///< which disjoint replica group it belongs to
+};
+
+/// The encoder's output: the MILP plus every table needed to decode a
+/// solver assignment back into a network architecture.
+struct EncodedProblem {
+  milp::Model model;
+
+  /// u_i per template node; invalid Var means the node is out of scope
+  /// (provably unused) and should decode as unused.
+  std::vector<milp::Var> node_used;
+
+  /// m_{c,i}: (library component index, template node) -> binary.
+  std::map<std::pair<int, int>, milp::Var> mapping;
+
+  /// e_{ij}: (from, to) -> binary, for edges in scope.
+  std::map<std::pair<int, int>, milp::Var> edge_active;
+
+  /// RSS_{ij} continuous vars for edges in scope (empty if no LQ bound).
+  std::map<std::pair<int, int>, milp::Var> rss;
+
+  /// Approx mode: all candidate paths with their selectors.
+  std::vector<CandidatePath> candidates;
+
+  /// Full mode: per required path replica, the map (i,j) -> x^pi_ij, plus
+  /// which (route, replica) it encodes.
+  std::vector<std::map<std::pair<int, int>, milp::Var>> full_path_edges;
+  std::vector<std::pair<int, int>> full_path_ids;
+
+  /// r_{ij}: (anchor node, eval point index) -> binary (localization).
+  std::map<std::pair<int, int>, milp::Var> reach;
+
+  EncodeStats stats;
+};
+
+}  // namespace wnet::archex

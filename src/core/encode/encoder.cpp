@@ -1,0 +1,774 @@
+#include "core/encode/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <stdexcept>
+
+#include "channel/link_metrics.h"
+#include "graph/yen.h"
+#include "milp/linearize.h"
+#include "util/stopwatch.h"
+
+namespace wnet::archex {
+
+namespace {
+
+using graph::Digraph;
+using graph::Path;
+using milp::LinExpr;
+using milp::Model;
+using milp::Var;
+
+using EdgeKey = std::pair<int, int>;
+
+/// Per-cycle charge coefficients of one component under the TDMA model:
+///   Q = A * (weighted TX count) + B * (weighted RX count) + S
+/// where the weights fold in the per-edge ETX (see etx_for_edge).
+struct ChargeCoefs {
+  double a_tx;   ///< mA*s per expected transmission
+  double b_rx;   ///< mA*s per expected reception
+  double s0;     ///< sleep floor over the whole cycle
+};
+
+ChargeCoefs charge_coefs(const Component& c, const RadioConfig& radio) {
+  const radio::TdmaConfig& tdma = radio.tdma;
+  const double airtime = tdma.packet_airtime_s();
+  const double awake = tdma.slots_per_packet() * tdma.slot_s;
+  if (radio.mac == RadioConfig::MacProtocol::kCsma) {
+    // Contention MAC: carrier-sense listen per attempt, and the idle
+    // baseline is duty-cycled listening rather than pure sleep.
+    const double duty = radio.csma.idle_listen_duty;
+    const double baseline = c.currents.rx_ma * duty + c.currents.sleep_ma * (1.0 - duty);
+    const double backoff_s = radio.csma.mean_backoff_slots * tdma.slot_s;
+    return {
+        c.currents.tx_ma * airtime + c.currents.rx_ma * backoff_s +
+            (c.currents.active_ma - baseline) * awake,
+        c.currents.rx_ma * airtime + (c.currents.active_ma - baseline) * awake,
+        baseline * tdma.report_period_s,
+    };
+  }
+  return {
+      c.currents.tx_ma * airtime + (c.currents.active_ma - c.currents.sleep_ma) * awake,
+      c.currents.rx_ma * airtime + (c.currents.active_ma - c.currents.sleep_ma) * awake,
+      c.currents.sleep_ma * tdma.report_period_s,
+  };
+}
+
+/// Whole encoding pass, kept as one stateful builder so the full and
+/// approximate modes share every non-path emitter verbatim.
+class Build {
+ public:
+  Build(const NetworkTemplate& tmpl, const Specification& spec, const EncoderOptions& opts)
+      : t_(tmpl), s_(spec), o_(opts), g_(tmpl.build_graph()) {}
+
+  EncodedProblem run() {
+    util::Stopwatch clock;
+    determine_scope();
+    emit_sizing();
+    emit_edges_and_paths();
+    emit_link_quality();
+    emit_energy();
+    emit_localization();
+    emit_objective();
+    p_.stats.num_vars = p_.model.num_vars();
+    p_.stats.num_constrs = p_.model.num_constrs();
+    p_.stats.nonzeros = p_.model.num_nonzeros();
+    p_.stats.encode_time_s = clock.seconds();
+    p_.stats.candidate_paths = static_cast<int>(p_.candidates.size());
+    return std::move(p_);
+  }
+
+ private:
+  // ---------------------------------------------------------------- scope
+  void determine_scope() {
+    if (o_.mode == EncoderOptions::PathMode::kFull) {
+      for (int i = 0; i < t_.num_nodes(); ++i) node_in_scope_.insert(i);
+      for (const auto& e : g_.edges()) scope_edges_.insert({e.from, e.to});
+    } else {
+      generate_candidates();
+      for (const auto& cand : pending_candidates_) {
+        for (size_t k = 0; k + 1 < cand.path.nodes.size(); ++k) {
+          scope_edges_.insert({cand.path.nodes[k], cand.path.nodes[k + 1]});
+        }
+        for (int v : cand.path.nodes) node_in_scope_.insert(v);
+      }
+    }
+    // Fixed nodes and anchors participate regardless of routing.
+    for (int i = 0; i < t_.num_nodes(); ++i) {
+      const auto& nd = t_.node(i);
+      if (nd.kind == NodeKind::kFixed || nd.role == Role::kAnchor) node_in_scope_.insert(i);
+    }
+    // Route endpoints must exist even if no candidate survived (the model
+    // must then come out infeasible, not silently shrunk).
+    for (const auto& r : s_.routes) {
+      node_in_scope_.insert(r.source);
+      node_in_scope_.insert(r.dest);
+    }
+  }
+
+  // ------------------------------------------------------- Algorithm 1
+  struct PendingCandidate {
+    Path path;
+    int route_index;
+    int replica;
+  };
+
+  void generate_candidates() {
+    Digraph work = g_;  // weights mutated per route, restored after
+    const auto rss_floor = s_.min_rss_dbm();
+
+    // LQ prefilter: links that cannot meet the bound even with the best
+    // components never become candidates.
+    if (o_.lq_prefilter && rss_floor) {
+      for (int e = 0; e < work.num_edges(); ++e) {
+        const auto& ed = work.edge(e);
+        if (t_.best_rss_dbm(ed.from, ed.to) < *rss_floor) {
+          work.set_weight(e, graph::kInfWeight);
+        }
+      }
+    }
+    std::vector<double> base_weights(static_cast<size_t>(work.num_edges()));
+    for (int e = 0; e < work.num_edges(); ++e) base_weights[static_cast<size_t>(e)] = work.edge(e).weight;
+
+    for (size_t ri = 0; ri < s_.routes.size(); ++ri) {
+      const auto& route = s_.routes[static_cast<size_t>(ri)];
+      const int nrep = std::max(1, route.replicas);
+      // BalanceData: split K* into Nrep groups of K with Nrep*K >= K*.
+      const int k_per_rep = std::max(1, (o_.k_star + nrep - 1) / nrep);
+
+      for (int rep = 0; rep < nrep; ++rep) {
+        auto paths = graph::yen_k_shortest(work, route.source, route.dest, k_per_rep);
+        if (route.max_hops) {
+          std::erase_if(paths, [&](const Path& p) { return p.hops() > *route.max_hops; });
+        }
+        for (const Path& p : paths) {
+          pending_candidates_.push_back({p, static_cast<int>(ri), rep});
+        }
+        if (o_.disjoint_strategy == EncoderOptions::DisjointStrategy::kNone) continue;
+        if (rep + 1 < nrep && !paths.empty()) {
+          // DisconnectMinDisjointPath: remove the path sharing the most
+          // edges with its batch so the next group starts fresh.
+          size_t worst = 0;
+          int worst_shared = -1;
+          for (size_t a = 0; a < paths.size(); ++a) {
+            int shared = 0;
+            for (size_t b = 0; b < paths.size(); ++b) {
+              if (a != b) shared += graph::shared_edges(paths[a], paths[b]);
+            }
+            if (shared > worst_shared) {
+              worst_shared = shared;
+              worst = a;
+            }
+          }
+          for (graph::EdgeId e : paths[worst].edges) work.set_weight(e, graph::kInfWeight);
+        }
+      }
+      // Restore weights for the next route.
+      for (int e = 0; e < work.num_edges(); ++e) work.set_weight(e, base_weights[static_cast<size_t>(e)]);
+    }
+  }
+
+  // --------------------------------------------------------------- sizing
+  [[nodiscard]] std::vector<int> compatible_components(int node) const {
+    const auto& nd = t_.node(node);
+    if (nd.fixed_component) return {*nd.fixed_component};
+    return t_.library().with_role(nd.role);
+  }
+
+  void emit_sizing() {
+    p_.node_used.assign(static_cast<size_t>(t_.num_nodes()), Var{});
+    for (int i : node_in_scope_) {
+      const auto& nd = t_.node(i);
+      const Var u = p_.model.add_binary("u_" + nd.name);
+      p_.model.set_branch_priority(u, 1);
+      p_.node_used[static_cast<size_t>(i)] = u;
+      if (nd.kind == NodeKind::kFixed) p_.model.set_bounds(u, 1.0, 1.0);
+
+      LinExpr sum;
+      for (int c : compatible_components(i)) {
+        const Var m = p_.model.add_binary("m_" + t_.library().at(c).name + "_" + nd.name);
+        p_.mapping[{c, i}] = m;
+        sum += LinExpr(m);
+      }
+      sum -= LinExpr(u);
+      p_.model.add_eq(std::move(sum), 0.0, "sizing_" + nd.name);
+    }
+  }
+
+  // ------------------------------------------------------ edges and paths
+  Var edge_var(int from, int to) {
+    const EdgeKey key{from, to};
+    auto it = p_.edge_active.find(key);
+    if (it != p_.edge_active.end()) return it->second;
+    const Var e = p_.model.add_binary("e_" + t_.node(from).name + "_" + t_.node(to).name);
+    p_.model.set_branch_priority(e, 2);
+    p_.edge_active[key] = e;
+    // A link needs both endpoints deployed.
+    p_.model.add_le(LinExpr(e) - LinExpr(p_.node_used[static_cast<size_t>(from)]), 0.0);
+    p_.model.add_le(LinExpr(e) - LinExpr(p_.node_used[static_cast<size_t>(to)]), 0.0);
+    return e;
+  }
+
+  void emit_edges_and_paths() {
+    for (const EdgeKey& k : scope_edges_) edge_var(k.first, k.second);
+    if (o_.mode == EncoderOptions::PathMode::kFull) {
+      emit_full_paths();
+    } else {
+      emit_approx_paths();
+    }
+    emit_node_upper_links();
+  }
+
+  void emit_approx_paths() {
+    // Selector binaries.
+    for (auto& pc : pending_candidates_) {
+      const Var y = p_.model.add_binary("y_r" + std::to_string(pc.route_index) + "_rep" +
+                                        std::to_string(pc.replica) + "_" +
+                                        std::to_string(p_.candidates.size()));
+      p_.model.set_branch_priority(y, 3);  // structural decisions branch first
+      p_.candidates.push_back({std::move(pc.path), y, pc.route_index, pc.replica});
+    }
+    pending_candidates_.clear();
+
+    // Group selection: exactly one candidate per (route, replica) group.
+    // Equality (rather than >= 1) is lossless — dropping a surplus path
+    // only relaxes the remaining constraints — and it licenses the
+    // aggregated implications below, which tighten the LP relaxation
+    // substantially (a fractional unit of path mass forces a full unit of
+    // edge/node mass instead of 1/K of it).
+    for (size_t ri = 0; ri < s_.routes.size(); ++ri) {
+      const int nrep = std::max(1, s_.routes[ri].replicas);
+      for (int rep = 0; rep < nrep; ++rep) {
+        LinExpr any;
+        bool has = false;
+        for (const auto& c : p_.candidates) {
+          if (c.route_index == static_cast<int>(ri) && c.replica == rep) {
+            any += LinExpr(c.selector);
+            has = true;
+          }
+        }
+        if (!has) {
+          // No surviving candidate: the requirement is unsatisfiable under
+          // this K*; encode that verdict explicitly.
+          const Var zero = p_.model.add_binary("no_candidate");
+          p_.model.set_bounds(zero, 0.0, 0.0);
+          any += LinExpr(zero);
+        }
+        p_.model.add_eq(std::move(any), 1.0,
+                        "route" + std::to_string(ri) + "_rep" + std::to_string(rep));
+      }
+    }
+
+    // Edge activation, aggregated per group: since exactly one candidate
+    // of a group is chosen, e_ij >= sum of the group's selectors using ij
+    // is valid and dominates the per-candidate form y <= e.
+    std::map<EdgeKey, LinExpr> users;
+    std::map<std::tuple<int, int, int, int>, LinExpr> group_edge;   // (route, rep, i, j)
+    std::map<std::tuple<int, int, int>, LinExpr> group_node;        // (route, rep, node)
+    for (const auto& c : p_.candidates) {
+      for (size_t k = 0; k + 1 < c.path.nodes.size(); ++k) {
+        const EdgeKey key{c.path.nodes[k], c.path.nodes[k + 1]};
+        users[key] += LinExpr(c.selector);
+        group_edge[{c.route_index, c.replica, key.first, key.second}] += LinExpr(c.selector);
+      }
+      for (int v : c.path.nodes) {
+        if (t_.node(v).kind == NodeKind::kFixed) continue;  // u already 1
+        group_node[{c.route_index, c.replica, v}] += LinExpr(c.selector);
+      }
+    }
+    for (auto& [key, expr] : group_edge) {
+      expr -= LinExpr(p_.edge_active.at({std::get<2>(key), std::get<3>(key)}));
+      p_.model.add_le(std::move(expr), 0.0);  // group path mass <= e
+    }
+    for (auto& [key, expr] : group_node) {
+      expr -= LinExpr(p_.node_used[static_cast<size_t>(std::get<2>(key))]);
+      p_.model.add_le(std::move(expr), 0.0);  // group path mass <= u
+    }
+    for (auto& [key, expr] : users) {
+      expr -= LinExpr(p_.edge_active.at(key));
+      p_.model.add_ge(std::move(expr), 0.0);  // e <= sum of users
+    }
+
+    // Relay-cover cuts: whichever candidate a group picks, it deploys at
+    // least h_g = min-over-candidates relay count, all drawn from the
+    // union of the group's relay sets. Redundant for integer solutions
+    // but lifts the LP bound (fractional path mass can no longer spread
+    // relay usage below the unavoidable minimum).
+    {
+      std::map<std::pair<int, int>, std::pair<std::set<int>, int>> cover;  // -> (union, h)
+      for (const auto& c : p_.candidates) {
+        auto [it, fresh] = cover.try_emplace({c.route_index, c.replica},
+                                             std::set<int>{}, INT32_MAX);
+        int relays = 0;
+        for (int v : c.path.nodes) {
+          if (t_.node(v).kind == NodeKind::kFixed) continue;
+          it->second.first.insert(v);
+          ++relays;
+        }
+        it->second.second = std::min(it->second.second, relays);
+      }
+      for (const auto& [key, uc] : cover) {
+        if (uc.second <= 0 || uc.first.empty()) continue;
+        LinExpr sum;
+        for (int v : uc.first) sum += LinExpr(p_.node_used[static_cast<size_t>(v)]);
+        p_.model.add_ge(std::move(sum), static_cast<double>(uc.second),
+                        "cover_r" + std::to_string(key.first) + "_" + std::to_string(key.second));
+      }
+    }
+
+    // Disjointness of chosen replicas (the (1d) analog on candidates):
+    // same-route candidates from different groups sharing an edge conflict.
+    for (size_t a = 0; a < p_.candidates.size(); ++a) {
+      for (size_t b = a + 1; b < p_.candidates.size(); ++b) {
+        const auto& ca = p_.candidates[a];
+        const auto& cb = p_.candidates[b];
+        if (ca.route_index != cb.route_index || ca.replica == cb.replica) continue;
+        if (graph::shared_edges(ca.path, cb.path) > 0) {
+          p_.model.add_le(LinExpr(ca.selector) + LinExpr(cb.selector), 1.0);
+        }
+      }
+    }
+  }
+
+  void emit_full_paths() {
+    // Per required path replica: x^pi variables over every template edge,
+    // flow balance (1a), loop limits (1c), edge linking (1b), hops (1e).
+    std::vector<std::vector<size_t>> route_paths(s_.routes.size());
+    for (size_t ri = 0; ri < s_.routes.size(); ++ri) {
+      const auto& route = s_.routes[ri];
+      const int nrep = std::max(1, route.replicas);
+      for (int rep = 0; rep < nrep; ++rep) {
+        const size_t pi = p_.full_path_edges.size();
+        route_paths[ri].push_back(pi);
+        p_.full_path_edges.emplace_back();
+        p_.full_path_ids.emplace_back(static_cast<int>(ri), rep);
+        auto& xmap = p_.full_path_edges.back();
+        const std::string tag = "p" + std::to_string(pi);
+
+        for (const auto& e : g_.edges()) {
+          const Var x = p_.model.add_binary("x_" + tag + "_" + std::to_string(e.from) + "_" +
+                                            std::to_string(e.to));
+          xmap[{e.from, e.to}] = x;
+          // (1b) x <= e.
+          p_.model.add_le(LinExpr(x) - LinExpr(p_.edge_active.at({e.from, e.to})), 0.0);
+        }
+
+        // (1a) balance; (1c) degree limits.
+        for (int v = 0; v < t_.num_nodes(); ++v) {
+          LinExpr balance;
+          LinExpr outdeg;
+          LinExpr indeg;
+          bool touched = false;
+          for (const auto& [key, x] : xmap) {
+            if (key.first == v) {
+              balance += LinExpr(x);
+              outdeg += LinExpr(x);
+              touched = true;
+            }
+            if (key.second == v) {
+              balance -= LinExpr(x);
+              indeg += LinExpr(x);
+              touched = true;
+            }
+          }
+          const double z = v == route.source ? 1.0 : (v == route.dest ? -1.0 : 0.0);
+          if (!touched) {
+            if (z != 0.0) {
+              // Endpoint with no incident edges: infeasible by construction.
+              const Var zero = p_.model.add_binary("iso_" + tag);
+              p_.model.set_bounds(zero, 0.0, 0.0);
+              p_.model.add_ge(LinExpr(zero), 1.0);
+            }
+            continue;
+          }
+          p_.model.add_eq(std::move(balance), z, "bal_" + tag + "_" + std::to_string(v));
+          p_.model.add_le(std::move(outdeg), 1.0);
+          p_.model.add_le(std::move(indeg), 1.0);
+        }
+
+        // (1e) hop bound.
+        if (route.max_hops) {
+          LinExpr hops;
+          for (const auto& [key, x] : xmap) hops += LinExpr(x);
+          p_.model.add_le(std::move(hops), static_cast<double>(*route.max_hops));
+        }
+      }
+      // (1d) pairwise edge-disjointness between replicas.
+      for (size_t a = 0; a < route_paths[ri].size(); ++a) {
+        for (size_t b = a + 1; b < route_paths[ri].size(); ++b) {
+          const auto& xa = p_.full_path_edges[route_paths[ri][a]];
+          const auto& xb = p_.full_path_edges[route_paths[ri][b]];
+          for (const auto& [key, va] : xa) {
+            p_.model.add_le(LinExpr(va) + LinExpr(xb.at(key)), 1.0);
+          }
+        }
+      }
+    }
+
+    // e <= sum of path usages (no phantom edges).
+    for (const auto& [key, e] : p_.edge_active) {
+      LinExpr sum;
+      for (const auto& xmap : p_.full_path_edges) {
+        auto it = xmap.find(key);
+        if (it != xmap.end()) sum += LinExpr(it->second);
+      }
+      sum -= LinExpr(e);
+      p_.model.add_ge(std::move(sum), 0.0);
+    }
+  }
+
+  void emit_node_upper_links() {
+    // A candidate node may only be "used" when something uses it: an
+    // incident active edge now, or a localization reach var added later.
+    // Collect incident edges here; emit_localization() extends the expr.
+    for (int i : node_in_scope_) {
+      if (t_.node(i).kind == NodeKind::kFixed) continue;
+      LinExpr& users = node_users_[i];
+      for (const auto& [key, e] : p_.edge_active) {
+        if (key.first == i || key.second == i) users += LinExpr(e);
+      }
+    }
+  }
+
+  void finalize_node_upper_links() {
+    for (auto& [i, users] : node_users_) {
+      users -= LinExpr(p_.node_used[static_cast<size_t>(i)]);
+      p_.model.add_ge(std::move(users), 0.0, "used_ub_" + t_.node(i).name);
+    }
+    node_users_.clear();
+  }
+
+  // --------------------------------------------------------- link quality
+  void emit_link_quality() {
+    const auto rss_floor = s_.min_rss_dbm();
+    for (const auto& [key, e] : p_.edge_active) {
+      const auto [i, j] = key;
+      const double pl = t_.path_loss_db(i, j);
+      // RSS = -PL + sum_c m_ci (tx_c + g_c) + sum_c m_cj g_c  (2a).
+      LinExpr rhs = LinExpr(-pl);
+      double lo = -pl;
+      double hi = -pl;
+      double tx_lo = milp::kInf, tx_hi = -milp::kInf;
+      for (int c : compatible_components(i)) {
+        const Component& comp = t_.library().at(c);
+        const double gain = comp.tx_power_dbm + comp.antenna_gain_dbi;
+        rhs += gain * LinExpr(p_.mapping.at({c, i}));
+        tx_lo = std::min(tx_lo, gain);
+        tx_hi = std::max(tx_hi, gain);
+      }
+      double rx_lo = milp::kInf, rx_hi = -milp::kInf;
+      for (int c : compatible_components(j)) {
+        const double gain = t_.library().at(c).antenna_gain_dbi;
+        rhs += gain * LinExpr(p_.mapping.at({c, j}));
+        rx_lo = std::min(rx_lo, gain);
+        rx_hi = std::max(rx_hi, gain);
+      }
+      lo += std::min(tx_lo, 0.0) + std::min(rx_lo, 0.0);
+      hi += std::max(tx_hi, 0.0) + std::max(rx_hi, 0.0);
+
+      const Var rss = p_.model.add_continuous(
+          "rss_" + t_.node(i).name + "_" + t_.node(j).name, lo, hi);
+      p_.rss[key] = rss;
+      rhs -= LinExpr(rss);
+      p_.model.add_eq(std::move(rhs), 0.0);
+      // (2b): active link must clear the bound.
+      if (rss_floor) {
+        milp::imply_ge(p_.model, e, LinExpr(rss), *rss_floor,
+                       "lq_" + t_.node(i).name + "_" + t_.node(j).name);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------- energy
+  /// Conservative per-edge ETX: evaluated at the lowest SNR the admitted
+  /// design can exhibit on this link (the LQ floor if enforced, otherwise
+  /// the worst component choice), so the MILP never underestimates energy.
+  [[nodiscard]] double etx_for_edge(int i, int j) const {
+    double worst_rss = milp::kInf;
+    for (int c : compatible_components(i)) {
+      const Component& comp = t_.library().at(c);
+      worst_rss = std::min(worst_rss, comp.tx_power_dbm + comp.antenna_gain_dbi);
+    }
+    worst_rss += -t_.path_loss_db(i, j);  // RX gain >= 0 conservatively omitted
+    const auto rss_floor = s_.min_rss_dbm();
+    if (rss_floor) worst_rss = std::max(worst_rss, *rss_floor);
+    const double snr = worst_rss - s_.radio.noise_floor_dbm;
+    return channel::etx_from_snr(s_.radio.modulation, snr, s_.radio.tdma.packet_bytes);
+  }
+
+  void emit_energy() {
+    if (!s_.lifetime && s_.objective.weight_energy == 0.0) return;
+    const radio::TdmaConfig& tdma = s_.radio.tdma;
+    tdma.validate();
+
+    int total_paths = 0;
+    for (const auto& r : s_.routes) total_paths += std::max(1, r.replicas);
+    const double fmax = std::max(1, total_paths) * 100.0;  // ETX-weighted cap
+
+    for (int i : node_in_scope_) {
+      const auto& nd = t_.node(i);
+      if (nd.role == Role::kSink) continue;  // mains powered
+      // Weighted TX / RX counts induced by routing through node i.
+      LinExpr tx_expr;
+      LinExpr rx_expr;
+      bool touched = false;
+      if (o_.mode == EncoderOptions::PathMode::kApprox) {
+        for (const auto& c : p_.candidates) {
+          double tx_w = 0.0, rx_w = 0.0;
+          for (size_t k = 0; k + 1 < c.path.nodes.size(); ++k) {
+            if (c.path.nodes[k] == i) tx_w += etx_for_edge(i, c.path.nodes[k + 1]);
+            if (c.path.nodes[k + 1] == i) rx_w += etx_for_edge(c.path.nodes[k], i);
+          }
+          if (tx_w > 0) tx_expr += tx_w * LinExpr(c.selector);
+          if (rx_w > 0) rx_expr += rx_w * LinExpr(c.selector);
+          touched = touched || tx_w > 0 || rx_w > 0;
+        }
+      } else {
+        for (const auto& xmap : p_.full_path_edges) {
+          for (const auto& [key, x] : xmap) {
+            if (key.first == i) {
+              tx_expr += etx_for_edge(key.first, key.second) * LinExpr(x);
+              touched = true;
+            }
+            if (key.second == i) {
+              rx_expr += etx_for_edge(key.first, key.second) * LinExpr(x);
+              touched = true;
+            }
+          }
+        }
+      }
+      if (!touched && s_.objective.weight_energy == 0.0) continue;
+
+      const Var ftx = p_.model.add_continuous("ftx_" + nd.name, 0.0, fmax);
+      const Var frx = p_.model.add_continuous("frx_" + nd.name, 0.0, fmax);
+      tx_expr -= LinExpr(ftx);
+      rx_expr -= LinExpr(frx);
+      p_.model.add_eq(std::move(tx_expr), 0.0);
+      p_.model.add_eq(std::move(rx_expr), 0.0);
+      node_traffic_vars_[i] = {ftx, frx};
+
+      if (s_.lifetime) {
+        // (3a): per admitted component, charge per cycle within budget.
+        const double battery_mas = s_.lifetime->battery_mah * 3600.0;
+        const double cap = battery_mas * tdma.report_period_s /
+                           (s_.lifetime->min_years * radio::kSecondsPerYear);
+        for (int c : compatible_components(i)) {
+          const auto cc = charge_coefs(t_.library().at(c), s_.radio);
+          milp::imply_le(p_.model, p_.mapping.at({c, i}),
+                         cc.a_tx * LinExpr(ftx) + cc.b_rx * LinExpr(frx), cap - cc.s0,
+                         "life_" + t_.library().at(c).name + "_" + nd.name);
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------- localization
+  void emit_localization() {
+    if (s_.localization) {
+      const auto& loc = *s_.localization;
+      const auto anchors = t_.nodes_with_role(Role::kAnchor);
+      for (size_t pj = 0; pj < loc.eval_points.size(); ++pj) {
+        const geom::Vec2 pt = loc.eval_points[pj];
+
+        // Candidate anchors for this point, nearest (in path loss) first.
+        std::vector<std::pair<double, int>> ranked;
+        for (int i : anchors) {
+          ranked.emplace_back(t_.channel_model().path_loss_db(t_.node(i).position, pt), i);
+        }
+        std::sort(ranked.begin(), ranked.end());
+        size_t limit = ranked.size();
+        if (o_.mode == EncoderOptions::PathMode::kApprox && o_.loc_candidates > 0) {
+          limit = std::min<size_t>(limit, static_cast<size_t>(o_.loc_candidates));
+        }
+
+        LinExpr coverage;
+        bool any = false;
+        for (size_t r = 0; r < limit; ++r) {
+          const auto [pl, i] = ranked[r];
+          // Components of i able to reach the point at the required RSS.
+          LinExpr reaching;
+          bool reachable = false;
+          for (int c : compatible_components(i)) {
+            const Component& comp = t_.library().at(c);
+            if (comp.tx_power_dbm + comp.antenna_gain_dbi - pl >= loc.min_rss_dbm) {
+              reaching += LinExpr(p_.mapping.at({c, i}));
+              reachable = true;
+            }
+          }
+          if (!reachable) continue;
+          const Var rij = p_.model.add_binary("r_" + t_.node(i).name + "_p" + std::to_string(pj));
+          p_.reach[{i, static_cast<int>(pj)}] = rij;
+          // (4a) both ways: r_ij = (a reaching component is deployed at i).
+          // The lower links make r an honest reachability indicator, so the
+          // DSOD objective charges every deployed anchor its full
+          // point-distance mass (favoring few, strong, central anchors —
+          // the paper's observed Table 2 behavior) instead of letting the
+          // solver cherry-pick serving anchors.
+          for (const auto& [v, coef] : reaching.terms()) {
+            p_.model.add_le(LinExpr(v) - LinExpr(rij), 0.0);
+          }
+          reaching -= LinExpr(rij);
+          p_.model.add_ge(std::move(reaching), 0.0);
+          coverage += LinExpr(rij);
+          any = true;
+          auto it = node_users_.find(i);
+          if (it != node_users_.end()) it->second += LinExpr(rij);
+        }
+        if (!any) {
+          const Var zero = p_.model.add_binary("unreachable_p" + std::to_string(pj));
+          p_.model.set_bounds(zero, 0.0, 0.0);
+          coverage += LinExpr(zero);
+        }
+        // (4b): at least N anchors cover this point.
+        p_.model.add_ge(std::move(coverage), static_cast<double>(loc.min_anchors),
+                        "cover_p" + std::to_string(pj));
+      }
+    }
+    finalize_node_upper_links();
+  }
+
+  // ----------------------------------------------------------- objective
+  void emit_objective() {
+    LinExpr obj;
+    if (s_.objective.weight_cost != 0.0) {
+      for (const auto& [key, m] : p_.mapping) {
+        const double cost = t_.library().at(key.first).cost_usd;
+        if (cost != 0.0) obj += s_.objective.weight_cost * cost * LinExpr(m);
+      }
+    }
+    if (s_.objective.weight_energy != 0.0) {
+      const radio::TdmaConfig& tdma = s_.radio.tdma;
+      for (const auto& [i, fvars] : node_traffic_vars_) {
+        const auto& [ftx, frx] = fvars;
+        double qmax = 0.0;
+        for (int c : compatible_components(i)) {
+          const auto cc = charge_coefs(t_.library().at(c), s_.radio);
+          qmax = std::max(qmax, cc.a_tx * p_.model.var(ftx).ub + cc.b_rx * p_.model.var(frx).ub + cc.s0);
+        }
+        const Var q = p_.model.add_continuous("q_" + t_.node(i).name, 0.0, qmax);
+        for (int c : compatible_components(i)) {
+          const auto cc = charge_coefs(t_.library().at(c), s_.radio);
+          milp::imply_ge(p_.model, p_.mapping.at({c, i}),
+                         LinExpr(q) - cc.a_tx * LinExpr(ftx) - cc.b_rx * LinExpr(frx), cc.s0,
+                         "q_lb_" + t_.node(i).name);
+        }
+        obj += s_.objective.weight_energy * LinExpr(q);
+      }
+    }
+    if (s_.objective.weight_dsod != 0.0 && s_.localization) {
+      for (const auto& [key, rij] : p_.reach) {
+        const auto [i, pj] = key;
+        const double d =
+            t_.node(i).position.dist(s_.localization->eval_points[static_cast<size_t>(pj)]);
+        obj += s_.objective.weight_dsod * d * LinExpr(rij);
+      }
+    }
+    p_.model.minimize(std::move(obj));
+  }
+
+  const NetworkTemplate& t_;
+  const Specification& s_;
+  const EncoderOptions& o_;
+  Digraph g_;
+  EncodedProblem p_;
+  std::set<int> node_in_scope_;
+  std::set<EdgeKey> scope_edges_;
+  std::vector<PendingCandidate> pending_candidates_;
+  std::map<int, LinExpr> node_users_;
+  std::map<int, std::pair<Var, Var>> node_traffic_vars_;
+};
+
+}  // namespace
+
+Encoder::Encoder(const NetworkTemplate& tmpl, const Specification& spec, EncoderOptions opts)
+    : tmpl_(&tmpl), spec_(&spec), opts_(opts) {
+  for (const auto& r : spec.routes) {
+    if (r.source < 0 || r.source >= tmpl.num_nodes() || r.dest < 0 ||
+        r.dest >= tmpl.num_nodes()) {
+      throw std::out_of_range("Encoder: route endpoint outside template");
+    }
+  }
+}
+
+EncodedProblem Encoder::encode() const {
+  Build b(*tmpl_, *spec_, opts_);
+  return b.run();
+}
+
+EncodeStats Encoder::estimate_full_stats() const {
+  // Mirrors emit_full_paths() & friends analytically; cross-checked against
+  // the real encoder in tests (tolerance documented there).
+  const Digraph g = tmpl_->build_graph();
+  const long n = tmpl_->num_nodes();
+  const long e = g.num_edges();
+  long paths = 0;
+  long disjoint_pairs = 0;
+  long hop_rows = 0;
+  for (const auto& r : spec_->routes) {
+    const long rep = std::max(1, r.replicas);
+    paths += rep;
+    disjoint_pairs += rep * (rep - 1) / 2;
+    if (r.max_hops) hop_rows += rep;
+  }
+
+  long vars = 0;
+  long cons = 0;
+  // Sizing: every node in scope; average compat size.
+  long compat_total = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto& nd = tmpl_->node(i);
+    compat_total += nd.fixed_component ? 1
+                                       : static_cast<long>(tmpl_->library().with_role(nd.role).size());
+  }
+  vars += n + compat_total;  // u_i + m_ci
+  cons += n;                 // sizing equalities
+  // Edges: e vars + 2 endpoint links + e<=sum(x).
+  vars += e;
+  cons += 3 * e;
+  // Node upper links (candidates only).
+  long cand_nodes = 0;
+  for (int i = 0; i < n; ++i) {
+    if (tmpl_->node(i).kind != NodeKind::kFixed) ++cand_nodes;
+  }
+  cons += cand_nodes;
+  // Paths: per path, e vars x; (1b) e rows; (1a)+(1c): ~3 rows per node
+  // with incident edges (use all nodes as the paper's n^2+3n bound does).
+  vars += paths * e;
+  cons += paths * (e + 3 * n) + hop_rows;
+  cons += disjoint_pairs * e;
+  // LQ: rss var + equality (+ implication when a bound is set) per edge.
+  vars += e;
+  cons += (spec_->min_rss_dbm() ? 2L : 1L) * e;
+  // Energy: 2 vars + 2 equalities + |compat| implications per battery node.
+  if (spec_->lifetime || spec_->objective.weight_energy != 0.0) {
+    long battery = 0;
+    long battery_compat = 0;
+    for (int i = 0; i < n; ++i) {
+      const auto& nd = tmpl_->node(i);
+      if (nd.role == Role::kSink) continue;
+      ++battery;
+      battery_compat += nd.fixed_component
+                            ? 1
+                            : static_cast<long>(tmpl_->library().with_role(nd.role).size());
+    }
+    vars += 2 * battery;
+    cons += 2 * battery + (spec_->lifetime ? battery_compat : 0);
+  }
+  // Localization: full mode uses every anchor per point.
+  if (spec_->localization) {
+    const long anchors = static_cast<long>(tmpl_->nodes_with_role(Role::kAnchor).size());
+    const long pts = static_cast<long>(spec_->localization->eval_points.size());
+    vars += anchors * pts;
+    cons += anchors * pts + pts;
+  }
+
+  EncodeStats st;
+  st.num_vars = static_cast<int>(std::min<long>(vars, INT32_MAX));
+  st.num_constrs = static_cast<int>(std::min<long>(cons, INT32_MAX));
+  return st;
+}
+
+}  // namespace wnet::archex

@@ -1,0 +1,113 @@
+#include "core/explorer.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "graph/digraph.h"
+#include "util/stopwatch.h"
+
+namespace wnet::archex {
+
+Explorer::Explorer(const NetworkTemplate& tmpl, const Specification& spec)
+    : tmpl_(&tmpl), spec_(&spec) {}
+
+namespace {
+
+/// Fixed-routing warm start (the paper's K* = 1 regime as a primal
+/// heuristic): greedily select the lowest-path-loss candidate per replica
+/// group, respecting edge-disjointness within a route, fix those selectors,
+/// and solve the remaining sizing-only MILP briefly. Its solution seeds the
+/// main search as an incumbent. Returns empty on any failure.
+std::vector<double> fixed_routing_start(const EncodedProblem& ep,
+                                        const milp::SolveOptions& sopts) {
+  if (ep.candidates.empty()) return {};
+
+  std::map<std::pair<int, int>, const CandidatePath*> picked;
+  std::set<std::pair<int, int>> groups;
+  for (const auto& c : ep.candidates) groups.insert({c.route_index, c.replica});
+
+  for (const auto& g : groups) {
+    const CandidatePath* best = nullptr;
+    for (const auto& c : ep.candidates) {
+      if (c.route_index != g.first || c.replica != g.second) continue;
+      bool clash = false;
+      for (const auto& [og, oc] : picked) {
+        if (og.first == g.first && og.second != g.second &&
+            graph::shared_edges(c.path, oc->path) > 0) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      if (best == nullptr || c.path.cost < best->path.cost) best = &c;
+    }
+    if (best == nullptr) return {};  // no disjoint pick: skip the heuristic
+    picked[g] = best;
+  }
+
+  milp::Model restricted = ep.model;
+  for (const auto& c : ep.candidates) {
+    const bool on = picked.at({c.route_index, c.replica}) == &c;
+    restricted.set_bounds(c.selector, on ? 1.0 : 0.0, on ? 1.0 : 0.0);
+  }
+  milp::SolveOptions wopts = sopts;
+  wopts.time_limit_s = std::min(30.0, std::max(5.0, 0.2 * sopts.time_limit_s));
+  wopts.rel_gap = std::max(sopts.rel_gap, 0.01);
+  const milp::MipResult wres = milp::solve(restricted, wopts);
+  return wres.has_solution() ? wres.x : std::vector<double>{};
+}
+
+}  // namespace
+
+ExplorationResult Explorer::explore(const EncoderOptions& eopts,
+                                    const milp::SolveOptions& sopts) const {
+  util::Stopwatch clock;
+  ExplorationResult out;
+
+  Encoder enc(*tmpl_, *spec_, eopts);
+  EncodedProblem ep = enc.encode();
+  out.encode_stats = ep.stats;
+
+  milp::SolveOptions main_opts = sopts;
+  if (main_opts.mip_start.empty()) {
+    main_opts.mip_start = fixed_routing_start(ep, sopts);
+  }
+  const milp::MipResult res = milp::solve(ep.model, main_opts);
+  out.status = res.status;
+  out.solve_stats = res.stats;
+  if (res.has_solution()) {
+    out.objective = res.objective;
+    out.architecture = decode_solution(ep, *tmpl_, *spec_, res.x);
+  }
+  out.total_time_s = clock.seconds();
+  return out;
+}
+
+Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& kopts,
+                                                    EncoderOptions eopts,
+                                                    const milp::SolveOptions& sopts) const {
+  KStarSearchResult out;
+  eopts.mode = EncoderOptions::PathMode::kApprox;
+  double best_obj = milp::kInf;
+  for (int k : kopts.ladder) {
+    eopts.k_star = k;
+    ExplorationResult r = explore(eopts, sopts);
+    out.trace.emplace_back(k, r);
+    const bool improved =
+        r.has_solution() &&
+        (best_obj == milp::kInf ||
+         r.objective < best_obj - kopts.min_improvement * std::max(1.0, std::abs(best_obj)));
+    if (improved) {
+      best_obj = r.objective;
+      out.chosen_k = k;
+      out.best = std::move(r);
+    } else if (out.chosen_k != 0) {
+      break;  // no meaningful improvement: stop the ladder (Sec. 4.3 rule)
+    }
+    if (out.trace.back().second.total_time_s > kopts.time_threshold_s) break;
+  }
+  return out;
+}
+
+}  // namespace wnet::archex

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/encode/encoder.h"
+#include "core/solution.h"
+#include "milp/solver.h"
+
+namespace wnet::archex {
+
+/// End-to-end result of one exploration run: encode -> solve -> decode.
+struct ExplorationResult {
+  milp::SolveStatus status = milp::SolveStatus::kNoSolution;
+  NetworkArchitecture architecture;  ///< valid when a solution exists
+  double objective = 0.0;
+  EncodeStats encode_stats;
+  milp::SolveStats solve_stats;
+  double total_time_s = 0.0;
+
+  [[nodiscard]] bool has_solution() const {
+    return status == milp::SolveStatus::kOptimal || status == milp::SolveStatus::kFeasible;
+  }
+};
+
+/// The top-level design-space explorer — the ArchEx flow of the paper:
+/// compile the specification to a MILP with the chosen path encoding,
+/// solve, decode the optimal architecture.
+class Explorer {
+ public:
+  Explorer(const NetworkTemplate& tmpl, const Specification& spec);
+
+  [[nodiscard]] ExplorationResult explore(const EncoderOptions& eopts = {},
+                                          const milp::SolveOptions& sopts = {}) const;
+
+  /// Systematic K* selection (paper Sec. 4.3): explore with increasing K*
+  /// until the run time exceeds `time_threshold_s` or the objective stops
+  /// improving by more than `min_improvement` (relative).
+  struct KStarSearchOptions {
+    std::vector<int> ladder = {1, 3, 5, 10, 20};
+    double time_threshold_s = 600.0;
+    double min_improvement = 1e-3;
+  };
+  struct KStarSearchResult {
+    int chosen_k = 0;
+    ExplorationResult best;
+    std::vector<std::pair<int, ExplorationResult>> trace;
+  };
+  [[nodiscard]] KStarSearchResult search_k_star(const KStarSearchOptions& kopts,
+                                                EncoderOptions eopts = {},
+                                                const milp::SolveOptions& sopts = {}) const;
+  [[nodiscard]] KStarSearchResult search_k_star() const {
+    return search_k_star(KStarSearchOptions{});
+  }
+
+ private:
+  const NetworkTemplate* tmpl_;
+  const Specification* spec_;
+};
+
+}  // namespace wnet::archex

@@ -1,0 +1,84 @@
+#include "core/library.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wnet::archex {
+
+const char* role_name(Role r) {
+  switch (r) {
+    case Role::kSensor: return "sensor";
+    case Role::kRelay: return "relay";
+    case Role::kSink: return "sink";
+    case Role::kAnchor: return "anchor";
+  }
+  return "?";
+}
+
+bool Component::has_role(Role r) const {
+  return std::find(roles.begin(), roles.end(), r) != roles.end();
+}
+
+int ComponentLibrary::add(Component c) {
+  if (c.name.empty()) throw std::invalid_argument("ComponentLibrary: unnamed component");
+  if (c.roles.empty()) throw std::invalid_argument("ComponentLibrary: component without roles");
+  parts_.push_back(std::move(c));
+  return static_cast<int>(parts_.size()) - 1;
+}
+
+std::vector<int> ComponentLibrary::with_role(Role r) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (parts_[static_cast<size_t>(i)].has_role(r)) out.push_back(i);
+  }
+  return out;
+}
+
+std::optional<int> ComponentLibrary::find(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (parts_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+double ComponentLibrary::best_eirp_dbm(Role r) const {
+  double best = -1e9;
+  for (const Component& c : parts_) {
+    if (c.has_role(r)) best = std::max(best, c.tx_power_dbm + c.antenna_gain_dbi);
+  }
+  return best;
+}
+
+ComponentLibrary make_reference_library() {
+  ComponentLibrary lib;
+
+  // Sensors are given (fixed positions, zero cost in the paper's Table 1
+  // experiments); the variants differ in radio strength so sizing still has
+  // a choice to make on the sensor side of each link.
+  lib.add({"sensor-std", {Role::kSensor}, 0.0, 0.0, 0.0, {29.0, 24.0, 8.0, 0.004}});
+  lib.add({"sensor-pa", {Role::kSensor}, 0.0, 4.5, 0.0, {34.0, 24.0, 8.0, 0.004}});
+
+  // Relay variants: the cost / TX power / current trade-off that drives the
+  // paper's $-vs-energy tension. "lp" parts draw less current but cost more.
+  lib.add({"relay-basic", {Role::kRelay, Role::kAnchor}, 20.0, 0.0, 0.0,
+           {29.0, 24.0, 8.0, 0.004}});
+  lib.add({"relay-pa", {Role::kRelay, Role::kAnchor}, 28.0, 4.5, 0.0,
+           {34.0, 24.0, 8.0, 0.004}});
+  lib.add({"relay-ant", {Role::kRelay, Role::kAnchor}, 35.0, 0.0, 3.0,
+           {29.0, 24.0, 8.0, 0.004}});
+  lib.add({"relay-pa-ant", {Role::kRelay, Role::kAnchor}, 45.0, 4.5, 3.0,
+           {34.0, 24.0, 8.0, 0.004}});
+  lib.add({"relay-lp", {Role::kRelay, Role::kAnchor}, 38.0, 0.0, 0.0,
+           {24.0, 19.0, 4.0, 0.001}});
+  lib.add({"relay-lp-pa-ant", {Role::kRelay, Role::kAnchor}, 60.0, 4.5, 3.0,
+           {27.0, 19.0, 4.0, 0.001}});
+
+  // Base stations: mains-powered (huge effective battery is modeled by the
+  // scenario, not the part), with and without a high-gain antenna.
+  lib.add({"sink-std", {Role::kSink}, 80.0, 4.5, 0.0, {34.0, 24.0, 20.0, 20.0}});
+  lib.add({"sink-ant", {Role::kSink}, 110.0, 4.5, 5.0, {34.0, 24.0, 20.0, 20.0}});
+
+  return lib;
+}
+
+}  // namespace wnet::archex

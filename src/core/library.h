@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "radio/energy.h"
+
+namespace wnet::archex {
+
+/// Functional role a node plays in the network. A library component can
+/// implement one or more roles (e.g. a radio module usable as relay or
+/// anchor).
+enum class Role { kSensor, kRelay, kSink, kAnchor };
+
+[[nodiscard]] const char* role_name(Role r);
+
+/// A library component ("device" in the paper): a purchasable part with
+/// functional and extra-functional attributes. Mirrors the paper's library
+/// schema: cost, TX power, antenna gain, and operating-mode currents, based
+/// on commercial 2.4 GHz WSN transceivers.
+struct Component {
+  std::string name;
+  std::vector<Role> roles;
+  double cost_usd = 0.0;
+  double tx_power_dbm = 0.0;
+  double antenna_gain_dbi = 0.0;
+  radio::DeviceCurrents currents;
+
+  [[nodiscard]] bool has_role(Role r) const;
+};
+
+/// The component library L. Lookup is by index; encoders iterate the
+/// role-compatible subset per template node.
+class ComponentLibrary {
+ public:
+  int add(Component c);
+
+  [[nodiscard]] const Component& at(int idx) const { return parts_.at(static_cast<size_t>(idx)); }
+  [[nodiscard]] int size() const { return static_cast<int>(parts_.size()); }
+  [[nodiscard]] const std::vector<Component>& parts() const { return parts_; }
+
+  /// Indices of components implementing `r`.
+  [[nodiscard]] std::vector<int> with_role(Role r) const;
+
+  /// Index of the component named `name`, if present.
+  [[nodiscard]] std::optional<int> find(const std::string& name) const;
+
+  /// Largest TX power + antenna gain over components with role `r`
+  /// (best-case link budget, used for candidate pruning).
+  [[nodiscard]] double best_eirp_dbm(Role r) const;
+
+ private:
+  std::vector<Component> parts_;
+};
+
+/// The reference library used by all experiments: one zero-cost sensor
+/// class (the paper's sensors "have zero cost" — they are given), several
+/// relay variants trading dollar cost against TX power / antenna gain /
+/// current draw, sink and anchor parts. Values are CC2530-class.
+[[nodiscard]] ComponentLibrary make_reference_library();
+
+}  // namespace wnet::archex

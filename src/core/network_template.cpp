@@ -1,0 +1,96 @@
+#include "core/network_template.h"
+
+#include <stdexcept>
+
+namespace wnet::archex {
+
+NetworkTemplate::NetworkTemplate(const channel::PropagationModel& model,
+                                 const ComponentLibrary& library)
+    : model_(&model), library_(&library) {}
+
+int NetworkTemplate::add_node(TemplateNode n) {
+  if (n.name.empty()) throw std::invalid_argument("NetworkTemplate: unnamed node");
+  if (find_node(n.name)) throw std::invalid_argument("NetworkTemplate: duplicate node " + n.name);
+  if (n.fixed_component && (*n.fixed_component < 0 || *n.fixed_component >= library_->size())) {
+    throw std::out_of_range("NetworkTemplate: fixed component out of range");
+  }
+  nodes_.push_back(std::move(n));
+  cache_valid_ = false;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::optional<int> NetworkTemplate::find_node(const std::string& name) const {
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> NetworkTemplate::nodes_with_role(Role r) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes_[static_cast<size_t>(i)].role == r) out.push_back(i);
+  }
+  return out;
+}
+
+void NetworkTemplate::ensure_pl_cache() const {
+  if (cache_valid_) return;
+  const size_t n = nodes_.size();
+  pl_cache_.assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double pl = model_->path_loss_db(nodes_[i].position, nodes_[j].position);
+      pl_cache_[i * n + j] = pl;
+      pl_cache_[j * n + i] = pl;
+    }
+  }
+  cache_valid_ = true;
+}
+
+double NetworkTemplate::path_loss_db(int i, int j) const {
+  if (i < 0 || j < 0 || i >= num_nodes() || j >= num_nodes()) {
+    throw std::out_of_range("NetworkTemplate::path_loss_db");
+  }
+  ensure_pl_cache();
+  return pl_cache_[static_cast<size_t>(i) * nodes_.size() + static_cast<size_t>(j)];
+}
+
+double NetworkTemplate::best_rss_dbm(int i, int j) const {
+  const TemplateNode& tx = node(i);
+  const TemplateNode& rx = node(j);
+  double tx_eirp;
+  double rx_gain;
+  if (tx.fixed_component) {
+    const Component& c = library_->at(*tx.fixed_component);
+    tx_eirp = c.tx_power_dbm + c.antenna_gain_dbi;
+  } else {
+    tx_eirp = library_->best_eirp_dbm(tx.role);
+  }
+  if (rx.fixed_component) {
+    rx_gain = library_->at(*rx.fixed_component).antenna_gain_dbi;
+  } else {
+    rx_gain = 0.0;
+    for (const Component& c : library_->parts()) {
+      if (c.has_role(rx.role)) rx_gain = std::max(rx_gain, c.antenna_gain_dbi);
+    }
+  }
+  return tx_eirp + rx_gain - path_loss_db(i, j);
+}
+
+graph::Digraph NetworkTemplate::build_graph() const {
+  graph::Digraph g(num_nodes());
+  for (int i = 0; i < num_nodes(); ++i) {
+    for (int j = 0; j < num_nodes(); ++j) {
+      if (i == j) continue;
+      // Data flows out of sensors and into sinks, never the reverse.
+      if (node(j).role == Role::kSensor) continue;
+      if (node(i).role == Role::kSink) continue;
+      if (best_rss_dbm(i, j) < cutoff_rss_dbm_) continue;
+      g.add_edge(i, j, path_loss_db(i, j));
+    }
+  }
+  return g;
+}
+
+}  // namespace wnet::archex

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/propagation.h"
+#include "core/library.h"
+#include "geometry/vec2.h"
+#include "graph/digraph.h"
+
+namespace wnet::archex {
+
+/// How a template node participates in the design space.
+enum class NodeKind {
+  kFixed,      ///< must be used (sensors, base stations)
+  kCandidate,  ///< may be used (relay / anchor candidate locations)
+};
+
+/// One node of the template T: a named location with a role and a flag for
+/// whether its placement is a design decision.
+struct TemplateNode {
+  std::string name;
+  geom::Vec2 position;
+  Role role = Role::kRelay;
+  NodeKind kind = NodeKind::kCandidate;
+  /// Optional pre-decided component (library index); sizing is then fixed.
+  std::optional<int> fixed_component;
+};
+
+/// The template T = (V, E): nodes with candidate locations plus the
+/// potential-link structure. Edges are implicit — every ordered pair whose
+/// best-case link budget clears `link_cutoff_rss_dbm` is a potential link —
+/// and materialized into a graph::Digraph weighted by path loss, which is
+/// exactly what Algorithm 1 consumes.
+class NetworkTemplate {
+ public:
+  /// `model` must outlive the template; path losses are computed lazily and
+  /// cached on first use.
+  NetworkTemplate(const channel::PropagationModel& model, const ComponentLibrary& library);
+
+  int add_node(TemplateNode n);
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const TemplateNode& node(int i) const { return nodes_.at(static_cast<size_t>(i)); }
+  [[nodiscard]] const std::vector<TemplateNode>& nodes() const { return nodes_; }
+  [[nodiscard]] std::optional<int> find_node(const std::string& name) const;
+  [[nodiscard]] const ComponentLibrary& library() const { return *library_; }
+  [[nodiscard]] const channel::PropagationModel& channel_model() const { return *model_; }
+
+  /// Node indices with the given role.
+  [[nodiscard]] std::vector<int> nodes_with_role(Role r) const;
+
+  /// Path loss (dB) between nodes i and j (cached, symmetric by model).
+  [[nodiscard]] double path_loss_db(int i, int j) const;
+
+  /// Best achievable RSS on link i->j: best TX-side EIRP of i's role plus
+  /// best RX gain of j's role minus path loss. Used to prune hopeless links.
+  [[nodiscard]] double best_rss_dbm(int i, int j) const;
+
+  /// Sets the feasibility cutoff: ordered pairs whose best_rss is below
+  /// this never become edges (default -95 dBm, just above thermal floors).
+  void set_link_cutoff_rss_dbm(double v) { cutoff_rss_dbm_ = v; }
+  [[nodiscard]] double link_cutoff_rss_dbm() const { return cutoff_rss_dbm_; }
+
+  /// Materializes the potential-link graph: one directed edge per feasible
+  /// ordered pair, weighted by path loss. Sensor nodes get no incoming
+  /// edges and sink nodes no outgoing ones (data-collection semantics).
+  /// The EdgeId order is deterministic; encoders key edge variables on it.
+  [[nodiscard]] graph::Digraph build_graph() const;
+
+ private:
+  void ensure_pl_cache() const;
+
+  const channel::PropagationModel* model_;
+  const ComponentLibrary* library_;
+  std::vector<TemplateNode> nodes_;
+  double cutoff_rss_dbm_ = -95.0;
+  mutable std::vector<double> pl_cache_;  ///< row-major n*n, NaN = not built
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace wnet::archex

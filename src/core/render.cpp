@@ -1,0 +1,98 @@
+#include "core/render.h"
+
+#include <sstream>
+
+#include "geometry/svg.h"
+#include "util/table.h"
+
+namespace wnet::archex {
+
+namespace {
+
+const char* node_color(Role r) {
+  switch (r) {
+    case Role::kSensor: return "#2e8b57";
+    case Role::kSink: return "#c0392b";
+    case Role::kRelay: return "#2c5aa0";
+    case Role::kAnchor: return "#8e44ad";
+  }
+  return "black";
+}
+
+void draw_template_nodes(geom::SvgCanvas& canvas, const NetworkTemplate& tmpl,
+                         const NetworkArchitecture* arch) {
+  for (int i = 0; i < tmpl.num_nodes(); ++i) {
+    const auto& nd = tmpl.node(i);
+    const bool used = arch != nullptr && arch->node_is_used(i);
+    if (nd.kind == NodeKind::kFixed) {
+      if (nd.role == Role::kSink) {
+        canvas.draw_square(nd.position, 5, node_color(nd.role));
+      } else {
+        canvas.draw_circle(nd.position, 4, node_color(nd.role));
+      }
+    } else if (used) {
+      canvas.draw_circle(nd.position, 4, node_color(nd.role));
+    } else {
+      canvas.draw_circle(nd.position, 2, "white", "#aaaaaa");
+    }
+  }
+}
+
+void draw_eval_points(geom::SvgCanvas& canvas, const Specification& spec) {
+  if (!spec.localization) return;
+  for (const auto& p : spec.localization->eval_points) {
+    canvas.draw_line({p.x - 0.5, p.y}, {p.x + 0.5, p.y}, "#e67e22", 1.0);
+    canvas.draw_line({p.x, p.y - 0.5}, {p.x, p.y + 0.5}, "#e67e22", 1.0);
+  }
+}
+
+}  // namespace
+
+std::string describe(const NetworkArchitecture& arch, const NetworkTemplate& tmpl) {
+  std::ostringstream os;
+  os << "architecture: " << arch.nodes.size() << " nodes, " << arch.links.size() << " links, "
+     << arch.routes.size() << " routes\n";
+  os << "  cost: $" << arch.total_cost_usd;
+  if (arch.min_lifetime_years > 0.0 && arch.min_lifetime_years < 1e9) {
+    os << ", lifetime (min/avg): " << util::fmt_double(arch.min_lifetime_years, 2) << "/"
+       << util::fmt_double(arch.avg_lifetime_years, 2) << " y";
+  }
+  if (arch.avg_reachable_anchors > 0) {
+    os << ", avg reachable anchors: " << util::fmt_double(arch.avg_reachable_anchors, 2);
+  }
+  os << "\n  deployed:";
+  for (const auto& d : arch.nodes) {
+    if (tmpl.node(d.node).kind == NodeKind::kFixed) continue;
+    os << ' ' << tmpl.node(d.node).name << '=' << tmpl.library().at(d.component).name;
+  }
+  os << "\n  routes:\n";
+  for (const auto& r : arch.routes) {
+    os << "    [" << r.route_index << '.' << r.replica << "]";
+    for (int v : r.path.nodes) os << ' ' << tmpl.node(v).name;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_svg(const NetworkArchitecture& arch, const NetworkTemplate& tmpl,
+                       const geom::FloorPlan& plan, const Specification& spec) {
+  geom::SvgCanvas canvas(plan.width(), plan.height());
+  canvas.draw_floorplan(plan);
+  draw_eval_points(canvas, spec);
+  for (const auto& l : arch.links) {
+    canvas.draw_line(tmpl.node(l.from).position, tmpl.node(l.to).position, "#2c5aa0", 1.2);
+  }
+  draw_template_nodes(canvas, tmpl, &arch);
+  return canvas.to_string();
+}
+
+std::string render_template_svg(const NetworkTemplate& tmpl, const geom::FloorPlan& plan,
+                                const Specification& spec) {
+  geom::SvgCanvas canvas(plan.width(), plan.height());
+  canvas.draw_floorplan(plan);
+  draw_eval_points(canvas, spec);
+  draw_template_nodes(canvas, tmpl, nullptr);
+  return canvas.to_string();
+}
+
+}  // namespace wnet::archex

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "core/network_template.h"
+#include "core/requirements.h"
+#include "core/solution.h"
+#include "geometry/floorplan.h"
+
+namespace wnet::archex {
+
+/// Human-readable architecture summary (deployed nodes with components,
+/// routes, headline metrics) for examples and logs.
+[[nodiscard]] std::string describe(const NetworkArchitecture& arch, const NetworkTemplate& tmpl);
+
+/// Renders a Fig. 1-style plot: the floor plan, every template node
+/// (sensors green, sinks red, candidates hollow), the deployed nodes
+/// (filled, sized by component strength) and the active links. Evaluation
+/// points, when present in the spec, are drawn as small crosses.
+[[nodiscard]] std::string render_svg(const NetworkArchitecture& arch, const NetworkTemplate& tmpl,
+                                     const geom::FloorPlan& plan, const Specification& spec);
+
+/// Renders just the template (Fig. 1a): fixed nodes and candidate sites.
+[[nodiscard]] std::string render_template_svg(const NetworkTemplate& tmpl,
+                                              const geom::FloorPlan& plan,
+                                              const Specification& spec);
+
+}  // namespace wnet::archex

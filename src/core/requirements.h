@@ -1,0 +1,94 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/link_metrics.h"
+#include "geometry/vec2.h"
+#include "radio/csma.h"
+#include "radio/tdma.h"
+
+namespace wnet::archex {
+
+/// has_path(A, B) [+ disjoint_links + max_hops]: require `replicas`
+/// edge-disjoint routes from node `source` to node `dest` (paper
+/// constraints (1a)-(1e)).
+struct RouteRequirement {
+  int source = -1;
+  int dest = -1;
+  int replicas = 1;           ///< number of required edge-disjoint routes
+  std::optional<int> max_hops;
+};
+
+/// min_signal_to_noise / min_rss / max_bit_error_rate: link quality bound
+/// applied to every active link (paper constraints (2a)-(2b)). At most one
+/// of the bounds is set; SNR and BER bounds are converted to an RSS floor
+/// through the noise floor and the modulation's (inverse) BER curve.
+struct LinkQualityRequirement {
+  std::optional<double> min_snr_db;
+  std::optional<double> min_rss_dbm;
+  std::optional<double> max_ber;
+};
+
+/// min_network_lifetime(years): every battery-powered node must survive at
+/// least this long under the TDMA traffic induced by the routing (paper
+/// constraints (3a)-(3b)).
+struct LifetimeRequirement {
+  double min_years = 5.0;
+  double battery_mah = 3000.0;  ///< the paper's two AA cells of 1500 mAh
+};
+
+/// min_reachable_devices(N, rss*): every evaluation location must be
+/// covered by at least N selected anchors with RSS >= rss* (paper
+/// constraints (4a)-(4b)).
+struct LocalizationRequirement {
+  std::vector<geom::Vec2> eval_points;
+  int min_anchors = 3;
+  double min_rss_dbm = -80.0;
+};
+
+/// Weighted-sum objective (paper Sec. 2, "Cost function"). Weights the
+/// user does not set default to zero.
+struct Objective {
+  double weight_cost = 1.0;    ///< dollar cost of selected components
+  double weight_energy = 0.0;  ///< total network charge per cycle (mA*s)
+  double weight_dsod = 0.0;    ///< difference-of-sum-of-distances (localization)
+};
+
+/// Physical-layer / protocol configuration shared by all constraints.
+struct RadioConfig {
+  enum class MacProtocol { kTdma, kCsma };
+
+  radio::TdmaConfig tdma;  ///< timing base (slot, period, packet, bitrate)
+  MacProtocol mac = MacProtocol::kTdma;
+  radio::CsmaConfig csma;  ///< used when mac == kCsma
+  channel::Modulation modulation = channel::Modulation::kQpsk;
+  double noise_floor_dbm = -100.0;
+};
+
+/// A complete problem specification: everything the paper's pattern file
+/// expresses. Produced either programmatically or by spec::parse().
+struct Specification {
+  std::vector<RouteRequirement> routes;
+  LinkQualityRequirement link_quality;
+  std::optional<LifetimeRequirement> lifetime;
+  std::optional<LocalizationRequirement> localization;
+  Objective objective;
+  RadioConfig radio;
+
+  /// The effective RSS floor implied by the LQ requirement (converting SNR
+  /// bounds through the noise floor and BER bounds through the inverse BER
+  /// curve); nullopt if no LQ bound is set.
+  [[nodiscard]] std::optional<double> min_rss_dbm() const {
+    if (link_quality.min_rss_dbm) return link_quality.min_rss_dbm;
+    if (link_quality.min_snr_db) return *link_quality.min_snr_db + radio.noise_floor_dbm;
+    if (link_quality.max_ber) {
+      return channel::snr_for_ber(radio.modulation, *link_quality.max_ber) +
+             radio.noise_floor_dbm;
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace wnet::archex

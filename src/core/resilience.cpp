@@ -1,0 +1,51 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <set>
+
+namespace wnet::archex {
+
+ResilienceReport analyze_resilience(const NetworkArchitecture& arch,
+                                    const NetworkTemplate& tmpl, const Specification& spec) {
+  ResilienceReport rep;
+
+  // Deployed relays (candidate nodes only; fixed infrastructure is assumed
+  // fault-free).
+  std::vector<int> relays;
+  for (const auto& d : arch.nodes) {
+    if (tmpl.node(d.node).kind == NodeKind::kCandidate) relays.push_back(d.node);
+  }
+
+  std::set<int> fragile;
+  std::set<int> critical;
+  for (int failed : relays) {
+    for (size_t ri = 0; ri < spec.routes.size(); ++ri) {
+      bool any_survives = false;
+      bool any_exists = false;
+      for (const auto& r : arch.routes) {
+        if (r.route_index != static_cast<int>(ri)) continue;
+        any_exists = true;
+        const auto& ns = r.path.nodes;
+        if (std::find(ns.begin(), ns.end(), failed) == ns.end()) {
+          any_survives = true;
+          break;
+        }
+      }
+      if (any_exists && !any_survives) {
+        fragile.insert(static_cast<int>(ri));
+        critical.insert(failed);
+      }
+    }
+  }
+
+  rep.critical_relays.assign(critical.begin(), critical.end());
+  rep.fragile_routes.assign(fragile.begin(), fragile.end());
+  for (size_t ri = 0; ri < spec.routes.size(); ++ri) {
+    if (fragile.count(static_cast<int>(ri)) == 0) {
+      rep.resilient_routes.push_back(static_cast<int>(ri));
+    }
+  }
+  return rep;
+}
+
+}  // namespace wnet::archex

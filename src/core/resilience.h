@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network_template.h"
+#include "core/requirements.h"
+#include "core/solution.h"
+
+namespace wnet::archex {
+
+/// Fault-resilience analysis of a synthesized architecture — the concern
+/// behind the paper's disjoint-route requirements ("improve the network
+/// resiliency to faults by adding some redundancy"). For every single relay
+/// failure, checks which route requirements still have at least one
+/// surviving synthesized route.
+struct ResilienceReport {
+  /// Relays whose single failure breaks at least one route requirement.
+  std::vector<int> critical_relays;
+  /// Route requirement indices that survive EVERY single relay failure.
+  std::vector<int> resilient_routes;
+  /// Route requirement indices broken by some single relay failure.
+  std::vector<int> fragile_routes;
+
+  [[nodiscard]] bool fully_resilient() const { return critical_relays.empty(); }
+};
+
+/// Simulates each deployed relay failing in turn: a chosen route survives a
+/// failure if the failed node is not on its path. A route *requirement*
+/// survives if at least one of its replicas survives. Fixed nodes (sensors,
+/// sinks) are assumed fault-free — the paper's redundancy targets the
+/// relay infrastructure.
+[[nodiscard]] ResilienceReport analyze_resilience(const NetworkArchitecture& arch,
+                                                  const NetworkTemplate& tmpl,
+                                                  const Specification& spec);
+
+}  // namespace wnet::archex

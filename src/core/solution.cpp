@@ -1,0 +1,299 @@
+#include "core/solution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "channel/link_metrics.h"
+#include "graph/connectivity.h"
+
+namespace wnet::archex {
+
+namespace {
+
+bool on(const std::vector<double>& x, milp::Var v) {
+  return v.valid() && x.at(static_cast<size_t>(v.id)) > 0.5;
+}
+
+/// Realized RSS of a link given the decoded sizing.
+double realized_rss(const NetworkArchitecture& arch, const NetworkTemplate& tmpl, int from,
+                    int to) {
+  const int ct = arch.component_of(from);
+  const int cr = arch.component_of(to);
+  double rss = -tmpl.path_loss_db(from, to);
+  if (ct >= 0) {
+    const Component& c = tmpl.library().at(ct);
+    rss += c.tx_power_dbm + c.antenna_gain_dbi;
+  }
+  if (cr >= 0) rss += tmpl.library().at(cr).antenna_gain_dbi;
+  return rss;
+}
+
+}  // namespace
+
+bool NetworkArchitecture::node_is_used(int node) const { return component_of(node) >= 0; }
+
+int NetworkArchitecture::component_of(int node) const {
+  for (const auto& d : nodes) {
+    if (d.node == node) return d.component;
+  }
+  return -1;
+}
+
+NetworkArchitecture decode_solution(const EncodedProblem& ep, const NetworkTemplate& tmpl,
+                                    const Specification& spec, const std::vector<double>& x) {
+  NetworkArchitecture arch;
+
+  // --- Sizing map.
+  for (const auto& [key, m] : ep.mapping) {
+    if (on(x, m)) {
+      arch.nodes.push_back({key.second, key.first});
+      arch.total_cost_usd += tmpl.library().at(key.first).cost_usd;
+    }
+  }
+
+  // --- Routes.
+  if (!ep.candidates.empty()) {
+    // Approximate mode: one chosen candidate per (route, replica) group
+    // (the cheapest if the solver left several on).
+    std::map<std::pair<int, int>, const CandidatePath*> chosen;
+    for (const auto& c : ep.candidates) {
+      if (!on(x, c.selector)) continue;
+      auto& slot = chosen[{c.route_index, c.replica}];
+      if (slot == nullptr || c.path.cost < slot->path.cost) slot = &c;
+    }
+    for (const auto& [key, c] : chosen) {
+      arch.routes.push_back({key.first, key.second, c->path});
+    }
+  } else {
+    // Full mode: walk x^pi from the source.
+    for (size_t pi = 0; pi < ep.full_path_edges.size(); ++pi) {
+      const auto& xmap = ep.full_path_edges[pi];
+      const auto [ri, rep] = ep.full_path_ids[pi];
+      const auto& route = spec.routes.at(static_cast<size_t>(ri));
+      graph::Path path;
+      path.nodes.push_back(route.source);
+      int cur = route.source;
+      // Bounded walk; (1c) guarantees out-degree <= 1 per node.
+      for (int guard = 0; guard <= tmpl.num_nodes(); ++guard) {
+        if (cur == route.dest) break;
+        int next = -1;
+        for (const auto& [key, xv] : xmap) {
+          if (key.first == cur && on(x, xv)) {
+            next = key.second;
+            break;
+          }
+        }
+        if (next == -1) break;
+        path.nodes.push_back(next);
+        path.cost += tmpl.path_loss_db(cur, next);
+        cur = next;
+      }
+      arch.routes.push_back({ri, rep, std::move(path)});
+    }
+  }
+
+  // --- Links.
+  for (const auto& [key, e] : ep.edge_active) {
+    if (on(x, e)) {
+      arch.links.push_back({key.first, key.second, realized_rss(arch, tmpl, key.first, key.second)});
+    }
+  }
+
+  // --- Lifetime / energy, recomputed from the decoded design.
+  const double battery = spec.lifetime ? spec.lifetime->battery_mah : 3000.0;
+  double lifetime_sum = 0.0;
+  int battery_nodes = 0;
+  arch.min_lifetime_years = milp::kInf;
+  for (const auto& d : arch.nodes) {
+    if (tmpl.node(d.node).role == Role::kSink) continue;
+    radio::NodeTraffic traffic;
+    double etx_sum = 0.0;
+    for (const auto& r : arch.routes) {
+      const auto& ns = r.path.nodes;
+      for (size_t k = 0; k + 1 < ns.size(); ++k) {
+        if (ns[k] == d.node) {
+          ++traffic.tx_packets;
+          const double rss = realized_rss(arch, tmpl, ns[k], ns[k + 1]);
+          etx_sum += channel::etx_from_snr(spec.radio.modulation,
+                                           rss - spec.radio.noise_floor_dbm,
+                                           spec.radio.tdma.packet_bytes);
+        }
+        if (ns[k + 1] == d.node) ++traffic.rx_packets;
+      }
+    }
+    traffic.mean_tx_etx = traffic.tx_packets > 0 ? etx_sum / traffic.tx_packets : 1.0;
+    const auto& comp = tmpl.library().at(d.component);
+    const bool csma = spec.radio.mac == RadioConfig::MacProtocol::kCsma;
+    arch.total_charge_per_cycle_mas +=
+        csma ? radio::charge_per_cycle_csma_mas(comp.currents, traffic, spec.radio.tdma,
+                                                spec.radio.csma)
+             : radio::charge_per_cycle_mas(comp.currents, traffic, spec.radio.tdma);
+    const double life =
+        csma ? radio::lifetime_years_csma(battery, comp.currents, traffic, spec.radio.tdma,
+                                          spec.radio.csma)
+             : radio::lifetime_years(battery, comp.currents, traffic, spec.radio.tdma);
+    arch.min_lifetime_years = std::min(arch.min_lifetime_years, life);
+    lifetime_sum += life;
+    ++battery_nodes;
+  }
+  arch.avg_lifetime_years = battery_nodes > 0 ? lifetime_sum / battery_nodes : 0.0;
+  if (battery_nodes == 0) arch.min_lifetime_years = 0.0;
+
+  // --- Localization metrics, recomputed from geometry.
+  if (spec.localization) {
+    const auto& loc = *spec.localization;
+    double reachable_sum = 0.0;
+    for (const geom::Vec2& pt : loc.eval_points) {
+      int covered = 0;
+      for (const auto& d : arch.nodes) {
+        const auto& nd = tmpl.node(d.node);
+        if (nd.role != Role::kAnchor) continue;
+        const Component& c = tmpl.library().at(d.component);
+        const double pl = tmpl.channel_model().path_loss_db(nd.position, pt);
+        if (c.tx_power_dbm + c.antenna_gain_dbi - pl >= loc.min_rss_dbm) ++covered;
+      }
+      reachable_sum += covered;
+    }
+    arch.avg_reachable_anchors =
+        loc.eval_points.empty() ? 0.0 : reachable_sum / static_cast<double>(loc.eval_points.size());
+    for (const auto& [key, r] : ep.reach) {
+      if (on(x, r)) {
+        arch.dsod += tmpl.node(key.first).position.dist(
+            loc.eval_points.at(static_cast<size_t>(key.second)));
+      }
+    }
+  }
+
+  return arch;
+}
+
+VerifyReport verify_architecture(const NetworkArchitecture& arch, const NetworkTemplate& tmpl,
+                                 const Specification& spec) {
+  VerifyReport rep;
+  auto fail = [&](const std::string& what) {
+    rep.ok = false;
+    rep.violations.push_back(what);
+  };
+
+  // Fixed nodes must be deployed.
+  for (int i = 0; i < tmpl.num_nodes(); ++i) {
+    if (tmpl.node(i).kind == NodeKind::kFixed && !arch.node_is_used(i)) {
+      fail("fixed node not deployed: " + tmpl.node(i).name);
+    }
+  }
+
+  // Sizing respects roles.
+  for (const auto& d : arch.nodes) {
+    const auto& nd = tmpl.node(d.node);
+    const auto& c = tmpl.library().at(d.component);
+    if (nd.fixed_component) {
+      if (d.component != *nd.fixed_component) fail("fixed sizing overridden: " + nd.name);
+    } else if (!c.has_role(nd.role)) {
+      fail("component role mismatch at " + nd.name);
+    }
+  }
+
+  // Routing: per requirement, the right number of valid, disjoint routes.
+  for (size_t ri = 0; ri < spec.routes.size(); ++ri) {
+    const auto& req = spec.routes[ri];
+    std::vector<const ChosenRoute*> mine;
+    for (const auto& r : arch.routes) {
+      if (r.route_index == static_cast<int>(ri)) mine.push_back(&r);
+    }
+    const int want = std::max(1, req.replicas);
+    if (static_cast<int>(mine.size()) < want) {
+      fail("route " + std::to_string(ri) + ": " + std::to_string(mine.size()) + "/" +
+           std::to_string(want) + " replicas");
+      continue;
+    }
+    for (const auto* r : mine) {
+      const auto& ns = r->path.nodes;
+      if (ns.empty() || ns.front() != req.source || ns.back() != req.dest) {
+        fail("route " + std::to_string(ri) + ": endpoints wrong");
+        continue;
+      }
+      if (std::set<int>(ns.begin(), ns.end()).size() != ns.size()) {
+        fail("route " + std::to_string(ri) + ": loop");
+      }
+      if (req.max_hops && static_cast<int>(ns.size()) - 1 > *req.max_hops) {
+        fail("route " + std::to_string(ri) + ": too many hops");
+      }
+      for (size_t k = 0; k + 1 < ns.size(); ++k) {
+        if (!arch.node_is_used(ns[k]) || !arch.node_is_used(ns[k + 1])) {
+          fail("route " + std::to_string(ri) + ": undeployed node on path");
+        }
+      }
+    }
+    // Pairwise edge-disjointness between replicas.
+    for (size_t a = 0; a < mine.size(); ++a) {
+      for (size_t b = a + 1; b < mine.size(); ++b) {
+        const auto& na = mine[a]->path.nodes;
+        const auto& nb = mine[b]->path.nodes;
+        std::set<std::pair<int, int>> ea;
+        for (size_t k = 0; k + 1 < na.size(); ++k) ea.insert({na[k], na[k + 1]});
+        for (size_t k = 0; k + 1 < nb.size(); ++k) {
+          if (ea.count({nb[k], nb[k + 1]}) != 0) {
+            fail("route " + std::to_string(ri) + ": replicas share an edge");
+          }
+        }
+      }
+    }
+  }
+
+  // Link quality on every route edge.
+  const auto rss_floor = spec.min_rss_dbm();
+  if (rss_floor) {
+    for (const auto& r : arch.routes) {
+      const auto& ns = r.path.nodes;
+      for (size_t k = 0; k + 1 < ns.size(); ++k) {
+        const int ct = arch.component_of(ns[k]);
+        const int cr = arch.component_of(ns[k + 1]);
+        double rss = -tmpl.path_loss_db(ns[k], ns[k + 1]);
+        if (ct >= 0) {
+          rss += tmpl.library().at(ct).tx_power_dbm + tmpl.library().at(ct).antenna_gain_dbi;
+        }
+        if (cr >= 0) rss += tmpl.library().at(cr).antenna_gain_dbi;
+        if (rss < *rss_floor - 1e-6) {
+          std::ostringstream os;
+          os << "LQ violated on " << tmpl.node(ns[k]).name << "->" << tmpl.node(ns[k + 1]).name
+             << ": " << rss << " < " << *rss_floor;
+          fail(os.str());
+        }
+      }
+    }
+  }
+
+  // Lifetime (recomputed in decode; trust the architecture's number).
+  if (spec.lifetime && arch.min_lifetime_years < spec.lifetime->min_years - 1e-6) {
+    std::ostringstream os;
+    os << "lifetime " << arch.min_lifetime_years << "y < required " << spec.lifetime->min_years
+       << "y";
+    fail(os.str());
+  }
+
+  // Localization coverage.
+  if (spec.localization) {
+    const auto& loc = *spec.localization;
+    for (size_t pj = 0; pj < loc.eval_points.size(); ++pj) {
+      int covered = 0;
+      for (const auto& d : arch.nodes) {
+        const auto& nd = tmpl.node(d.node);
+        if (nd.role != Role::kAnchor) continue;
+        const Component& c = tmpl.library().at(d.component);
+        const double pl = tmpl.channel_model().path_loss_db(nd.position, loc.eval_points[pj]);
+        if (c.tx_power_dbm + c.antenna_gain_dbi - pl >= loc.min_rss_dbm - 1e-9) ++covered;
+      }
+      if (covered < loc.min_anchors) {
+        fail("eval point " + std::to_string(pj) + " covered by " + std::to_string(covered) +
+             " anchors < " + std::to_string(loc.min_anchors));
+      }
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace wnet::archex

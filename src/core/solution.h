@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/encode/encoded_problem.h"
+#include "core/network_template.h"
+#include "core/requirements.h"
+
+namespace wnet::archex {
+
+/// A deployed node: template node index plus the library component chosen
+/// for it by the sizing map M*.
+struct DeployedNode {
+  int node = -1;
+  int component = -1;
+};
+
+/// An active wireless link with its realized signal strength.
+struct ActiveLink {
+  int from = -1;
+  int to = -1;
+  double rss_dbm = 0.0;
+};
+
+/// A synthesized route: which requirement/replica it serves and the path.
+struct ChosenRoute {
+  int route_index = -1;
+  int replica = 0;
+  graph::Path path;
+};
+
+/// The optimizer's output re-expressed in domain terms — the (E*, R*, M*)
+/// triple of the paper's problem statement plus derived metrics matching
+/// the columns of Tables 1 and 2.
+struct NetworkArchitecture {
+  std::vector<DeployedNode> nodes;
+  std::vector<ActiveLink> links;
+  std::vector<ChosenRoute> routes;
+
+  double total_cost_usd = 0.0;
+  double min_lifetime_years = 0.0;   ///< worst battery node (inf if none)
+  double avg_lifetime_years = 0.0;   ///< mean over battery nodes
+  double total_charge_per_cycle_mas = 0.0;
+  double avg_reachable_anchors = 0.0;  ///< localization coverage metric
+  double dsod = 0.0;                   ///< sum of serving-anchor distances
+
+  [[nodiscard]] bool node_is_used(int node) const;
+  /// Component of a used node, or -1.
+  [[nodiscard]] int component_of(int node) const;
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes.size()); }
+};
+
+/// Decodes a solver assignment over the encoded problem's variables into an
+/// architecture, recomputing all physical metrics (lifetimes from actual
+/// RSS-derived ETX, coverage from geometry) rather than trusting the
+/// conservative MILP surrogates.
+[[nodiscard]] NetworkArchitecture decode_solution(const EncodedProblem& ep,
+                                                  const NetworkTemplate& tmpl,
+                                                  const Specification& spec,
+                                                  const std::vector<double>& x);
+
+/// Independent requirement checker (shares no code with the encoder): walks
+/// the architecture against the specification and reports violations. Used
+/// as ground truth by tests and examples.
+struct VerifyReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+};
+
+[[nodiscard]] VerifyReport verify_architecture(const NetworkArchitecture& arch,
+                                               const NetworkTemplate& tmpl,
+                                               const Specification& spec);
+
+}  // namespace wnet::archex

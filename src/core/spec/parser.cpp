@@ -1,0 +1,214 @@
+#include "core/spec/parser.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace wnet::archex::spec {
+
+namespace {
+
+/// A declared has_path pattern, later grouped into RouteRequirements.
+struct DeclaredPath {
+  std::string name;
+  int source;
+  int dest;
+  std::optional<int> max_hops;
+  int group = -1;  ///< disjointness group; -1 = own group
+};
+
+struct ParseCtx {
+  const NetworkTemplate* tmpl;
+  int lineno = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("spec line " + std::to_string(lineno) + ": " + why);
+  }
+
+  [[nodiscard]] int node(const std::string& name) const {
+    const auto id = tmpl->find_node(name);
+    if (!id) fail("unknown node: " + name);
+    return *id;
+  }
+
+  [[nodiscard]] double number(const std::string& tok) const {
+    const auto v = util::parse_double(tok);
+    if (!v) fail("expected a number, got: " + tok);
+    return *v;
+  }
+};
+
+/// Splits "fn(a, b, c)" into fn and argument list; returns false if the
+/// line is not a call.
+bool parse_call(std::string_view line, std::string* fn, std::vector<std::string>* args) {
+  const auto open = line.find('(');
+  const auto close = line.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+    return false;
+  }
+  *fn = std::string(util::trim(line.substr(0, open)));
+  const auto inner = line.substr(open + 1, close - open - 1);
+  args->clear();
+  if (!util::trim(inner).empty()) *args = util::split(inner, ',');
+  return true;
+}
+
+}  // namespace
+
+Specification parse(const std::string& text, const NetworkTemplate& tmpl) {
+  Specification out;
+  ParseCtx ctx{&tmpl};
+
+  std::vector<DeclaredPath> paths;
+  std::map<std::string, size_t> path_by_name;
+  int next_group = 0;
+
+  auto find_path = [&](const std::string& name) -> DeclaredPath& {
+    const auto it = path_by_name.find(name);
+    if (it == path_by_name.end()) ctx.fail("unknown route name: " + name);
+    return paths[it->second];
+  };
+
+  std::istringstream is(text);
+  std::string raw;
+  while (std::getline(is, raw)) {
+    ++ctx.lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line{util::trim(raw)};
+    if (line.empty()) continue;
+
+    // Objective line has its own key=value syntax.
+    if (util::starts_with(line, "objective")) {
+      out.objective = Objective{0.0, 0.0, 0.0};
+      for (const auto& tok : util::split_ws(line.substr(9))) {
+        const auto kv = util::split(tok, '=');
+        if (kv.size() != 2) ctx.fail("objective expects key=value, got: " + tok);
+        const double w = ctx.number(kv[1]);
+        if (kv[0] == "cost") {
+          out.objective.weight_cost = w;
+        } else if (kv[0] == "energy") {
+          out.objective.weight_energy = w;
+        } else if (kv[0] == "dsod") {
+          out.objective.weight_dsod = w;
+        } else {
+          ctx.fail("unknown objective term: " + kv[0]);
+        }
+      }
+      continue;
+    }
+
+    // Route declaration: name = has_path(a, b).
+    const auto eq = line.find('=');
+    std::string fn;
+    std::vector<std::string> args;
+    if (eq != std::string::npos && line.find("has_path") != std::string::npos) {
+      const std::string name{util::trim(line.substr(0, eq))};
+      if (name.empty()) ctx.fail("route declaration without a name");
+      if (path_by_name.count(name) != 0) ctx.fail("duplicate route name: " + name);
+      if (!parse_call(line.substr(eq + 1), &fn, &args) || fn != "has_path" || args.size() != 2) {
+        ctx.fail("expected: <name> = has_path(<src>, <dst>)");
+      }
+      DeclaredPath p;
+      p.name = name;
+      p.source = ctx.node(args[0]);
+      p.dest = ctx.node(args[1]);
+      path_by_name[name] = paths.size();
+      paths.push_back(std::move(p));
+      continue;
+    }
+
+    if (!parse_call(line, &fn, &args)) ctx.fail("unrecognized pattern: " + line);
+
+    if (fn == "disjoint_links") {
+      if (args.size() < 2) ctx.fail("disjoint_links needs at least two routes");
+      const int group = next_group++;
+      DeclaredPath& first = find_path(args[0]);
+      for (const auto& nm : args) {
+        DeclaredPath& p = find_path(nm);
+        if (p.source != first.source || p.dest != first.dest) {
+          ctx.fail("disjoint_links routes must share endpoints");
+        }
+        if (p.group != -1) ctx.fail("route already in a disjoint group: " + nm);
+        p.group = group;
+      }
+    } else if (fn == "max_hops") {
+      if (args.size() != 2) ctx.fail("max_hops(<route>, <n>)");
+      find_path(args[0]).max_hops = static_cast<int>(ctx.number(args[1]));
+    } else if (fn == "min_signal_to_noise") {
+      if (args.size() != 1) ctx.fail("min_signal_to_noise(<db>)");
+      out.link_quality.min_snr_db = ctx.number(args[0]);
+    } else if (fn == "min_rss") {
+      if (args.size() != 1) ctx.fail("min_rss(<dbm>)");
+      out.link_quality.min_rss_dbm = ctx.number(args[0]);
+    } else if (fn == "min_network_lifetime") {
+      if (args.empty() || args.size() > 2) ctx.fail("min_network_lifetime(<years>[, <mah>])");
+      LifetimeRequirement lt;
+      lt.min_years = ctx.number(args[0]);
+      if (args.size() == 2) lt.battery_mah = ctx.number(args[1]);
+      out.lifetime = lt;
+    } else if (fn == "eval_point") {
+      if (args.size() != 2) ctx.fail("eval_point(<x>, <y>)");
+      if (!out.localization) out.localization.emplace();
+      out.localization->eval_points.push_back({ctx.number(args[0]), ctx.number(args[1])});
+    } else if (fn == "min_reachable_devices") {
+      if (args.size() != 2) ctx.fail("min_reachable_devices(<n>, <rss>)");
+      if (!out.localization) out.localization.emplace();
+      out.localization->min_anchors = static_cast<int>(ctx.number(args[0]));
+      out.localization->min_rss_dbm = ctx.number(args[1]);
+    } else if (fn == "max_bit_error_rate") {
+      if (args.size() != 1) ctx.fail("max_bit_error_rate(<ber>)");
+      const double ber = ctx.number(args[0]);
+      if (ber <= 0.0 || ber >= 0.5) ctx.fail("BER bound must be in (0, 0.5)");
+      out.link_quality.max_ber = ber;
+    } else if (fn == "protocol_csma") {
+      if (args.empty() || args.size() > 2) ctx.fail("protocol_csma(<duty>[, <backoff_slots>])");
+      out.radio.mac = RadioConfig::MacProtocol::kCsma;
+      out.radio.csma.idle_listen_duty = ctx.number(args[0]);
+      if (args.size() == 2) out.radio.csma.mean_backoff_slots = ctx.number(args[1]);
+    } else if (fn == "noise_floor") {
+      if (args.size() != 1) ctx.fail("noise_floor(<dbm>)");
+      out.radio.noise_floor_dbm = ctx.number(args[0]);
+    } else if (fn == "report_period") {
+      if (args.size() != 1) ctx.fail("report_period(<seconds>)");
+      out.radio.tdma.report_period_s = ctx.number(args[0]);
+    } else {
+      ctx.fail("unknown pattern: " + fn);
+    }
+  }
+
+  // Fold declared paths into RouteRequirements: one per disjoint group
+  // (replicas = group size), one per ungrouped path.
+  std::map<int, RouteRequirement> groups;
+  for (const DeclaredPath& p : paths) {
+    if (p.group == -1) {
+      RouteRequirement r;
+      r.source = p.source;
+      r.dest = p.dest;
+      r.replicas = 1;
+      r.max_hops = p.max_hops;
+      out.routes.push_back(r);
+    } else {
+      auto [it, fresh] = groups.try_emplace(p.group);
+      if (fresh) {
+        it->second.source = p.source;
+        it->second.dest = p.dest;
+        it->second.replicas = 0;
+      }
+      ++it->second.replicas;
+      if (p.max_hops) {
+        it->second.max_hops = it->second.max_hops
+                                  ? std::min(*it->second.max_hops, *p.max_hops)
+                                  : p.max_hops;
+      }
+    }
+  }
+  for (auto& [g, r] : groups) out.routes.push_back(r);
+  return out;
+}
+
+}  // namespace wnet::archex::spec

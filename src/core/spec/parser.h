@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "core/network_template.h"
+#include "core/requirements.h"
+
+namespace wnet::archex::spec {
+
+/// Compiles the paper's pattern-based specification language into a
+/// Specification. One pattern per line; `#` starts a comment. Node names
+/// refer to the template. Grammar:
+///
+///   <name> = has_path(<src>, <dst>)        declare a required route
+///   disjoint_links(<p1>, <p2> [, ...])     the named routes must be
+///                                          edge-disjoint replicas of the
+///                                          same (src, dst) pair
+///   max_hops(<p>, <n>)                     hop bound for a route
+///   min_signal_to_noise(<db>)              LQ bound as SNR
+///   min_rss(<dbm>)                         LQ bound as RSS
+///   max_bit_error_rate(<ber>)              LQ bound as BER (inverse curve)
+///   protocol_csma(<duty>[, <backoff_slots>])  contention MAC energy model
+///   min_network_lifetime(<years> [, <battery_mah>])
+///   eval_point(<x>, <y>)                   add a localization test point
+///   min_reachable_devices(<n>, <rss_dbm>)  localization coverage
+///   objective cost=<w> [energy=<w>] [dsod=<w>]
+///   noise_floor(<dbm>)
+///   report_period(<seconds>)
+///
+/// Throws std::runtime_error with a line number on any malformed input or
+/// unknown node/route name.
+[[nodiscard]] Specification parse(const std::string& text, const NetworkTemplate& tmpl);
+
+}  // namespace wnet::archex::spec

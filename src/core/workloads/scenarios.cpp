@@ -1,0 +1,191 @@
+#include "core/workloads/scenarios.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace wnet::archex::workloads {
+
+namespace {
+
+constexpr double kFrequencyHz = 2.4e9;
+constexpr double kPathLossExponent = 2.8;  // indoor NLOS-ish
+
+/// Places `count` sensors at seeded random in-room positions, keeping a
+/// minimum spacing so templates stay realistic.
+std::vector<geom::Vec2> scatter_positions(int count, double width, double height,
+                                          util::Rng& rng, double margin = 2.0,
+                                          double min_spacing = 2.0) {
+  std::vector<geom::Vec2> out;
+  int guard = 0;
+  while (static_cast<int>(out.size()) < count) {
+    if (++guard > count * 1000) {
+      throw std::runtime_error("scatter_positions: cannot satisfy spacing");
+    }
+    const geom::Vec2 p{rng.uniform(margin, width - margin), rng.uniform(margin, height - margin)};
+    bool ok = true;
+    for (const auto& q : out) {
+      if (p.dist(q) < min_spacing) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(p);
+  }
+  return out;
+}
+
+void add_relay_grid(NetworkTemplate& tmpl, double width, double height, int nx, int ny,
+                    Role role, int max_count = -1) {
+  const double dx = width / (nx + 1);
+  const double dy = height / (ny + 1);
+  int idx = 0;
+  for (int iy = 1; iy <= ny; ++iy) {
+    for (int ix = 1; ix <= nx; ++ix) {
+      if (max_count >= 0 && idx >= max_count) return;
+      TemplateNode n;
+      n.name = (role == Role::kRelay ? "relay" : "anchor") + std::to_string(idx++);
+      n.position = {ix * dx, iy * dy};
+      n.role = role;
+      n.kind = NodeKind::kCandidate;
+      tmpl.add_node(std::move(n));
+    }
+  }
+}
+
+std::unique_ptr<Scenario> make_base(double width, double height) {
+  auto sc = std::make_unique<Scenario>();
+  sc->plan = geom::make_office_floor(width, height);
+  sc->model = std::make_unique<channel::MultiWallModel>(kFrequencyHz, kPathLossExponent, sc->plan);
+  sc->library = make_reference_library();
+  sc->tmpl = std::make_unique<NetworkTemplate>(*sc->model, sc->library);
+  return sc;
+}
+
+void configure_radio(Specification& spec) {
+  spec.radio.tdma.slots_per_superframe = 16;
+  spec.radio.tdma.slot_s = 1e-3;
+  spec.radio.tdma.report_period_s = 30.0;
+  spec.radio.tdma.packet_bytes = 50;
+  spec.radio.tdma.bitrate_bps = 250e3;
+  spec.radio.noise_floor_dbm = -100.0;
+  spec.radio.modulation = channel::Modulation::kQpsk;
+}
+
+}  // namespace
+
+std::unique_ptr<Scenario> make_data_collection(const DataCollectionConfig& cfg) {
+  auto sc = make_base(cfg.width_m, cfg.height_m);
+  util::Rng rng(cfg.seed);
+
+  // Base station at the floor center, sized freely among sink parts.
+  {
+    TemplateNode sink;
+    sink.name = "sink";
+    sink.position = {cfg.width_m / 2.0, cfg.height_m / 2.0};
+    sink.role = Role::kSink;
+    sink.kind = NodeKind::kFixed;
+    sc->tmpl->add_node(std::move(sink));
+  }
+  // Sensors at fixed random room positions.
+  const auto spots = scatter_positions(cfg.sensors, cfg.width_m, cfg.height_m, rng);
+  for (int i = 0; i < cfg.sensors; ++i) {
+    TemplateNode s;
+    s.name = "s" + std::to_string(i);
+    s.position = spots[static_cast<size_t>(i)];
+    s.role = Role::kSensor;
+    s.kind = NodeKind::kFixed;
+    sc->tmpl->add_node(std::move(s));
+  }
+  add_relay_grid(*sc->tmpl, cfg.width_m, cfg.height_m, cfg.relay_grid_x, cfg.relay_grid_y,
+                 Role::kRelay);
+
+  configure_radio(sc->spec);
+  sc->spec.link_quality.min_snr_db = cfg.min_snr_db;
+  sc->spec.lifetime = LifetimeRequirement{cfg.min_lifetime_years, cfg.battery_mah};
+  const int sink_id = *sc->tmpl->find_node("sink");
+  for (int i = 0; i < cfg.sensors; ++i) {
+    RouteRequirement r;
+    r.source = *sc->tmpl->find_node("s" + std::to_string(i));
+    r.dest = sink_id;
+    r.replicas = cfg.route_replicas;
+    sc->spec.routes.push_back(r);
+  }
+  sc->spec.objective = {1.0, 0.0, 0.0};
+  return sc;
+}
+
+std::unique_ptr<Scenario> make_localization(const LocalizationConfig& cfg) {
+  auto sc = make_base(cfg.width_m, cfg.height_m);
+  add_relay_grid(*sc->tmpl, cfg.width_m, cfg.height_m, cfg.anchor_grid_x, cfg.anchor_grid_y,
+                 Role::kAnchor);
+
+  configure_radio(sc->spec);
+  LocalizationRequirement loc;
+  loc.min_anchors = cfg.min_anchors;
+  loc.min_rss_dbm = cfg.min_rss_dbm;
+  // Evaluation grid, offset from the anchor grid so points sit inside
+  // rooms rather than on candidate positions.
+  const double dx = cfg.width_m / (cfg.eval_grid_x + 1);
+  const double dy = cfg.height_m / (cfg.eval_grid_y + 1);
+  for (int iy = 1; iy <= cfg.eval_grid_y; ++iy) {
+    for (int ix = 1; ix <= cfg.eval_grid_x; ++ix) {
+      loc.eval_points.push_back({(ix + 0.35) * dx, (iy + 0.35) * dy});
+    }
+  }
+  sc->spec.localization = std::move(loc);
+  sc->spec.objective = {1.0, 0.0, 0.0};
+  return sc;
+}
+
+std::unique_ptr<Scenario> make_scalable(const ScalableConfig& cfg) {
+  if (cfg.end_devices + 1 >= cfg.total_nodes) {
+    throw std::invalid_argument("make_scalable: need room for relays");
+  }
+  // Keep density roughly constant relative to the 136-node reference floor.
+  const double area_scale = std::sqrt(static_cast<double>(cfg.total_nodes) / 136.0);
+  const double width = 80.0 * area_scale;
+  const double height = 45.0 * area_scale;
+
+  auto sc = make_base(width, height);
+  util::Rng rng(cfg.seed);
+
+  {
+    TemplateNode sink;
+    sink.name = "sink";
+    sink.position = {width / 2.0, height / 2.0};
+    sink.role = Role::kSink;
+    sink.kind = NodeKind::kFixed;
+    sc->tmpl->add_node(std::move(sink));
+  }
+  const auto spots = scatter_positions(cfg.end_devices, width, height, rng);
+  for (int i = 0; i < cfg.end_devices; ++i) {
+    TemplateNode s;
+    s.name = "s" + std::to_string(i);
+    s.position = spots[static_cast<size_t>(i)];
+    s.role = Role::kSensor;
+    s.kind = NodeKind::kFixed;
+    sc->tmpl->add_node(std::move(s));
+  }
+  const int relays = cfg.total_nodes - cfg.end_devices - 1;
+  const int nx = std::max(1, static_cast<int>(std::round(std::sqrt(relays * width / height))));
+  const int ny = std::max(1, (relays + nx - 1) / nx);
+  add_relay_grid(*sc->tmpl, width, height, nx, ny, Role::kRelay, relays);
+
+  configure_radio(sc->spec);
+  sc->spec.link_quality.min_snr_db = cfg.min_snr_db;
+  sc->spec.lifetime = LifetimeRequirement{5.0, 3000.0};
+  const int sink_id = *sc->tmpl->find_node("sink");
+  for (int i = 0; i < cfg.end_devices; ++i) {
+    RouteRequirement r;
+    r.source = *sc->tmpl->find_node("s" + std::to_string(i));
+    r.dest = sink_id;
+    r.replicas = cfg.route_replicas;
+    sc->spec.routes.push_back(r);
+  }
+  sc->spec.objective = {1.0, 0.0, 0.0};
+  return sc;
+}
+
+}  // namespace wnet::archex::workloads

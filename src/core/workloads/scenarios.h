@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+
+#include "channel/propagation.h"
+#include "core/network_template.h"
+#include "core/requirements.h"
+#include "geometry/floorplan.h"
+
+namespace wnet::archex::workloads {
+
+/// A self-contained experiment instance: the floor plan, channel model,
+/// library, template and specification, with ownership arranged so internal
+/// references stay valid. Not movable (the template holds pointers into the
+/// other members) — factories hand out unique_ptrs.
+struct Scenario {
+  geom::FloorPlan plan;
+  std::unique_ptr<channel::MultiWallModel> model;
+  ComponentLibrary library;
+  std::unique_ptr<NetworkTemplate> tmpl;
+  Specification spec;
+
+  Scenario() = default;
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+};
+
+/// Paper Sec. 4.1: indoor periodic data collection. 35 fixed sensors, one
+/// fixed base station, a grid of relay candidate locations (136 nodes
+/// total by default), two disjoint routes per sensor, SNR >= 20 dB,
+/// lifetime >= 5 years on 2xAA, TDMA 16 x 1 ms slots, 50-byte packets
+/// every 30 s.
+struct DataCollectionConfig {
+  double width_m = 80.0;
+  double height_m = 45.0;
+  int sensors = 35;
+  int relay_grid_x = 10;
+  int relay_grid_y = 10;
+  int route_replicas = 2;
+  double min_snr_db = 20.0;
+  double min_lifetime_years = 5.0;
+  double battery_mah = 3000.0;  ///< two AA cells of 1500 mAh
+  uint64_t seed = 1;
+};
+
+[[nodiscard]] std::unique_ptr<Scenario> make_data_collection(const DataCollectionConfig& cfg = {});
+
+/// Paper Sec. 4.2: RSS-based indoor localization with a star topology.
+/// 150 candidate anchor positions and 135 evaluation (mobile) locations on
+/// the same floor; every test point must hear >= 3 anchors at >= -80 dBm.
+struct LocalizationConfig {
+  double width_m = 80.0;
+  double height_m = 45.0;
+  int anchor_grid_x = 15;
+  int anchor_grid_y = 10;
+  int eval_grid_x = 15;
+  int eval_grid_y = 9;
+  int min_anchors = 3;
+  double min_rss_dbm = -80.0;
+  uint64_t seed = 2;
+};
+
+[[nodiscard]] std::unique_ptr<Scenario> make_localization(const LocalizationConfig& cfg = {});
+
+/// Paper Sec. 4.3 / Tables 3-4: a family of data-collection templates
+/// parameterized by total node count and number of end devices, with floor
+/// area scaled to keep node density roughly constant.
+struct ScalableConfig {
+  int total_nodes = 50;
+  int end_devices = 20;
+  int route_replicas = 1;
+  /// Stricter than the Table-1 scenario so direct sensor-to-sink links
+  /// fail and relays are genuinely needed at every template size (the
+  /// regime where K* matters, as in the paper's Tables 3-4).
+  double min_snr_db = 32.0;
+  uint64_t seed = 3;
+};
+
+[[nodiscard]] std::unique_ptr<Scenario> make_scalable(const ScalableConfig& cfg);
+
+}  // namespace wnet::archex::workloads

@@ -1,0 +1,51 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+
+namespace wnet::geom {
+
+namespace {
+
+/// Orientation of the triple (a, b, c): >0 counter-clockwise, <0 clockwise,
+/// 0 collinear (within eps scaled by magnitudes).
+int orientation(Vec2 a, Vec2 b, Vec2 c, double eps) {
+  const double v = (b - a).cross(c - a);
+  const double scale = std::max({1.0, (b - a).norm(), (c - a).norm()});
+  if (v > eps * scale) return 1;
+  if (v < -eps * scale) return -1;
+  return 0;
+}
+
+/// With (a, b, c) known collinear, is c inside the bounding box of ab?
+bool on_segment(Vec2 a, Vec2 b, Vec2 c, double eps) {
+  return c.x <= std::max(a.x, b.x) + eps && c.x >= std::min(a.x, b.x) - eps &&
+         c.y <= std::max(a.y, b.y) + eps && c.y >= std::min(a.y, b.y) - eps;
+}
+
+}  // namespace
+
+bool segments_intersect(const Segment& s, const Segment& t, double eps) {
+  const int o1 = orientation(s.a, s.b, t.a, eps);
+  const int o2 = orientation(s.a, s.b, t.b, eps);
+  const int o3 = orientation(t.a, t.b, s.a, eps);
+  const int o4 = orientation(t.a, t.b, s.b, eps);
+
+  if (o1 != o2 && o3 != o4) return true;
+
+  if (o1 == 0 && on_segment(s.a, s.b, t.a, eps)) return true;
+  if (o2 == 0 && on_segment(s.a, s.b, t.b, eps)) return true;
+  if (o3 == 0 && on_segment(t.a, t.b, s.a, eps)) return true;
+  if (o4 == 0 && on_segment(t.a, t.b, s.b, eps)) return true;
+  return false;
+}
+
+double point_segment_distance(Vec2 p, const Segment& s) {
+  const Vec2 d = s.b - s.a;
+  const double len2 = d.dot(d);
+  if (len2 == 0.0) return p.dist(s.a);
+  double t = (p - s.a).dot(d) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return p.dist(s.a + t * d);
+}
+
+}  // namespace wnet::geom

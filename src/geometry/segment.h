@@ -1,0 +1,24 @@
+#pragma once
+
+#include "geometry/vec2.h"
+
+namespace wnet::geom {
+
+/// Closed line segment between two points.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const { return a.dist(b); }
+};
+
+/// True if segments `s` and `t` intersect (including touching endpoints,
+/// within tolerance `eps`). Robust orientation-based test with collinear
+/// overlap handling; used to count wall crossings on radio links.
+[[nodiscard]] bool segments_intersect(const Segment& s, const Segment& t,
+                                      double eps = 1e-12);
+
+/// Distance from point `p` to segment `s`.
+[[nodiscard]] double point_segment_distance(Vec2 p, const Segment& s);
+
+}  // namespace wnet::geom

@@ -1,0 +1,71 @@
+#include "geometry/svg.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wnet::geom {
+
+SvgCanvas::SvgCanvas(double width_m, double height_m, double pixels_per_meter)
+    : width_m_(width_m), height_m_(height_m), scale_(pixels_per_meter) {}
+
+void SvgCanvas::draw_floorplan(const FloorPlan& plan) {
+  for (const Wall& w : plan.walls()) {
+    const bool heavy = w.material == WallMaterial::kConcrete || w.material == WallMaterial::kBrick;
+    draw_line(w.span.a, w.span.b, heavy ? "#333333" : "#999999", heavy ? 2.0 : 1.0);
+  }
+}
+
+void SvgCanvas::draw_circle(Vec2 c, double radius_px, const std::string& fill,
+                            const std::string& stroke) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << px(c.x) << "\" cy=\"" << py(c.y) << "\" r=\"" << radius_px
+     << "\" fill=\"" << fill << "\" stroke=\"" << stroke << "\"/>";
+  body_.push_back(os.str());
+}
+
+void SvgCanvas::draw_square(Vec2 c, double half_px, const std::string& fill,
+                            const std::string& stroke) {
+  std::ostringstream os;
+  os << "<rect x=\"" << px(c.x) - half_px << "\" y=\"" << py(c.y) - half_px << "\" width=\""
+     << 2 * half_px << "\" height=\"" << 2 * half_px << "\" fill=\"" << fill << "\" stroke=\""
+     << stroke << "\"/>";
+  body_.push_back(os.str());
+}
+
+void SvgCanvas::draw_line(Vec2 a, Vec2 b, const std::string& stroke, double width_px,
+                          bool dashed) {
+  std::ostringstream os;
+  os << "<line x1=\"" << px(a.x) << "\" y1=\"" << py(a.y) << "\" x2=\"" << px(b.x)
+     << "\" y2=\"" << py(b.y) << "\" stroke=\"" << stroke << "\" stroke-width=\"" << width_px
+     << '"';
+  if (dashed) os << " stroke-dasharray=\"4 3\"";
+  os << "/>";
+  body_.push_back(os.str());
+}
+
+void SvgCanvas::draw_text(Vec2 at, const std::string& text, int font_px) {
+  std::ostringstream os;
+  os << "<text x=\"" << px(at.x) << "\" y=\"" << py(at.y) << "\" font-size=\"" << font_px
+     << "\" font-family=\"sans-serif\">" << text << "</text>";
+  body_.push_back(os.str());
+}
+
+std::string SvgCanvas::to_string() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << px(width_m_) << "\" height=\""
+     << height_m_ * scale_ << "\" viewBox=\"0 0 " << px(width_m_) << ' ' << height_m_ * scale_
+     << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& e : body_) os << e << '\n';
+  os << "</svg>\n";
+  return os.str();
+}
+
+void SvgCanvas::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SvgCanvas::save: cannot open " + path);
+  out << to_string();
+}
+
+}  // namespace wnet::geom

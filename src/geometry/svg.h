@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/floorplan.h"
+#include "geometry/vec2.h"
+
+namespace wnet::geom {
+
+/// Minimal SVG writer used to render Fig. 1-style floor plans, node
+/// placements, and synthesized topologies. Coordinates are in meters and
+/// scaled by `pixels_per_meter`; the y axis is flipped so the origin is at
+/// the bottom-left as in the paper's plots.
+class SvgCanvas {
+ public:
+  SvgCanvas(double width_m, double height_m, double pixels_per_meter = 12.0);
+
+  void draw_floorplan(const FloorPlan& plan);
+  void draw_circle(Vec2 center_m, double radius_px, const std::string& fill,
+                   const std::string& stroke = "black");
+  void draw_square(Vec2 center_m, double half_px, const std::string& fill,
+                   const std::string& stroke = "black");
+  void draw_line(Vec2 a_m, Vec2 b_m, const std::string& stroke, double width_px = 1.0,
+                 bool dashed = false);
+  void draw_text(Vec2 at_m, const std::string& text, int font_px = 10);
+
+  /// Full SVG document.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes the document to `path`; throws on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] double px(double x_m) const { return x_m * scale_; }
+  [[nodiscard]] double py(double y_m) const { return (height_m_ - y_m) * scale_; }
+
+  double width_m_;
+  double height_m_;
+  double scale_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace wnet::geom

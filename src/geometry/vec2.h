@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cmath>
+
+namespace wnet::geom {
+
+/// 2-D point / vector in meters. Node locations and wall endpoints use this.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(double s, Vec2 v) { return {s * v.x, s * v.y}; }
+  friend Vec2 operator*(Vec2 v, double s) { return s * v; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  [[nodiscard]] double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; sign gives orientation.
+  [[nodiscard]] double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] double dist(Vec2 o) const { return (*this - o).norm(); }
+};
+
+}  // namespace wnet::geom

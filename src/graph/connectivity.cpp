@@ -1,0 +1,61 @@
+#include "graph/connectivity.h"
+
+#include <deque>
+#include <set>
+
+namespace wnet::graph {
+
+std::vector<char> reachable_from(const Digraph& g, NodeId src) {
+  std::vector<char> seen(static_cast<size_t>(g.num_nodes()), 0);
+  if (src < 0 || src >= g.num_nodes()) return seen;
+  std::deque<NodeId> frontier{src};
+  seen[static_cast<size_t>(src)] = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (EdgeId eid : g.out_edges(u)) {
+      const Edge& e = g.edge(eid);
+      if (e.weight == kInfWeight) continue;
+      if (!seen[static_cast<size_t>(e.to)]) {
+        seen[static_cast<size_t>(e.to)] = 1;
+        frontier.push_back(e.to);
+      }
+    }
+  }
+  return seen;
+}
+
+bool is_reachable(const Digraph& g, NodeId src, NodeId dst) {
+  if (dst < 0 || dst >= g.num_nodes()) return false;
+  return reachable_from(g, src)[static_cast<size_t>(dst)] != 0;
+}
+
+bool is_valid_simple_path(const Digraph& g, const Path& p) {
+  if (p.nodes.empty()) return false;
+  if (p.edges.size() + 1 != p.nodes.size()) return false;
+  std::set<NodeId> seen;
+  for (NodeId v : p.nodes) {
+    if (v < 0 || v >= g.num_nodes()) return false;
+    if (!seen.insert(v).second) return false;  // repeated node => loop
+  }
+  for (size_t i = 0; i < p.edges.size(); ++i) {
+    const EdgeId eid = p.edges[i];
+    if (eid < 0 || eid >= g.num_edges()) return false;
+    const Edge& e = g.edge(eid);
+    if (e.from != p.nodes[i] || e.to != p.nodes[i + 1]) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> incidence_matrix(const Digraph& g) {
+  std::vector<std::vector<int>> c(static_cast<size_t>(g.num_nodes()),
+                                  std::vector<int>(static_cast<size_t>(g.num_edges()), 0));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    c[static_cast<size_t>(ed.from)][static_cast<size_t>(e)] = 1;
+    c[static_cast<size_t>(ed.to)][static_cast<size_t>(e)] = -1;
+  }
+  return c;
+}
+
+}  // namespace wnet::graph

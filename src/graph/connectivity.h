@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace wnet::graph {
+
+/// Nodes reachable from `src` over finite-weight edges (BFS).
+[[nodiscard]] std::vector<char> reachable_from(const Digraph& g, NodeId src);
+
+/// True if `dst` is reachable from `src`.
+[[nodiscard]] bool is_reachable(const Digraph& g, NodeId src, NodeId dst);
+
+/// Validates a path against the graph: consecutive edges connect, nodes are
+/// distinct (loopless), and every edge id matches its endpoints. Used by the
+/// encoders as a defensive check and heavily in tests.
+[[nodiscard]] bool is_valid_simple_path(const Digraph& g, const Path& p);
+
+/// Dense incidence matrix of the template (rows = nodes, cols = edges;
+/// +1 at the source row, -1 at the destination row). This is the `c` matrix
+/// of constraint (1a) in the paper.
+[[nodiscard]] std::vector<std::vector<int>> incidence_matrix(const Digraph& g);
+
+}  // namespace wnet::graph

@@ -1,0 +1,41 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wnet::graph {
+
+EdgeId Digraph::add_edge(NodeId from, NodeId to, double weight) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    throw std::out_of_range("Digraph::add_edge: node id out of range");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({from, to, weight});
+  out_[static_cast<size_t>(from)].push_back(id);
+  return id;
+}
+
+EdgeId Digraph::find_edge(NodeId from, NodeId to) const {
+  if (from < 0 || from >= num_nodes()) return -1;
+  for (EdgeId e : out_[static_cast<size_t>(from)]) {
+    if (edges_[static_cast<size_t>(e)].to == to) return e;
+  }
+  return -1;
+}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+bool edge_disjoint(const Path& a, const Path& b) { return shared_edges(a, b) == 0; }
+
+int shared_edges(const Path& a, const Path& b) {
+  int n = 0;
+  for (EdgeId ea : a.edges) {
+    if (std::find(b.edges.begin(), b.edges.end(), ea) != b.edges.end()) ++n;
+  }
+  return n;
+}
+
+}  // namespace wnet::graph

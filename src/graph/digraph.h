@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wnet::graph {
+
+using NodeId = int;
+using EdgeId = int;
+
+inline constexpr double kInfWeight = std::numeric_limits<double>::infinity();
+
+/// A directed edge with a mutable weight (shortest-path routines treat
+/// weight == kInfWeight as "removed", which is how Algorithm 1 disconnects
+/// paths without rebuilding the graph).
+struct Edge {
+  NodeId from = -1;
+  NodeId to = -1;
+  double weight = 0.0;
+};
+
+/// Directed weighted graph over dense node ids [0, num_nodes).
+///
+/// Edges are stored in insertion order with stable EdgeIds plus a per-node
+/// out-adjacency index; this keeps Yen's repeated edge-removal cheap (weight
+/// overrides) and lets callers map EdgeIds back to template links.
+class Digraph {
+ public:
+  explicit Digraph(int num_nodes = 0) : out_(static_cast<size_t>(num_nodes)) {}
+
+  /// Adds a directed edge and returns its id. O(1).
+  EdgeId add_edge(NodeId from, NodeId to, double weight);
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(out_.size()); }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[static_cast<size_t>(e)]; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Out-edges of `v` as EdgeIds.
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId v) const {
+    return out_[static_cast<size_t>(v)];
+  }
+
+  /// Overrides the weight of an edge (kInfWeight removes it logically).
+  void set_weight(EdgeId e, double w) { edges_[static_cast<size_t>(e)].weight = w; }
+
+  /// Finds the edge id from `from` to `to`, or -1 if absent (first match).
+  [[nodiscard]] EdgeId find_edge(NodeId from, NodeId to) const;
+
+  /// Adds a node, returning its id.
+  NodeId add_node();
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+/// A path as a node sequence plus the edge ids connecting them
+/// (edges.size() == nodes.size() - 1) and its total weight.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+  double cost = 0.0;
+
+  [[nodiscard]] bool empty() const { return nodes.empty(); }
+  /// Number of hops (edges).
+  [[nodiscard]] int hops() const { return static_cast<int>(edges.size()); }
+
+  friend bool operator==(const Path& a, const Path& b) { return a.nodes == b.nodes; }
+};
+
+/// True if the two paths share no edge (by edge id).
+[[nodiscard]] bool edge_disjoint(const Path& a, const Path& b);
+
+/// Number of edges the two paths share.
+[[nodiscard]] int shared_edges(const Path& a, const Path& b);
+
+}  // namespace wnet::graph

@@ -1,0 +1,99 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace wnet::graph {
+
+namespace {
+
+struct QueueItem {
+  double dist;
+  NodeId node;
+  friend bool operator>(const QueueItem& a, const QueueItem& b) { return a.dist > b.dist; }
+};
+
+}  // namespace
+
+std::optional<Path> shortest_path(const Digraph& g, NodeId src, NodeId dst,
+                                  const DijkstraOptions& opts) {
+  const int n = g.num_nodes();
+  if (src < 0 || src >= n || dst < 0 || dst >= n) {
+    throw std::out_of_range("shortest_path: node id out of range");
+  }
+  std::vector<double> dist(static_cast<size_t>(n), kInfWeight);
+  std::vector<EdgeId> pred_edge(static_cast<size_t>(n), -1);
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  dist[static_cast<size_t>(src)] = 0.0;
+  pq.push({0.0, src});
+
+  const auto node_banned = [&](NodeId v) {
+    return opts.banned_nodes != nullptr && v != src &&
+           (*opts.banned_nodes)[static_cast<size_t>(v)] != 0;
+  };
+  const auto edge_banned = [&](EdgeId e) {
+    return opts.banned_edges != nullptr && (*opts.banned_edges)[static_cast<size_t>(e)] != 0;
+  };
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;  // stale entry
+    if (u == dst) break;
+    for (EdgeId eid : g.out_edges(u)) {
+      if (edge_banned(eid)) continue;
+      const Edge& e = g.edge(eid);
+      if (e.weight == kInfWeight) continue;
+      if (e.weight < 0) throw std::invalid_argument("shortest_path: negative edge weight");
+      if (node_banned(e.to)) continue;
+      const double nd = d + e.weight;
+      if (nd < dist[static_cast<size_t>(e.to)]) {
+        dist[static_cast<size_t>(e.to)] = nd;
+        pred_edge[static_cast<size_t>(e.to)] = eid;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+
+  if (dist[static_cast<size_t>(dst)] == kInfWeight) return std::nullopt;
+
+  Path p;
+  p.cost = dist[static_cast<size_t>(dst)];
+  for (NodeId v = dst; v != src;) {
+    const EdgeId eid = pred_edge[static_cast<size_t>(v)];
+    p.edges.push_back(eid);
+    p.nodes.push_back(v);
+    v = g.edge(eid).from;
+  }
+  p.nodes.push_back(src);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.edges.begin(), p.edges.end());
+  return p;
+}
+
+std::vector<double> shortest_distances(const Digraph& g, NodeId src) {
+  const int n = g.num_nodes();
+  if (src < 0 || src >= n) throw std::out_of_range("shortest_distances: bad source");
+  std::vector<double> dist(static_cast<size_t>(n), kInfWeight);
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  dist[static_cast<size_t>(src)] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    for (EdgeId eid : g.out_edges(u)) {
+      const Edge& e = g.edge(eid);
+      if (e.weight == kInfWeight) continue;
+      const double nd = d + e.weight;
+      if (nd < dist[static_cast<size_t>(e.to)]) {
+        dist[static_cast<size_t>(e.to)] = nd;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace wnet::graph

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace wnet::graph {
+
+/// Options restricting the search; Yen's spur computation uses these to ban
+/// root-path nodes and individual edges without mutating the graph.
+struct DijkstraOptions {
+  /// Edges whose ids are flagged true here are skipped.
+  const std::vector<char>* banned_edges = nullptr;
+  /// Nodes flagged true here are skipped (source exempt).
+  const std::vector<char>* banned_nodes = nullptr;
+};
+
+/// Single-pair Dijkstra over non-negative weights. Returns the shortest
+/// path from `src` to `dst`, or nullopt if unreachable. Edges with infinite
+/// weight are treated as absent.
+[[nodiscard]] std::optional<Path> shortest_path(const Digraph& g, NodeId src, NodeId dst,
+                                                const DijkstraOptions& opts = {});
+
+/// Single-source Dijkstra: distance to every node (kInfWeight if
+/// unreachable).
+[[nodiscard]] std::vector<double> shortest_distances(const Digraph& g, NodeId src);
+
+}  // namespace wnet::graph

@@ -1,0 +1,83 @@
+#include "graph/yen.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "graph/dijkstra.h"
+
+namespace wnet::graph {
+
+namespace {
+
+/// Candidate ordering: by cost, ties broken by node sequence so the result
+/// order is deterministic across runs.
+struct CandidateLess {
+  bool operator()(const Path& a, const Path& b) const {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.nodes < b.nodes;
+  }
+};
+
+}  // namespace
+
+std::vector<Path> yen_k_shortest(const Digraph& g, NodeId src, NodeId dst, int k) {
+  if (k <= 0) return {};
+  std::vector<Path> result;
+  auto first = shortest_path(g, src, dst);
+  if (!first) return {};
+  result.push_back(std::move(*first));
+
+  std::set<Path, CandidateLess> candidates;
+  std::vector<char> banned_edges(static_cast<size_t>(g.num_edges()), 0);
+  std::vector<char> banned_nodes(static_cast<size_t>(g.num_nodes()), 0);
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& prev = result.back();
+    // For every spur node in the previous path, ban the edges that earlier
+    // accepted paths take out of the same root prefix, ban the root nodes,
+    // and search for a deviation.
+    for (size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur = prev.nodes[i];
+
+      std::fill(banned_edges.begin(), banned_edges.end(), 0);
+      std::fill(banned_nodes.begin(), banned_nodes.end(), 0);
+
+      // Root path: prev.nodes[0..i], prev.edges[0..i-1].
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(prev.nodes.begin(), prev.nodes.begin() + static_cast<long>(i) + 1,
+                       p.nodes.begin())) {
+          if (i < p.edges.size()) banned_edges[static_cast<size_t>(p.edges[i])] = 1;
+        }
+      }
+      for (size_t j = 0; j < i; ++j) banned_nodes[static_cast<size_t>(prev.nodes[j])] = 1;
+
+      DijkstraOptions opts;
+      opts.banned_edges = &banned_edges;
+      opts.banned_nodes = &banned_nodes;
+      auto spur_path = shortest_path(g, spur, dst, opts);
+      if (!spur_path) continue;
+
+      // Total = root + spur.
+      Path total;
+      total.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + static_cast<long>(i));
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin(), spur_path->nodes.end());
+      total.edges.assign(prev.edges.begin(), prev.edges.begin() + static_cast<long>(i));
+      total.edges.insert(total.edges.end(), spur_path->edges.begin(), spur_path->edges.end());
+      total.cost = spur_path->cost;
+      for (size_t j = 0; j < i; ++j) total.cost += g.edge(prev.edges[j]).weight;
+
+      // Skip candidates already accepted (set dedups pending ones).
+      if (std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace wnet::graph

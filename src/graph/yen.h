@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace wnet::graph {
+
+/// Yen's algorithm [Yen 1971]: the K shortest *loopless* paths from `src`
+/// to `dst` in non-decreasing order of cost. Returns fewer than K paths if
+/// the graph does not contain that many distinct loopless paths.
+///
+/// This is the routine Algorithm 1 of the paper calls "KShortest": the
+/// template edges are weighted by estimated link path loss and the K best
+/// candidates per required route are kept for the symbolic encoding.
+[[nodiscard]] std::vector<Path> yen_k_shortest(const Digraph& g, NodeId src, NodeId dst, int k);
+
+}  // namespace wnet::graph

@@ -1,0 +1,45 @@
+#include "milp/expr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wnet::milp {
+
+LinExpr& LinExpr::operator+=(const LinExpr& o) {
+  constant_ += o.constant_;
+  for (const auto& [v, c] : o.terms_) add_term(v, c);
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& o) {
+  constant_ -= o.constant_;
+  for (const auto& [v, c] : o.terms_) add_term(v, -c);
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double s) {
+  constant_ *= s;
+  for (auto& [v, c] : terms_) c *= s;
+  return *this;
+}
+
+void LinExpr::add_term(Var v, double coef) {
+  if (!v.valid()) throw std::invalid_argument("LinExpr::add_term: invalid variable");
+  auto [it, inserted] = terms_.try_emplace(v, coef);
+  if (!inserted) {
+    it->second += coef;
+    if (it->second == 0.0) terms_.erase(it);
+  } else if (coef == 0.0) {
+    terms_.erase(it);
+  }
+}
+
+double LinExpr::evaluate(const std::vector<double>& values) const {
+  double v = constant_;
+  for (const auto& [var, c] : terms_) {
+    v += c * values.at(static_cast<size_t>(var.id));
+  }
+  return v;
+}
+
+}  // namespace wnet::milp

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace wnet::milp {
+
+/// Handle to a model variable (index into the model's variable table).
+struct Var {
+  int id = -1;
+  [[nodiscard]] bool valid() const { return id >= 0; }
+  friend bool operator==(Var a, Var b) { return a.id == b.id; }
+  friend bool operator<(Var a, Var b) { return a.id < b.id; }
+};
+
+/// A sparse linear expression sum_i coef_i * var_i + constant. Terms with
+/// the same variable are merged; building is O(log n) per term via the map.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}  // NOLINT
+  /*implicit*/ LinExpr(Var v) { terms_[v] = 1.0; }                // NOLINT
+
+  LinExpr& operator+=(const LinExpr& o);
+  LinExpr& operator-=(const LinExpr& o);
+  LinExpr& operator*=(double s);
+
+  /// Adds coef * v.
+  void add_term(Var v, double coef);
+
+  [[nodiscard]] double constant() const { return constant_; }
+  [[nodiscard]] const std::map<Var, double>& terms() const { return terms_; }
+  [[nodiscard]] size_t size() const { return terms_.size(); }
+
+  /// Evaluates the expression for a full assignment (indexed by var id).
+  [[nodiscard]] double evaluate(const std::vector<double>& values) const;
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(double s, LinExpr e) { return e *= s; }
+  friend LinExpr operator*(LinExpr e, double s) { return e *= s; }
+  friend LinExpr operator-(LinExpr e) { return e *= -1.0; }
+
+ private:
+  std::map<Var, double> terms_;
+  double constant_ = 0.0;
+};
+
+}  // namespace wnet::milp

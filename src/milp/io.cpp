@@ -1,0 +1,107 @@
+#include "milp/io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace wnet::milp {
+
+namespace {
+
+const char* row_type(Sense s) {
+  switch (s) {
+    case Sense::kLe: return "L";
+    case Sense::kGe: return "G";
+    case Sense::kEq: return "E";
+  }
+  return "L";
+}
+
+void emit_value(std::ostringstream& os, const std::string& row, double v) {
+  os << "    " << row << "  " << v << '\n';
+}
+
+}  // namespace
+
+std::string to_mps_string(const Model& model, const std::string& name) {
+  std::ostringstream os;
+  os << "NAME          " << name << '\n';
+
+  os << "ROWS\n N  COST\n";
+  for (int i = 0; i < model.num_constrs(); ++i) {
+    os << ' ' << row_type(model.constrs()[static_cast<size_t>(i)].sense) << "  C"
+       << i << '\n';
+  }
+
+  // COLUMNS: integer variables inside INTORG/INTEND markers.
+  os << "COLUMNS\n";
+  bool in_int = false;
+  int marker = 0;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    const VarData& vd = model.vars()[static_cast<size_t>(j)];
+    const bool is_int = vd.type != VarType::kContinuous;
+    if (is_int != in_int) {
+      os << "    MARKER    'MARKER'    '" << (is_int ? "INTORG" : "INTEND") << "'  M"
+         << marker++ << '\n';
+      in_int = is_int;
+    }
+    const Var v{j};
+    const auto it = model.objective().terms().find(v);
+    if (it != model.objective().terms().end() && it->second != 0.0) {
+      os << "    X" << j << "  ";
+      emit_value(os, "COST", it->second);
+    }
+    for (int i = 0; i < model.num_constrs(); ++i) {
+      const auto& terms = model.constrs()[static_cast<size_t>(i)].expr.terms();
+      const auto ct = terms.find(v);
+      if (ct != terms.end() && ct->second != 0.0) {
+        os << "    X" << j << "  ";
+        emit_value(os, "C" + std::to_string(i), ct->second);
+      }
+    }
+  }
+  if (in_int) os << "    MARKER    'MARKER'    'INTEND'  M" << marker++ << '\n';
+
+  os << "RHS\n";
+  for (int i = 0; i < model.num_constrs(); ++i) {
+    const double rhs = model.constrs()[static_cast<size_t>(i)].rhs;
+    if (rhs != 0.0) {
+      os << "    RHS  ";
+      emit_value(os, "C" + std::to_string(i), rhs);
+    }
+  }
+
+  os << "BOUNDS\n";
+  for (int j = 0; j < model.num_vars(); ++j) {
+    const VarData& vd = model.vars()[static_cast<size_t>(j)];
+    if (std::isinf(vd.lb) && std::isinf(vd.ub)) {
+      os << " FR BND  X" << j << '\n';
+      continue;
+    }
+    if (std::isinf(vd.lb)) {
+      os << " MI BND  X" << j << '\n';
+    } else if (vd.lb != 0.0) {
+      os << " LO BND  X" << j << "  " << vd.lb << '\n';
+    }
+    if (!std::isinf(vd.ub)) {
+      os << " UP BND  X" << j << "  " << vd.ub << '\n';
+    }
+  }
+
+  os << "ENDATA\n";
+  return os.str();
+}
+
+void write_mps_file(const Model& model, const std::string& path, const std::string& name) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_mps_file: cannot open " + path);
+  out << to_mps_string(model, name);
+}
+
+void write_lp_file(const Model& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_lp_file: cannot open " + path);
+  out << model.to_lp_string();
+}
+
+}  // namespace wnet::milp

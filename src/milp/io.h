@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "milp/model.h"
+
+namespace wnet::milp {
+
+/// Serializes a model in fixed MPS format (the lingua franca of MILP
+/// solvers), so encodings produced by this repo can be cross-checked with
+/// any external solver. Variable/row names are sanitized to MPS's 8-plus
+/// character conventions via deterministic identifiers (x<j>, c<i>).
+[[nodiscard]] std::string to_mps_string(const Model& model, const std::string& name = "WNETDSE");
+
+/// Writes the MPS form to `path`; throws std::runtime_error on I/O failure.
+void write_mps_file(const Model& model, const std::string& path,
+                    const std::string& name = "WNETDSE");
+
+/// Writes the (human-readable) LP form produced by Model::to_lp_string().
+void write_lp_file(const Model& model, const std::string& path);
+
+}  // namespace wnet::milp

@@ -1,0 +1,84 @@
+#include "milp/linearize.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wnet::milp {
+
+Var product_binary_binary(Model& m, Var x, Var y, const std::string& name) {
+  if (m.var(x).type == VarType::kContinuous || m.var(y).type == VarType::kContinuous) {
+    throw std::invalid_argument("product_binary_binary: operands must be binary");
+  }
+  const Var z = m.add_binary(name);
+  m.add_le(LinExpr(z) - LinExpr(x), 0.0, name + "_le_x");
+  m.add_le(LinExpr(z) - LinExpr(y), 0.0, name + "_le_y");
+  m.add_ge(LinExpr(z) - LinExpr(x) - LinExpr(y), -1.0, name + "_ge_sum");
+  return z;
+}
+
+Var product_binary_continuous(Model& m, Var b, Var c, const std::string& name) {
+  const double lo = m.var(c).lb;
+  const double hi = m.var(c).ub;
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    throw std::invalid_argument("product_binary_continuous: continuous var must be bounded");
+  }
+  const Var w = m.add_continuous(name, std::min(lo, 0.0), std::max(hi, 0.0));
+  // w <= hi * b ; w >= lo * b
+  m.add_le(LinExpr(w) - hi * LinExpr(b), 0.0, name + "_ub_b");
+  m.add_ge(LinExpr(w) - lo * LinExpr(b), 0.0, name + "_lb_b");
+  // w <= c - lo (1 - b)  <=>  w - c - lo b <= -lo
+  m.add_le(LinExpr(w) - LinExpr(c) - lo * LinExpr(b), -lo, name + "_ub_c");
+  // w >= c - hi (1 - b)  <=>  w - c - hi b >= -hi
+  m.add_ge(LinExpr(w) - LinExpr(c) - hi * LinExpr(b), -hi, name + "_lb_c");
+  return w;
+}
+
+double expr_upper_bound(const Model& m, const LinExpr& expr) {
+  double ub = expr.constant();
+  for (const auto& [v, c] : expr.terms()) {
+    const auto& d = m.var(v);
+    const double bound = c >= 0 ? d.ub : d.lb;
+    if (!std::isfinite(bound)) return kInf;
+    ub += c * bound;
+  }
+  return ub;
+}
+
+double expr_lower_bound(const Model& m, const LinExpr& expr) {
+  double lb = expr.constant();
+  for (const auto& [v, c] : expr.terms()) {
+    const auto& d = m.var(v);
+    const double bound = c >= 0 ? d.lb : d.ub;
+    if (!std::isfinite(bound)) return -kInf;
+    lb += c * bound;
+  }
+  return lb;
+}
+
+void imply_le(Model& m, Var b, const LinExpr& expr, double rhs, const std::string& name) {
+  const double ub = expr_upper_bound(m, expr);
+  if (!std::isfinite(ub)) {
+    throw std::invalid_argument("imply_le: expression unbounded above, no finite big-M");
+  }
+  const double big_m = ub - rhs;
+  if (big_m <= 0) return;  // already implied for every assignment
+  // expr + M b <= rhs + M
+  LinExpr e = expr;
+  e.add_term(b, big_m);
+  m.add_le(std::move(e), rhs + big_m, name);
+}
+
+void imply_ge(Model& m, Var b, const LinExpr& expr, double rhs, const std::string& name) {
+  const double lb = expr_lower_bound(m, expr);
+  if (!std::isfinite(lb)) {
+    throw std::invalid_argument("imply_ge: expression unbounded below, no finite big-M");
+  }
+  const double big_m = rhs - lb;
+  if (big_m <= 0) return;
+  // expr - M b >= rhs - M
+  LinExpr e = expr;
+  e.add_term(b, -big_m);
+  m.add_ge(std::move(e), rhs - big_m, name);
+}
+
+}  // namespace wnet::milp

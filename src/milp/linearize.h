@@ -1,0 +1,42 @@
+#pragma once
+
+#include "milp/model.h"
+
+namespace wnet::milp {
+
+/// Standard MILP linearization helpers ("standard encoding techniques which
+/// we omit for brevity" in the paper, Sec. 2). Each returns the auxiliary
+/// variable that equals the nonlinear term under the added constraints.
+
+/// z = x * y for binary x, y:
+///   z <= x,  z <= y,  z >= x + y - 1,  z binary.
+[[nodiscard]] Var product_binary_binary(Model& m, Var x, Var y, const std::string& name);
+
+/// w = b * c for binary b and continuous c with finite bounds [lo, hi]:
+///   lo*b <= w <= hi*b,   c - hi*(1-b) <= w <= c - lo*(1-b).
+/// The big-M values are the tightest available (the variable's own bounds).
+[[nodiscard]] Var product_binary_continuous(Model& m, Var b, Var c, const std::string& name);
+
+/// Indicator-style implication  b = 1  =>  expr <= rhs,  via
+///   expr <= rhs + M (1 - b)
+/// where M is computed from the expression's bounds (tight big-M). Throws
+/// if any participating variable is unbounded in the needed direction.
+void imply_le(Model& m, Var b, const LinExpr& expr, double rhs, const std::string& name);
+
+/// b = 1  =>  expr >= rhs, analogously.
+void imply_ge(Model& m, Var b, const LinExpr& expr, double rhs, const std::string& name);
+
+/// Upper bound of `expr` over the variable box (sum of best-case terms).
+/// Infinite if any needed bound is infinite.
+[[nodiscard]] double expr_upper_bound(const Model& m, const LinExpr& expr);
+
+/// Lower bound of `expr` over the variable box.
+[[nodiscard]] double expr_lower_bound(const Model& m, const LinExpr& expr);
+
+/// r = AND(b1, b2) for binaries — alias of product_binary_binary, named for
+/// readability at call sites encoding constraint (4a) of the paper.
+[[nodiscard]] inline Var logical_and(Model& m, Var b1, Var b2, const std::string& name) {
+  return product_binary_binary(m, b1, b2, name);
+}
+
+}  // namespace wnet::milp

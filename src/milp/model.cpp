@@ -1,0 +1,118 @@
+#include "milp/model.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wnet::milp {
+
+Var Model::add_var(const std::string& name, VarType type, double lb, double ub) {
+  if (lb > ub) throw std::invalid_argument("Model::add_var: lb > ub for " + name);
+  VarData d;
+  d.name = name;
+  d.type = type;
+  if (type == VarType::kBinary) {
+    d.lb = std::max(lb, 0.0);
+    d.ub = std::min(ub, 1.0);
+  } else {
+    d.lb = lb;
+    d.ub = ub;
+  }
+  vars_.push_back(std::move(d));
+  return Var{static_cast<int>(vars_.size()) - 1};
+}
+
+int Model::add_constr(LinExpr expr, Sense sense, double rhs, const std::string& name) {
+  for (const auto& [v, c] : expr.terms()) {
+    if (v.id >= num_vars()) throw std::out_of_range("Model::add_constr: unknown variable");
+    if (!std::isfinite(c)) throw std::invalid_argument("Model::add_constr: non-finite coef");
+  }
+  Constraint cn;
+  cn.name = name;
+  cn.rhs = rhs - expr.constant();
+  cn.expr = std::move(expr);
+  cn.expr -= cn.expr.constant();  // fold the constant away
+  cn.sense = sense;
+  constrs_.push_back(std::move(cn));
+  return static_cast<int>(constrs_.size()) - 1;
+}
+
+int Model::num_integer_vars() const {
+  int n = 0;
+  for (const auto& v : vars_) {
+    if (v.type != VarType::kContinuous) ++n;
+  }
+  return n;
+}
+
+size_t Model::num_nonzeros() const {
+  size_t n = 0;
+  for (const auto& c : constrs_) n += c.expr.size();
+  return n;
+}
+
+void Model::set_bounds(Var v, double lb, double ub) {
+  if (lb > ub) throw std::invalid_argument("Model::set_bounds: lb > ub");
+  auto& d = vars_.at(static_cast<size_t>(v.id));
+  d.lb = lb;
+  d.ub = ub;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != vars_.size()) return false;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    const auto& v = vars_[i];
+    if (x[i] < v.lb - tol || x[i] > v.ub + tol) return false;
+    if (v.type != VarType::kContinuous && std::abs(x[i] - std::round(x[i])) > tol) return false;
+  }
+  for (const auto& c : constrs_) {
+    const double lhs = c.expr.evaluate(x);
+    switch (c.sense) {
+      case Sense::kLe:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string Model::to_lp_string() const {
+  std::ostringstream os;
+  os << "Minimize\n obj:";
+  for (const auto& [v, c] : objective_.terms()) {
+    os << (c >= 0 ? " +" : " ") << c << ' ' << vars_[static_cast<size_t>(v.id)].name;
+  }
+  if (objective_.constant() != 0.0) os << " + " << objective_.constant();
+  os << "\nSubject To\n";
+  for (size_t i = 0; i < constrs_.size(); ++i) {
+    const auto& cn = constrs_[i];
+    os << ' ' << (cn.name.empty() ? "c" + std::to_string(i) : cn.name) << ':';
+    for (const auto& [v, c] : cn.expr.terms()) {
+      os << (c >= 0 ? " +" : " ") << c << ' ' << vars_[static_cast<size_t>(v.id)].name;
+    }
+    switch (cn.sense) {
+      case Sense::kLe: os << " <= "; break;
+      case Sense::kGe: os << " >= "; break;
+      case Sense::kEq: os << " = "; break;
+    }
+    os << cn.rhs << '\n';
+  }
+  os << "Bounds\n";
+  for (const auto& v : vars_) {
+    os << ' ' << v.lb << " <= " << v.name << " <= " << v.ub << '\n';
+  }
+  os << "Integers\n";
+  for (const auto& v : vars_) {
+    if (v.type != VarType::kContinuous) os << ' ' << v.name;
+  }
+  os << "\nEnd\n";
+  return os.str();
+}
+
+}  // namespace wnet::milp

@@ -1,0 +1,91 @@
+#include "milp/presolve.h"
+
+#include <cmath>
+
+#include "milp/linearize.h"
+
+namespace wnet::milp {
+
+namespace {
+
+/// Tightens x's bounds given `expr sense rhs`, using the activity of the
+/// row excluding x. Returns the number of bounds changed, or -1 on proven
+/// infeasibility.
+int tighten_from_row(Model& m, const Constraint& cn, double tol) {
+  // Row activity bounds including every term.
+  const double act_lo = expr_lower_bound(m, cn.expr);
+  const double act_hi = expr_upper_bound(m, cn.expr);
+
+  // Quick infeasibility / redundancy screening.
+  if (cn.sense != Sense::kGe && act_lo > cn.rhs + tol) return -1;
+  if (cn.sense != Sense::kLe && act_hi < cn.rhs - tol) return -1;
+
+  int changed = 0;
+  for (const auto& [v, a] : cn.expr.terms()) {
+    const VarData& vd = m.var(v);
+    // Activity of the row without this term (subtract its own extreme).
+    const double own_lo = a >= 0 ? a * vd.lb : a * vd.ub;
+    const double own_hi = a >= 0 ? a * vd.ub : a * vd.lb;
+
+    double new_lb = vd.lb;
+    double new_ub = vd.ub;
+
+    if (cn.sense != Sense::kGe && std::isfinite(act_lo)) {
+      // sum <= rhs: a*x <= rhs - (act_lo - own_lo)
+      const double rest_lo = act_lo - own_lo;
+      const double cap = cn.rhs - rest_lo;
+      if (a > 0) {
+        new_ub = std::min(new_ub, cap / a);
+      } else if (a < 0) {
+        new_lb = std::max(new_lb, cap / a);
+      }
+    }
+    if (cn.sense != Sense::kLe && std::isfinite(act_hi)) {
+      // sum >= rhs: a*x >= rhs - (act_hi - own_hi)
+      const double rest_hi = act_hi - own_hi;
+      const double floor_v = cn.rhs - rest_hi;
+      if (a > 0) {
+        new_lb = std::max(new_lb, floor_v / a);
+      } else if (a < 0) {
+        new_ub = std::min(new_ub, floor_v / a);
+      }
+    }
+
+    if (vd.type != VarType::kContinuous) {
+      // Round inward, with a small epsilon so 2.9999999 stays 3.
+      new_lb = std::ceil(new_lb - 1e-9);
+      new_ub = std::floor(new_ub + 1e-9);
+    }
+    if (new_lb > new_ub + tol) return -1;
+    new_ub = std::max(new_ub, new_lb);
+
+    if (new_lb > vd.lb + tol || new_ub < vd.ub - tol) {
+      m.set_bounds(v, std::max(new_lb, vd.lb), std::min(new_ub, vd.ub));
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+PresolveResult presolve(Model& m, int max_rounds, double tol) {
+  PresolveResult out;
+  for (int round = 0; round < max_rounds; ++round) {
+    ++out.rounds;
+    int changed = 0;
+    for (const Constraint& cn : m.constrs()) {
+      const int c = tighten_from_row(m, cn, tol);
+      if (c < 0) {
+        out.proven_infeasible = true;
+        return out;
+      }
+      changed += c;
+    }
+    out.bounds_tightened += changed;
+    if (changed == 0) break;
+  }
+  return out;
+}
+
+}  // namespace wnet::milp

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "milp/model.h"
+
+namespace wnet::milp {
+
+struct PresolveResult {
+  bool proven_infeasible = false;
+  int bounds_tightened = 0;
+  int rounds = 0;
+};
+
+/// Conservative presolve: iterated activity-based bound tightening.
+///
+/// Only variable bounds are modified (no rows or columns are removed), so
+/// solutions of the presolved model are solutions of the original and no
+/// mapping-back step is needed. Integer variable bounds are rounded inward.
+/// Tighter bounds both shrink the B&B tree and strengthen every big-M
+/// linearization built from bounds downstream.
+[[nodiscard]] PresolveResult presolve(Model& m, int max_rounds = 5, double tol = 1e-9);
+
+}  // namespace wnet::milp

@@ -1,0 +1,394 @@
+#include "milp/simplex/dual_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "util/stopwatch.h"
+
+namespace wnet::milp::simplex {
+
+DualSimplex::DualSimplex(const StandardLp& lp, LpOptions opts) : lp_(&lp), opts_(opts) {}
+
+void DualSimplex::reset_costs() {
+  cost_ = lp_->c();
+  perturbed_ = false;
+  if (!opts_.perturb) return;
+  // Deterministic jitter, large against dual_tol but invisible in the
+  // objective (the exact costs are restored before termination).
+  std::mt19937 rng(0x5eedu);
+  std::uniform_real_distribution<double> u(0.5, 1.5);
+  for (double& c : cost_) {
+    const double eps = 1e-6 * (1.0 + std::abs(c)) * u(rng);
+    c += (rng() & 1) != 0u ? eps : -eps;
+  }
+  perturbed_ = true;
+}
+
+double DualSimplex::violation(int j, double v) const {
+  const double lb = lp_->lb()[static_cast<size_t>(j)];
+  const double ub = lp_->ub()[static_cast<size_t>(j)];
+  if (v > ub + opts_.feas_tol) return v - ub;
+  if (v < lb - opts_.feas_tol) return v - lb;
+  return 0.0;
+}
+
+void DualSimplex::start_from_slack_basis() {
+  const int m = lp_->num_rows();
+  const int n = lp_->num_cols();
+  const int n_struct = n - m;
+  basis_.basic.resize(static_cast<size_t>(m));
+  basis_.status.assign(static_cast<size_t>(n), ColStatus::kAtLower);
+  for (int i = 0; i < m; ++i) {
+    basis_.basic[static_cast<size_t>(i)] = n_struct + i;
+    basis_.status[static_cast<size_t>(n_struct + i)] = ColStatus::kBasic;
+  }
+  // Nonbasic structurals at the dual-feasible bound for their cost sign;
+  // cost-neutral columns rest at whichever bound is finite.
+  for (int j = 0; j < n_struct; ++j) {
+    const double c = cost_[static_cast<size_t>(j)];
+    if (c < 0) {
+      basis_.status[static_cast<size_t>(j)] = ColStatus::kAtUpper;
+    } else if (c > 0 || std::isfinite(lp_->lb()[static_cast<size_t>(j)])) {
+      basis_.status[static_cast<size_t>(j)] = ColStatus::kAtLower;
+    } else {
+      basis_.status[static_cast<size_t>(j)] = ColStatus::kAtUpper;
+    }
+  }
+  install_basis(basis_);
+}
+
+void DualSimplex::install_basis(const Basis& basis) {
+  const int m = lp_->num_rows();
+  const int n = lp_->num_cols();
+  if (static_cast<int>(basis.basic.size()) != m || static_cast<int>(basis.status.size()) != n) {
+    throw std::invalid_argument("DualSimplex: basis dimension mismatch");
+  }
+  basis_ = basis;
+  in_basis_.assign(static_cast<size_t>(n), 0);
+  for (int col : basis_.basic) in_basis_[static_cast<size_t>(col)] = 1;
+  values_.assign(static_cast<size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    double v = 0.0;
+    switch (basis_.status[static_cast<size_t>(j)]) {
+      case ColStatus::kAtLower: v = lp_->lb()[static_cast<size_t>(j)]; break;
+      case ColStatus::kAtUpper: v = lp_->ub()[static_cast<size_t>(j)]; break;
+      case ColStatus::kBasic: continue;
+    }
+    if (!std::isfinite(v)) {
+      // A warm basis can point a nonbasic column at a bound that became
+      // infinite; rest it at the finite side (or zero) instead.
+      const double lb = lp_->lb()[static_cast<size_t>(j)];
+      const double ub = lp_->ub()[static_cast<size_t>(j)];
+      if (std::isfinite(lb)) {
+        basis_.status[static_cast<size_t>(j)] = ColStatus::kAtLower;
+        v = lb;
+      } else if (std::isfinite(ub)) {
+        basis_.status[static_cast<size_t>(j)] = ColStatus::kAtUpper;
+        v = ub;
+      } else {
+        v = 0.0;
+      }
+    }
+    values_[static_cast<size_t>(j)] = v;
+  }
+}
+
+void DualSimplex::repair_nonbasic_statuses() {
+  const int n = lp_->num_cols();
+  for (int j = 0; j < n; ++j) {
+    if (basis_.status[static_cast<size_t>(j)] == ColStatus::kBasic) continue;
+    const double d = dj_[static_cast<size_t>(j)];
+    if (basis_.status[static_cast<size_t>(j)] == ColStatus::kAtLower && d < -opts_.dual_tol &&
+        std::isfinite(lp_->ub()[static_cast<size_t>(j)])) {
+      basis_.status[static_cast<size_t>(j)] = ColStatus::kAtUpper;
+      values_[static_cast<size_t>(j)] = lp_->ub()[static_cast<size_t>(j)];
+    } else if (basis_.status[static_cast<size_t>(j)] == ColStatus::kAtUpper &&
+               d > opts_.dual_tol && std::isfinite(lp_->lb()[static_cast<size_t>(j)])) {
+      basis_.status[static_cast<size_t>(j)] = ColStatus::kAtLower;
+      values_[static_cast<size_t>(j)] = lp_->lb()[static_cast<size_t>(j)];
+    }
+  }
+}
+
+bool DualSimplex::refactorize() {
+  lu_valid_ = lu_.factorize(lp_->a(), basis_.basic);
+  return lu_valid_;
+}
+
+void DualSimplex::recompute_basics() {
+  const int m = lp_->num_rows();
+  const int n = lp_->num_cols();
+  std::vector<double> r = lp_->b();
+  for (int j = 0; j < n; ++j) {
+    if (in_basis_[static_cast<size_t>(j)]) continue;
+    const double v = values_[static_cast<size_t>(j)];
+    if (v != 0.0) lp_->a().axpy_column(j, -v, r);
+  }
+  lu_.ftran(r);  // r now holds x_B by basis position
+  for (int pos = 0; pos < m; ++pos) {
+    values_[static_cast<size_t>(basis_.basic[static_cast<size_t>(pos)])] =
+        r[static_cast<size_t>(pos)];
+  }
+}
+
+void DualSimplex::compute_duals() {
+  const int m = lp_->num_rows();
+  const int n = lp_->num_cols();
+  duals_.assign(static_cast<size_t>(m), 0.0);
+  for (int pos = 0; pos < m; ++pos) {
+    duals_[static_cast<size_t>(pos)] =
+        cost_[static_cast<size_t>(basis_.basic[static_cast<size_t>(pos)])];
+  }
+  lu_.btran(duals_);  // y by row
+  dj_.assign(static_cast<size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    if (in_basis_[static_cast<size_t>(j)]) continue;
+    dj_[static_cast<size_t>(j)] = cost_[static_cast<size_t>(j)] - lp_->a().dot_column(j, duals_);
+  }
+}
+
+LpResult DualSimplex::solve() {
+  reset_costs();
+  start_from_slack_basis();
+  if (!refactorize()) {
+    // The slack basis is the identity; failure here is impossible unless
+    // the instance is malformed.
+    LpResult res;
+    res.status = LpStatus::kNumericalTrouble;
+    return res;
+  }
+  recompute_basics();
+  compute_duals();
+  return run();
+}
+
+LpResult DualSimplex::solve_from(const Basis& basis) {
+  reset_costs();
+  // The factorization depends only on the basic column sequence; reuse it
+  // when the caller's basis matches (the common branch-and-bound case).
+  const bool same_basis = lu_valid_ && basis.basic == basis_.basic;
+  install_basis(basis);
+  if (!same_basis && !refactorize()) return solve();  // degenerate fallback
+  recompute_basics();
+  compute_duals();
+  repair_nonbasic_statuses();
+  recompute_basics();  // bound flips moved nonbasic values
+  return run();
+}
+
+LpResult DualSimplex::resolve() {
+  if (!lu_valid_ || basis_.basic.empty()) return solve();
+  reset_costs();
+  // Bounds changed under us: re-seat nonbasic columns on their (possibly
+  // moved) bounds and repair values/duals; the LU stays valid.
+  for (int j = 0; j < lp_->num_cols(); ++j) {
+    switch (basis_.status[static_cast<size_t>(j)]) {
+      case ColStatus::kAtLower: values_[static_cast<size_t>(j)] = lp_->lb()[static_cast<size_t>(j)]; break;
+      case ColStatus::kAtUpper: values_[static_cast<size_t>(j)] = lp_->ub()[static_cast<size_t>(j)]; break;
+      case ColStatus::kBasic: break;
+    }
+  }
+  recompute_basics();
+  compute_duals();
+  repair_nonbasic_statuses();
+  recompute_basics();
+  return run();
+}
+
+LpResult DualSimplex::run() {
+  const int m = lp_->num_rows();
+  const int n = lp_->num_cols();
+
+  if (m == 0) {  // pure box problem: the start values are already optimal
+    return finish(LpStatus::kOptimal, 0);
+  }
+
+  std::vector<double> rho(static_cast<size_t>(m));
+  std::vector<double> w(static_cast<size_t>(m));
+  util::Stopwatch clock;
+
+  int stall = 0;
+  double last_inf_sum = kInf;
+  bool bland = false;
+
+  for (int iter = 0; iter < opts_.max_iters; ++iter) {
+    if ((iter & 63) == 63 && clock.seconds() > opts_.time_limit_s) {
+      return finish(LpStatus::kIterLimit, iter);
+    }
+    // --- Leaving variable: most violated basic (or lowest index in Bland
+    // mode to break degenerate cycles).
+    int r = -1;
+    double best_viol = 0.0;
+    double inf_sum = 0.0;
+    for (int pos = 0; pos < m; ++pos) {
+      const int col = basis_.basic[static_cast<size_t>(pos)];
+      const double v = violation(col, values_[static_cast<size_t>(col)]);
+      if (v == 0.0) continue;
+      inf_sum += std::abs(v);
+      if (bland) {
+        if (r == -1 || col < basis_.basic[static_cast<size_t>(r)]) {
+          r = pos;
+          best_viol = v;
+        }
+      } else if (std::abs(v) > std::abs(best_viol)) {
+        r = pos;
+        best_viol = v;
+      }
+    }
+    if (r == -1) {
+      if (!perturbed_) return finish(LpStatus::kOptimal, iter);
+      // Primal feasible under jittered costs: restore the exact costs and
+      // re-optimize (usually a handful of clean-up pivots).
+      cost_ = lp_->c();
+      perturbed_ = false;
+      compute_duals();
+      repair_nonbasic_statuses();
+      recompute_basics();
+      continue;
+    }
+
+    if (inf_sum >= last_inf_sum - 1e-12) {
+      if (++stall > 200) bland = true;
+    } else {
+      stall = 0;
+      bland = false;
+    }
+    last_inf_sum = inf_sum;
+
+    const int leaving_col = basis_.basic[static_cast<size_t>(r)];
+    const double sigma = best_viol > 0 ? 1.0 : -1.0;
+
+    // --- Row r of B^{-1}: rho = B^{-T} e_r.
+    std::fill(rho.begin(), rho.end(), 0.0);
+    rho[static_cast<size_t>(r)] = 1.0;
+    lu_.btran(rho);
+
+    // --- Dual ratio test over nonbasic columns. The alphas double as the
+    // pivot row needed for the incremental reduced-cost update below.
+    cands_.clear();
+    alphas_.assign(static_cast<size_t>(n), 0.0);
+    for (int j = 0; j < n; ++j) {
+      if (in_basis_[static_cast<size_t>(j)]) continue;
+      if (lp_->lb()[static_cast<size_t>(j)] == lp_->ub()[static_cast<size_t>(j)]) {
+        continue;  // fixed, can never move
+      }
+      const double alpha = lp_->a().dot_column(j, rho);
+      alphas_[static_cast<size_t>(j)] = alpha;
+      const double sa = sigma * alpha;
+      const ColStatus st = basis_.status[static_cast<size_t>(j)];
+      if (st == ColStatus::kAtLower && sa > opts_.pivot_tol) {
+        cands_.push_back({j, alpha, std::max(0.0, dj_[static_cast<size_t>(j)]) / sa});
+      } else if (st == ColStatus::kAtUpper && sa < -opts_.pivot_tol) {
+        cands_.push_back({j, alpha, std::max(0.0, -dj_[static_cast<size_t>(j)]) / (-sa)});
+      }
+    }
+    const auto& cands = cands_;
+    if (cands.empty()) return finish(LpStatus::kPrimalInfeasible, iter);
+
+    int q = -1;
+    double best_alpha = 0.0;
+    if (bland) {
+      // Bland-style anti-cycling: smallest column index among those within
+      // tolerance of the minimal ratio.
+      double rmin = kInf;
+      for (const auto& c : cands) rmin = std::min(rmin, c.ratio);
+      for (const auto& c : cands) {
+        if (c.ratio <= rmin + opts_.dual_tol && (q == -1 || c.col < q)) {
+          q = c.col;
+          best_alpha = c.alpha;
+        }
+      }
+    } else {
+      double best_ratio = kInf;
+      for (const auto& c : cands) {
+        if (c.ratio < best_ratio - 1e-12 ||
+            (c.ratio < best_ratio + 1e-12 && std::abs(c.alpha) > std::abs(best_alpha))) {
+          q = c.col;
+          best_alpha = c.alpha;
+          best_ratio = c.ratio;
+        }
+      }
+    }
+
+    // --- FTRAN the entering column.
+    w.assign(static_cast<size_t>(m), 0.0);
+    for (const Entry& e : lp_->a().column(q)) w[static_cast<size_t>(e.row)] = e.value;
+    lu_.ftran(w);
+    const double alpha_rq = w[static_cast<size_t>(r)];
+    if (std::abs(alpha_rq) < opts_.pivot_tol) {
+      // FTRAN disagrees with BTRAN pricing: numerics degraded; refactorize
+      // and retry the iteration.
+      if (!refactorize()) return finish(LpStatus::kNumericalTrouble, iter);
+      recompute_basics();
+      compute_duals();
+      continue;
+    }
+
+    // --- Pivot: leaving goes to its violated bound, entering becomes basic.
+    const double delta = best_viol;           // signed distance past the bound
+    const double step = delta / alpha_rq;     // change of the entering value
+    for (int pos = 0; pos < m; ++pos) {
+      const int col = basis_.basic[static_cast<size_t>(pos)];
+      values_[static_cast<size_t>(col)] -= w[static_cast<size_t>(pos)] * step;
+    }
+    values_[static_cast<size_t>(q)] += step;
+    values_[static_cast<size_t>(leaving_col)] =
+        sigma > 0 ? lp_->ub()[static_cast<size_t>(leaving_col)]
+                  : lp_->lb()[static_cast<size_t>(leaving_col)];
+
+    basis_.status[static_cast<size_t>(leaving_col)] =
+        sigma > 0 ? ColStatus::kAtUpper : ColStatus::kAtLower;
+    basis_.status[static_cast<size_t>(q)] = ColStatus::kBasic;
+    basis_.basic[static_cast<size_t>(r)] = q;
+    in_basis_[static_cast<size_t>(leaving_col)] = 0;
+    in_basis_[static_cast<size_t>(q)] = 1;
+
+    if (lu_.num_updates() >= opts_.refactor_interval || !lu_.update(r, w)) {
+      if (!refactorize()) return finish(LpStatus::kNumericalTrouble, iter);
+      recompute_basics();
+      compute_duals();  // fresh duals at every refactorization
+    } else {
+      // Incremental reduced-cost update: one dual pivot of size
+      // theta = d_q / alpha_q; every nonbasic j moves by -theta * alpha_j
+      // and the leaving column picks up -theta. Saves a BTRAN plus a full
+      // pricing pass per iteration; drift is repaired at refactorization.
+      const double theta = dj_[static_cast<size_t>(q)] / alpha_rq;
+      if (theta != 0.0) {
+        for (int j = 0; j < n; ++j) {
+          const double a_j = alphas_[static_cast<size_t>(j)];
+          if (a_j != 0.0) dj_[static_cast<size_t>(j)] -= theta * a_j;
+        }
+      }
+      dj_[static_cast<size_t>(q)] = 0.0;
+      dj_[static_cast<size_t>(leaving_col)] = -theta;
+    }
+  }
+  return finish(LpStatus::kIterLimit, opts_.max_iters);
+}
+
+LpResult DualSimplex::finish(LpStatus status, int iters) {
+  LpResult res;
+  res.status = status;
+  res.iterations = iters;
+  res.x = values_;
+  res.reduced_costs = dj_;
+  res.objective = lp_->objective_value(values_);
+  if (status == LpStatus::kOptimal) {
+    // A solution resting on a synthetic bound means the true problem is
+    // unbounded in that direction (or the bound is simply not binding —
+    // only flag when the synthetic bound is active).
+    for (int j = 0; j < lp_->num_cols(); ++j) {
+      const double v = values_[static_cast<size_t>(j)];
+      if ((lp_->lb_synthetic(j) && v <= -kBigBound + 1.0) ||
+          (lp_->ub_synthetic(j) && v >= kBigBound - 1.0)) {
+        res.status = LpStatus::kUnbounded;
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace wnet::milp::simplex

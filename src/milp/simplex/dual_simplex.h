@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "milp/simplex/lu.h"
+#include "milp/simplex/standard_lp.h"
+
+namespace wnet::milp::simplex {
+
+enum class LpStatus {
+  kOptimal,
+  kPrimalInfeasible,
+  kUnbounded,        ///< optimum rests on a synthetic (clamped-infinite) bound
+  kIterLimit,
+  kNumericalTrouble,
+};
+
+struct LpOptions {
+  double feas_tol = 1e-7;    ///< primal bound violation tolerance
+  double dual_tol = 1e-7;    ///< reduced-cost sign tolerance
+  double pivot_tol = 1e-8;   ///< minimum |pivot| admitted
+  int max_iters = 200000;
+  int refactor_interval = 100;
+  /// Wall-clock budget for one solve; expiry reports kIterLimit.
+  double time_limit_s = 1e30;
+  /// Anti-degeneracy cost perturbation: solve with slightly jittered costs
+  /// (breaking the reduced-cost ties that cause stalling), then restore the
+  /// exact costs and re-optimize — typically a handful of clean-up pivots.
+  bool perturb = true;
+};
+
+enum class ColStatus : uint8_t { kBasic, kAtLower, kAtUpper };
+
+/// A simplex basis: one basic column per row plus nonbasic bound statuses.
+/// The MIP search passes these between parent and child nodes.
+struct Basis {
+  std::vector<int> basic;          ///< size m, column index per row position
+  std::vector<ColStatus> status;   ///< size num_cols
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kNumericalTrouble;
+  double objective = 0.0;          ///< includes the model's objective constant
+  std::vector<double> x;           ///< full column space (structurals first)
+  std::vector<double> reduced_costs;  ///< per column (basic columns: 0)
+  int iterations = 0;
+};
+
+/// Bounded-variable dual simplex.
+///
+/// Because every column is bounded (infinities are clamped by StandardLp),
+/// the all-slack basis with nonbasic statuses matched to cost signs is
+/// always dual feasible, so one dual simplex run serves as both phase 1 and
+/// phase 2. It is also the natural engine for branch-and-bound: after a
+/// bound change the old basis stays dual feasible and only primal
+/// feasibility needs repair.
+class DualSimplex {
+ public:
+  explicit DualSimplex(const StandardLp& lp, LpOptions opts = {});
+
+  /// Solves from the fresh all-slack basis.
+  LpResult solve();
+
+  /// Solves warm-started from `basis` (e.g. the parent node's). Falls back
+  /// to a fresh solve on numerical trouble.
+  LpResult solve_from(const Basis& basis);
+
+  /// Basis after the last solve (valid when status is kOptimal/kUnbounded).
+  [[nodiscard]] const Basis& basis() const { return basis_; }
+
+  /// Adjusts the per-solve wall-clock budget (branch-and-bound sets this to
+  /// the remaining global budget before each node).
+  void set_time_limit(double seconds) { opts_.time_limit_s = seconds; }
+
+  /// Solves again after external bound changes, reusing the current basis
+  /// AND its factorization (cheapest path for branch-and-bound plunging).
+  LpResult resolve();
+
+ private:
+  void start_from_slack_basis();
+  void install_basis(const Basis& basis);
+  /// Repairs dual feasibility of nonbasic statuses by bound flips.
+  void repair_nonbasic_statuses();
+  bool refactorize();
+  void recompute_basics();
+  void compute_duals();
+  LpResult run();
+  LpResult finish(LpStatus status, int iters);
+
+  /// Primal bound violation of column j at value v (positive above ub,
+  /// negative below lb, 0 if inside).
+  [[nodiscard]] double violation(int j, double v) const;
+
+  /// Installs the (possibly perturbed) working costs.
+  void reset_costs();
+
+  const StandardLp* lp_;
+  LpOptions opts_;
+  BasisLu lu_;
+  bool lu_valid_ = false;
+  Basis basis_;
+  std::vector<double> values_;  ///< current value of every column
+  std::vector<double> duals_;   ///< y, per row
+  std::vector<double> dj_;      ///< reduced costs, per column
+  std::vector<char> in_basis_;  ///< fast basic-membership flag
+  std::vector<double> cost_;    ///< working costs (perturbed while active)
+  bool perturbed_ = false;      ///< true while cost_ != exact costs
+
+  /// Per-iteration scratch (kept as members to avoid reallocation).
+  struct RatioCandidate {
+    int col;
+    double alpha;
+    double ratio;
+  };
+  std::vector<RatioCandidate> cands_;
+  std::vector<double> alphas_;  ///< pivot row alpha_j per column
+};
+
+}  // namespace wnet::milp::simplex

@@ -1,0 +1,201 @@
+#include "milp/simplex/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace wnet::milp::simplex {
+
+bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis_cols,
+                        double singular_tol) {
+  m_ = static_cast<int>(basis_cols.size());
+  if (a.num_rows() != m_) throw std::invalid_argument("BasisLu: basis must be square");
+
+  l_cols_.assign(static_cast<size_t>(m_), {});
+  u_cols_.assign(static_cast<size_t>(m_), {});
+  u_diag_.assign(static_cast<size_t>(m_), 0.0);
+  p_.assign(static_cast<size_t>(m_), -1);
+  pinv_.assign(static_cast<size_t>(m_), -1);
+  q_.resize(static_cast<size_t>(m_));
+  etas_.clear();
+  work_.assign(static_cast<size_t>(m_), 0.0);
+  work2_.assign(static_cast<size_t>(m_), 0.0);
+
+  // Column pre-ordering by nonzero count (cheap fill reduction).
+  std::iota(q_.begin(), q_.end(), 0);
+  std::sort(q_.begin(), q_.end(), [&](int x, int y) {
+    const size_t nx = a.column(basis_cols[static_cast<size_t>(x)]).size();
+    const size_t ny = a.column(basis_cols[static_cast<size_t>(y)]).size();
+    if (nx != ny) return nx < ny;
+    return x < y;
+  });
+
+  std::vector<double>& x = work_;
+  // Min-heap of pivot steps whose rows currently hold nonzeros; drives the
+  // left-looking elimination in topological (step) order so the work is
+  // proportional to actual fill, not O(m) per column.
+  std::priority_queue<int, std::vector<int>, std::greater<>> steps;
+  std::vector<char> queued(static_cast<size_t>(m_), 0);
+
+  for (int k = 0; k < m_; ++k) {
+    // Scatter the k-th factored column and enqueue already-pivoted rows.
+    for (const Entry& e : a.column(basis_cols[static_cast<size_t>(q_[static_cast<size_t>(k)])])) {
+      x[static_cast<size_t>(e.row)] = e.value;
+      const int t = pinv_[static_cast<size_t>(e.row)];
+      if (t >= 0 && !queued[static_cast<size_t>(t)]) {
+        queued[static_cast<size_t>(t)] = 1;
+        steps.push(t);
+      }
+    }
+
+    auto& ucol = u_cols_[static_cast<size_t>(k)];
+    while (!steps.empty()) {
+      const int t = steps.top();
+      steps.pop();
+      queued[static_cast<size_t>(t)] = 0;
+      const int prow = p_[static_cast<size_t>(t)];
+      const double xv = x[static_cast<size_t>(prow)];
+      x[static_cast<size_t>(prow)] = 0.0;  // consumed into U
+      if (xv == 0.0) continue;             // numerically cancelled
+      ucol.push_back({t, xv});
+      for (const Entry& le : l_cols_[static_cast<size_t>(t)]) {
+        x[static_cast<size_t>(le.row)] -= le.value * xv;
+        const int ts = pinv_[static_cast<size_t>(le.row)];
+        if (ts >= 0 && !queued[static_cast<size_t>(ts)]) {
+          queued[static_cast<size_t>(ts)] = 1;
+          steps.push(ts);
+        }
+      }
+    }
+
+    // Partial pivoting over not-yet-pivoted rows.
+    int pivot_row = -1;
+    double best = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      if (pinv_[static_cast<size_t>(i)] >= 0) continue;
+      const double v = std::abs(x[static_cast<size_t>(i)]);
+      if (v > best) {
+        best = v;
+        pivot_row = i;
+      }
+    }
+    if (pivot_row < 0 || best < singular_tol) {
+      // Clean scratch before reporting singularity.
+      for (int i = 0; i < m_; ++i) x[static_cast<size_t>(i)] = 0.0;
+      return false;
+    }
+
+    const double pivot = x[static_cast<size_t>(pivot_row)];
+    p_[static_cast<size_t>(k)] = pivot_row;
+    pinv_[static_cast<size_t>(pivot_row)] = k;
+    u_diag_[static_cast<size_t>(k)] = pivot;
+    x[static_cast<size_t>(pivot_row)] = 0.0;
+
+    auto& lcol = l_cols_[static_cast<size_t>(k)];
+    for (int i = 0; i < m_; ++i) {
+      const double v = x[static_cast<size_t>(i)];
+      if (v == 0.0) continue;
+      x[static_cast<size_t>(i)] = 0.0;
+      if (pinv_[static_cast<size_t>(i)] >= 0) continue;  // stale zero-cancelled entry
+      lcol.push_back({i, v / pivot});
+    }
+  }
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  // Forward: y = L^{-1} P x, working in original-row space.
+  for (int t = 0; t < m_; ++t) {
+    const double v = x[static_cast<size_t>(p_[static_cast<size_t>(t)])];
+    if (v == 0.0) continue;
+    for (const Entry& le : l_cols_[static_cast<size_t>(t)]) {
+      x[static_cast<size_t>(le.row)] -= le.value * v;
+    }
+  }
+  // Gather into step space.
+  std::vector<double>& y = work2_;
+  for (int t = 0; t < m_; ++t) y[static_cast<size_t>(t)] = x[static_cast<size_t>(p_[static_cast<size_t>(t)])];
+
+  // Backward: z = U^{-1} y (column-oriented back substitution).
+  for (int k = m_ - 1; k >= 0; --k) {
+    const double zk = y[static_cast<size_t>(k)] / u_diag_[static_cast<size_t>(k)];
+    y[static_cast<size_t>(k)] = zk;
+    if (zk == 0.0) continue;
+    for (const Entry& ue : u_cols_[static_cast<size_t>(k)]) {
+      y[static_cast<size_t>(ue.row)] -= ue.value * zk;
+    }
+  }
+
+  // Un-permute columns: x[basis position q_[k]] = z[k].
+  for (int k = 0; k < m_; ++k) x[static_cast<size_t>(q_[static_cast<size_t>(k)])] = y[static_cast<size_t>(k)];
+
+  // Apply eta transformations in application order.
+  for (const Eta& e : etas_) {
+    const double xr = x[static_cast<size_t>(e.pos)] / e.pivot;
+    x[static_cast<size_t>(e.pos)] = xr;
+    if (xr == 0.0) continue;
+    for (const Entry& en : e.other) x[static_cast<size_t>(en.row)] -= en.value * xr;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& y) const {
+  // Etas transposed, newest first: y <- E^{-T} y.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = y[static_cast<size_t>(it->pos)];
+    for (const Entry& en : it->other) acc -= en.value * y[static_cast<size_t>(en.row)];
+    y[static_cast<size_t>(it->pos)] = acc / it->pivot;
+  }
+
+  // Permute into step space: c_q[k] = y[q_[k]].
+  std::vector<double>& w = work2_;
+  for (int k = 0; k < m_; ++k) w[static_cast<size_t>(k)] = y[static_cast<size_t>(q_[static_cast<size_t>(k)])];
+
+  // Solve U^T w' = c_q forward over steps (U stored by column).
+  for (int k = 0; k < m_; ++k) {
+    double acc = w[static_cast<size_t>(k)];
+    for (const Entry& ue : u_cols_[static_cast<size_t>(k)]) {
+      acc -= ue.value * w[static_cast<size_t>(ue.row)];
+    }
+    w[static_cast<size_t>(k)] = acc / u_diag_[static_cast<size_t>(k)];
+  }
+
+  // Solve L^T t = w backward; L column entries live in original-row space,
+  // their step index is pinv_.
+  for (int k = m_ - 1; k >= 0; --k) {
+    double acc = w[static_cast<size_t>(k)];
+    for (const Entry& le : l_cols_[static_cast<size_t>(k)]) {
+      acc -= le.value * w[static_cast<size_t>(pinv_[static_cast<size_t>(le.row)])];
+    }
+    w[static_cast<size_t>(k)] = acc;
+  }
+
+  // Un-permute rows: y[p_[k]] = t[k].
+  for (int k = 0; k < m_; ++k) y[static_cast<size_t>(p_[static_cast<size_t>(k)])] = w[static_cast<size_t>(k)];
+}
+
+bool BasisLu::update(int pos, const std::vector<double>& w, double pivot_tol) {
+  const double pivot = w[static_cast<size_t>(pos)];
+  if (std::abs(pivot) < pivot_tol) return false;
+  Eta e;
+  e.pos = pos;
+  e.pivot = pivot;
+  for (int i = 0; i < m_; ++i) {
+    if (i == pos) continue;
+    const double v = w[static_cast<size_t>(i)];
+    if (v != 0.0) e.other.push_back({i, v});
+  }
+  etas_.push_back(std::move(e));
+  return true;
+}
+
+size_t BasisLu::fill() const {
+  size_t n = 0;
+  for (const auto& c : l_cols_) n += c.size();
+  for (const auto& c : u_cols_) n += c.size();
+  for (const auto& e : etas_) n += e.other.size() + 1;
+  return n;
+}
+
+}  // namespace wnet::milp::simplex

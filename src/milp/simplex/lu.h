@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "milp/simplex/sparse.h"
+
+namespace wnet::milp::simplex {
+
+/// Sparse LU factorization of a simplex basis with partial pivoting
+/// (left-looking Gilbert-Peierls style) plus product-form-of-the-inverse
+/// eta updates between refactorizations.
+///
+/// Spaces: FTRAN input is indexed by constraint row, output by *basis
+/// position*; BTRAN input by basis position, output by constraint row.
+/// Eta updates live purely in basis-position space.
+class BasisLu {
+ public:
+  /// Factorizes B = A[:, basis_cols]. Columns are pre-ordered by increasing
+  /// nonzero count to curb fill-in. Returns false if the basis is singular
+  /// (pivot below `singular_tol`).
+  bool factorize(const SparseMatrix& a, const std::vector<int>& basis_cols,
+                 double singular_tol = 1e-10);
+
+  /// Solves B x = b. `x` is b on input (indexed by row) and the solution on
+  /// output (indexed by basis position).
+  void ftran(std::vector<double>& x) const;
+
+  /// Solves B^T y = c. `y` is c on input (indexed by basis position) and
+  /// the solution on output (indexed by row).
+  void btran(std::vector<double>& y) const;
+
+  /// Records the replacement of basis position `pos` by a column whose
+  /// FTRAN representation is `w` (dense, basis-position space). Returns
+  /// false if |w[pos]| is too small to pivot on — caller must refactorize.
+  bool update(int pos, const std::vector<double>& w, double pivot_tol = 1e-9);
+
+  [[nodiscard]] int num_updates() const { return static_cast<int>(etas_.size()); }
+  [[nodiscard]] int dim() const { return m_; }
+
+  /// Total nonzeros in L + U + etas (refactorization trigger heuristic).
+  [[nodiscard]] size_t fill() const;
+
+ private:
+  struct Eta {
+    int pos;                   ///< replaced basis position
+    double pivot;              ///< w[pos]
+    std::vector<Entry> other;  ///< w[i] for i != pos, nonzero
+  };
+
+  int m_ = 0;
+  // L: column t holds entries (original row i, value) with pinv_[i] > t;
+  // implicit unit diagonal at row p_[t].
+  std::vector<std::vector<Entry>> l_cols_;
+  // U: column k holds strictly-upper entries (step t < k, value); diagonal
+  // stored separately.
+  std::vector<std::vector<Entry>> u_cols_;
+  std::vector<double> u_diag_;
+  std::vector<int> p_;       ///< p_[step] = original row
+  std::vector<int> pinv_;    ///< pinv_[original row] = step
+  std::vector<int> q_;       ///< q_[step] = basis position of factored column
+  std::vector<Eta> etas_;
+
+  mutable std::vector<double> work_;   ///< dense scratch, size m
+  mutable std::vector<double> work2_;  ///< dense scratch, size m
+};
+
+}  // namespace wnet::milp::simplex

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wnet::milp::simplex {
+
+/// One nonzero entry of a sparse column.
+struct Entry {
+  int row;
+  double value;
+};
+
+/// Column-major sparse matrix (CSC-lite): a vector of columns, each a list
+/// of (row, value) entries sorted by row. The simplex works column-wise
+/// (FTRAN of A_j, pricing dot-products), so no row-major mirror is needed.
+class SparseMatrix {
+ public:
+  SparseMatrix(int rows, int cols) : rows_(rows), cols_(static_cast<size_t>(cols)) {}
+
+  void set_column(int j, std::vector<Entry> entries) {
+    cols_[static_cast<size_t>(j)] = std::move(entries);
+  }
+  [[nodiscard]] const std::vector<Entry>& column(int j) const {
+    return cols_[static_cast<size_t>(j)];
+  }
+
+  [[nodiscard]] int num_rows() const { return rows_; }
+  [[nodiscard]] int num_cols() const { return static_cast<int>(cols_.size()); }
+
+  [[nodiscard]] size_t nonzeros() const {
+    size_t n = 0;
+    for (const auto& c : cols_) n += c.size();
+    return n;
+  }
+
+  /// Dot product of column j with a dense vector.
+  [[nodiscard]] double dot_column(int j, const std::vector<double>& dense) const {
+    double s = 0.0;
+    for (const Entry& e : cols_[static_cast<size_t>(j)]) {
+      s += e.value * dense[static_cast<size_t>(e.row)];
+    }
+    return s;
+  }
+
+  /// dense += scale * column j.
+  void axpy_column(int j, double scale, std::vector<double>& dense) const {
+    for (const Entry& e : cols_[static_cast<size_t>(j)]) {
+      dense[static_cast<size_t>(e.row)] += scale * e.value;
+    }
+  }
+
+ private:
+  int rows_;
+  std::vector<std::vector<Entry>> cols_;
+};
+
+}  // namespace wnet::milp::simplex

@@ -1,0 +1,419 @@
+#include "milp/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace wnet::milp {
+
+namespace {
+
+using simplex::Basis;
+using simplex::DualSimplex;
+using simplex::LpResult;
+using simplex::LpStatus;
+using simplex::StandardLp;
+
+/// One bound tightening on the path from the root to a node; chained via
+/// shared parents so sibling subtrees share prefixes.
+struct BoundChange {
+  int col;
+  double lb;
+  double ub;
+  std::shared_ptr<const BoundChange> parent;
+};
+
+struct Node {
+  std::shared_ptr<const BoundChange> chain;
+  Basis warm_basis;      ///< parent's final basis
+  double parent_bound;   ///< LP bound of the parent (child bound >= this)
+  int depth = 0;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, const SolveOptions& opts)
+      : model_(&model), opts_(opts), lp_(model) {
+    for (int j = 0; j < model.num_vars(); ++j) {
+      if (model.vars()[static_cast<size_t>(j)].type != VarType::kContinuous) {
+        int_cols_.push_back(j);
+      }
+    }
+    root_lb_.reserve(int_cols_.size());
+    root_ub_.reserve(int_cols_.size());
+    for (int j : int_cols_) {
+      root_lb_.push_back(lp_.lb()[static_cast<size_t>(j)]);
+      root_ub_.push_back(lp_.ub()[static_cast<size_t>(j)]);
+    }
+  }
+
+  MipResult run();
+
+ private:
+  /// Resets integer bounds to root values, then applies a node's chain
+  /// (leaf-most change per column wins).
+  void apply_chain(const std::shared_ptr<const BoundChange>& chain);
+
+  /// Solves the current LP warm-started from `basis`; falls back to a cold
+  /// solve on trouble. Updates stats.
+  LpResult solve_lp(const Basis* basis);
+
+  /// Most fractional integer column in `x`, or -1 if integral.
+  [[nodiscard]] int pick_branch_var(const std::vector<double>& x) const;
+
+  /// Tries to accept `x` (column space) as incumbent; rounds integer vars
+  /// and verifies against the Model. Returns true if the incumbent improved.
+  bool try_incumbent(const std::vector<double>& x);
+
+  /// Diving heuristic: repeatedly fix the least-fractional integer variable
+  /// to its rounded value and re-solve. Starts from the current LP state.
+  void dive(const std::shared_ptr<const BoundChange>& chain, const Basis& basis,
+            const std::vector<double>& x0);
+
+  /// Root reduced-cost fixing: a nonbasic binary whose reduced cost alone
+  /// pushes past the incumbent can be fixed at its root bound globally.
+  void apply_reduced_cost_fixing() {
+    if (!have_incumbent_ || root_dj_.empty()) return;
+    const double cutoff = incumbent_obj_ - 1e-9;
+    for (size_t k = 0; k < int_cols_.size(); ++k) {
+      const int j = int_cols_[k];
+      if (root_lb_[k] >= root_ub_[k]) continue;  // already fixed
+      const double d = root_dj_[static_cast<size_t>(j)];
+      const double v = root_x_[static_cast<size_t>(j)];
+      if (d > 1e-9 && v <= root_lb_[k] + 1e-7 && root_bound_ + d > cutoff) {
+        root_ub_[k] = root_lb_[k];
+        ++stats_.rc_fixed;
+      } else if (d < -1e-9 && v >= root_ub_[k] - 1e-7 && root_bound_ - d > cutoff) {
+        root_lb_[k] = root_ub_[k];
+        ++stats_.rc_fixed;
+      }
+    }
+  }
+
+  [[nodiscard]] bool gap_closed(double lower_bound) const {
+    if (!have_incumbent_) return false;
+    return incumbent_obj_ - lower_bound <=
+           opts_.rel_gap * std::max(1.0, std::abs(incumbent_obj_)) + 1e-12;
+  }
+
+  const Model* model_;
+  SolveOptions opts_;
+  StandardLp lp_;
+  std::vector<int> int_cols_;
+  std::vector<double> root_lb_;
+  std::vector<double> root_ub_;
+
+  bool have_incumbent_ = false;
+  double incumbent_obj_ = kInf;
+  std::vector<double> incumbent_x_;  // structural space
+
+  double root_bound_ = -kInf;
+  std::vector<double> root_x_;   // root LP point (column space)
+  std::vector<double> root_dj_;  // root reduced costs
+
+  SolveStats stats_;
+  util::Stopwatch clock_;
+  Basis last_basis_;  ///< basis of the most recent LP solve
+  std::unique_ptr<DualSimplex> engine_;  ///< persistent: caches the LU
+};
+
+void BranchAndBound::apply_chain(const std::shared_ptr<const BoundChange>& chain) {
+  for (size_t k = 0; k < int_cols_.size(); ++k) {
+    lp_.set_bounds(int_cols_[k], root_lb_[k], root_ub_[k]);
+  }
+  std::vector<char> seen(static_cast<size_t>(model_->num_vars()), 0);
+  for (const BoundChange* bc = chain.get(); bc != nullptr; bc = bc->parent.get()) {
+    if (seen[static_cast<size_t>(bc->col)]) continue;  // leaf-most wins
+    seen[static_cast<size_t>(bc->col)] = 1;
+    lp_.set_bounds(bc->col, bc->lb, bc->ub);
+  }
+}
+
+LpResult BranchAndBound::solve_lp(const Basis* basis) {
+  if (!engine_) engine_ = std::make_unique<DualSimplex>(lp_, opts_.lp);
+  engine_->set_time_limit(std::max(1.0, opts_.time_limit_s - clock_.seconds()));
+  LpResult res = basis != nullptr ? engine_->solve_from(*basis) : engine_->solve();
+  stats_.lp_iterations += res.iterations;
+  if (res.status == LpStatus::kIterLimit || res.status == LpStatus::kNumericalTrouble) {
+    ++stats_.numerical_failures;
+    simplex::LpOptions retry = opts_.lp;
+    retry.max_iters *= 2;
+    retry.time_limit_s = std::max(1.0, opts_.time_limit_s - clock_.seconds());
+    engine_ = std::make_unique<DualSimplex>(lp_, retry);
+    res = engine_->solve();
+    stats_.lp_iterations += res.iterations;
+  }
+  last_basis_ = engine_->basis();
+  return res;
+}
+
+int BranchAndBound::pick_branch_var(const std::vector<double>& x) const {
+  int best = -1;
+  int best_prio = INT32_MIN;
+  double best_score = -1.0;
+  for (int j : int_cols_) {
+    const double v = x[static_cast<size_t>(j)];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist <= opts_.int_tol) continue;
+    // Highest priority class first; most-fractional within the class.
+    const int prio = model_->vars()[static_cast<size_t>(j)].branch_priority;
+    if (prio > best_prio || (prio == best_prio && dist > best_score)) {
+      best_prio = prio;
+      best_score = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool BranchAndBound::try_incumbent(const std::vector<double>& x) {
+  // Prefer the cleanly rounded point; if rounding the binaries perturbs a
+  // tight equality (e.g. an RSS balance row) past tolerance, fall back to
+  // the raw LP point, which is feasible at LP precision.
+  std::vector<double> cand(x.begin(), x.begin() + model_->num_vars());
+  for (int j : int_cols_) cand[static_cast<size_t>(j)] = std::round(cand[static_cast<size_t>(j)]);
+  if (!model_->is_feasible(cand, 1e-4)) {
+    cand.assign(x.begin(), x.begin() + model_->num_vars());
+    if (!model_->is_feasible(cand, 1e-4)) return false;
+  }
+  double obj = model_->objective().evaluate(cand);
+  if (!have_incumbent_ || obj < incumbent_obj_ - 1e-12) {
+    have_incumbent_ = true;
+    incumbent_obj_ = obj;
+    incumbent_x_ = std::move(cand);
+    apply_reduced_cost_fixing();
+    if (opts_.verbose) {
+      std::fprintf(stderr, "[milp] incumbent %.6g after %ld nodes, %.1fs\n", obj, stats_.nodes,
+                   clock_.seconds());
+    }
+    return true;
+  }
+  return false;
+}
+
+void BranchAndBound::dive(const std::shared_ptr<const BoundChange>& chain, const Basis& basis,
+                          const std::vector<double>& x0) {
+  std::shared_ptr<const BoundChange> cur = chain;
+  Basis warm = basis;
+  std::vector<double> x = x0;
+  const int max_depth = 200;
+  for (int d = 0; d < max_depth; ++d) {
+    if (clock_.seconds() > opts_.time_limit_s) return;
+    // Least-fractional unfixed integer var; fix it to its rounding.
+    int pick = -1;
+    double best = 2.0;
+    for (int j : int_cols_) {
+      const double v = x[static_cast<size_t>(j)];
+      const double frac = v - std::floor(v);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist <= opts_.int_tol) continue;
+      if (dist < best) {
+        best = dist;
+        pick = j;
+      }
+    }
+    if (pick == -1) {
+      try_incumbent(x);
+      return;
+    }
+    const double target = std::round(x[static_cast<size_t>(pick)]);
+    auto bc = std::make_shared<BoundChange>();
+    bc->col = pick;
+    bc->lb = target;
+    bc->ub = target;
+    bc->parent = cur;
+    apply_chain(bc);
+    LpResult res = solve_lp(&warm);
+    if (res.status != LpStatus::kOptimal) {
+      // One-level backtrack: try the opposite rounding before giving up.
+      const double flipped = target > x[static_cast<size_t>(pick)] ? target - 1 : target + 1;
+      const auto& vd = model_->vars()[static_cast<size_t>(pick)];
+      if (flipped < vd.lb || flipped > vd.ub) return;
+      bc->lb = flipped;
+      bc->ub = flipped;
+      apply_chain(bc);
+      res = solve_lp(&warm);
+      if (res.status != LpStatus::kOptimal) return;
+    }
+    cur = bc;
+    if (have_incumbent_ && res.objective >= incumbent_obj_ - 1e-12) return;
+    warm = last_basis_;
+    x = res.x;
+  }
+}
+
+MipResult BranchAndBound::run() {
+  MipResult out;
+
+  // --- Root LP.
+  apply_chain(nullptr);
+  LpResult root = solve_lp(nullptr);
+  stats_.root_bound = root.objective;
+  if (root.status == LpStatus::kPrimalInfeasible) {
+    out.status = SolveStatus::kInfeasible;
+    out.stats = stats_;
+    out.stats.time_s = clock_.seconds();
+    return out;
+  }
+  if (root.status == LpStatus::kUnbounded) {
+    out.status = SolveStatus::kUnbounded;
+    out.stats = stats_;
+    out.stats.time_s = clock_.seconds();
+    return out;
+  }
+  if (root.status != LpStatus::kOptimal) {
+    out.status = SolveStatus::kNoSolution;
+    out.stats = stats_;
+    out.stats.time_s = clock_.seconds();
+    return out;
+  }
+
+  // Pure LP: done.
+  if (int_cols_.empty()) {
+    out.status = SolveStatus::kOptimal;
+    out.objective = root.objective;
+    out.bound = root.objective;
+    out.x.assign(root.x.begin(), root.x.begin() + model_->num_vars());
+    out.stats = stats_;
+    out.stats.time_s = clock_.seconds();
+    return out;
+  }
+
+  // Root heuristics: caller-provided MIP start, plain rounding, then a dive.
+  root_bound_ = root.objective;
+  root_x_ = root.x;
+  root_dj_ = root.reduced_costs;
+  if (static_cast<int>(opts_.mip_start.size()) >= model_->num_vars()) {
+    try_incumbent(opts_.mip_start);
+  }
+  try_incumbent(root.x);
+  Basis root_basis = last_basis_;
+  if (opts_.root_dive && pick_branch_var(root.x) != -1) {
+    dive(nullptr, root_basis, root.x);
+  }
+  apply_reduced_cost_fixing();
+
+  // --- DFS with plunge ordering.
+  std::vector<Node> stack;
+  stack.push_back({nullptr, root_basis, root.objective, 0});
+  double best_open_bound = root.objective;
+
+  while (!stack.empty()) {
+    if (clock_.seconds() > opts_.time_limit_s || stats_.nodes >= opts_.node_limit) break;
+
+    // Global lower bound = min over open nodes (their parents' bounds).
+    best_open_bound = kInf;
+    for (const Node& nd : stack) best_open_bound = std::min(best_open_bound, nd.parent_bound);
+    if (gap_closed(best_open_bound)) break;
+
+    // Mostly depth-first plunging (cheap warm starts), but every few nodes
+    // process the best-bound leaf so the proven lower bound keeps rising.
+    // Pure plunging until the first incumbent exists — finding any feasible
+    // point beats bound polishing early on.
+    if (have_incumbent_ && stats_.nodes % 32 == 31) {
+      size_t best = 0;
+      for (size_t i = 1; i < stack.size(); ++i) {
+        if (stack[i].parent_bound < stack[best].parent_bound) best = i;
+      }
+      std::swap(stack[best], stack.back());
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    ++stats_.nodes;
+
+    if (have_incumbent_ &&
+        node.parent_bound >= incumbent_obj_ - opts_.rel_gap * std::max(1.0, std::abs(incumbent_obj_))) {
+      continue;  // pruned by bound
+    }
+
+    apply_chain(node.chain);
+    const LpResult res = solve_lp(&node.warm_basis);
+    if (res.status == LpStatus::kPrimalInfeasible) continue;
+    if (res.status != LpStatus::kOptimal) continue;  // counted in numerical_failures
+    if (have_incumbent_ && res.objective >= incumbent_obj_ - 1e-9) continue;
+
+    const int branch = pick_branch_var(res.x);
+    if (branch == -1) {
+      try_incumbent(res.x);
+      continue;
+    }
+
+    const double v = res.x[static_cast<size_t>(branch)];
+    const double lb = lp_.lb()[static_cast<size_t>(branch)];
+    const double ub = lp_.ub()[static_cast<size_t>(branch)];
+
+    auto down = std::make_shared<BoundChange>();
+    down->col = branch;
+    down->lb = lb;
+    down->ub = std::floor(v);
+    down->parent = node.chain;
+
+    auto up = std::make_shared<BoundChange>();
+    up->col = branch;
+    up->lb = std::ceil(v);
+    up->ub = ub;
+    up->parent = node.chain;
+
+    Node down_node{down, last_basis_, res.objective, node.depth + 1};
+    Node up_node{up, last_basis_, res.objective, node.depth + 1};
+    // Plunge toward the rounding of the fractional value: push the
+    // preferred child last so DFS explores it first.
+    if (v - std::floor(v) >= 0.5) {
+      stack.push_back(std::move(down_node));
+      stack.push_back(std::move(up_node));
+    } else {
+      stack.push_back(std::move(up_node));
+      stack.push_back(std::move(down_node));
+    }
+
+    // Periodic diving keeps fresh incumbents coming on deep trees (children
+    // re-apply their own chains, so the dive's bound edits are harmless).
+    if (stats_.nodes % 512 == 0) dive(node.chain, last_basis_, res.x);
+  }
+
+  // --- Wrap up.
+  const bool exhausted = stack.empty();
+  if (!exhausted) {
+    best_open_bound = kInf;
+    for (const Node& nd : stack) best_open_bound = std::min(best_open_bound, nd.parent_bound);
+  }
+  out.bound = exhausted ? (have_incumbent_ ? incumbent_obj_ : kInf)
+                        : std::min(best_open_bound, have_incumbent_ ? incumbent_obj_ : kInf);
+  if (have_incumbent_) {
+    out.objective = incumbent_obj_;
+    out.x = incumbent_x_;
+    out.status = (exhausted || gap_closed(out.bound)) ? SolveStatus::kOptimal
+                                                      : SolveStatus::kFeasible;
+  } else {
+    out.status = exhausted ? SolveStatus::kInfeasible : SolveStatus::kNoSolution;
+  }
+  out.stats = stats_;
+  out.stats.time_s = clock_.seconds();
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kFeasible: return "feasible";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kNoSolution: return "no-solution";
+  }
+  return "unknown";
+}
+
+MipResult solve(const Model& model, const SolveOptions& opts) {
+  BranchAndBound bb(model, opts);
+  return bb.run();
+}
+
+}  // namespace wnet::milp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/simplex/dual_simplex.h"
+
+namespace wnet::milp {
+
+enum class SolveStatus {
+  kOptimal,    ///< proven optimal within the gap
+  kFeasible,   ///< incumbent found but search stopped early (time/node limit)
+  kInfeasible,
+  kUnbounded,
+  kNoSolution, ///< search stopped early with no incumbent
+};
+
+[[nodiscard]] const char* to_string(SolveStatus s);
+
+struct SolveOptions {
+  double time_limit_s = 300.0;
+  long node_limit = 1000000;
+  double rel_gap = 1e-6;     ///< relative optimality gap for termination
+  double int_tol = 1e-6;     ///< integrality tolerance
+  bool root_dive = true;     ///< run the diving heuristic after the root LP
+  bool verbose = false;
+  /// Optional MIP start: values for the model's variables. Accepted as the
+  /// initial incumbent if it passes the model's own feasibility check.
+  std::vector<double> mip_start;
+  simplex::LpOptions lp;
+};
+
+struct SolveStats {
+  long nodes = 0;
+  long lp_iterations = 0;
+  double time_s = 0.0;
+  double root_bound = 0.0;
+  long numerical_failures = 0;
+  long rc_fixed = 0;  ///< binaries fixed by root reduced-cost fixing
+};
+
+struct MipResult {
+  SolveStatus status = SolveStatus::kNoSolution;
+  double objective = 0.0;        ///< incumbent objective (valid unless kNoSolution)
+  double bound = -kInf;          ///< proven lower bound
+  std::vector<double> x;         ///< values for the Model's variables
+  SolveStats stats;
+
+  [[nodiscard]] bool has_solution() const {
+    return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
+  }
+};
+
+/// Solves a MILP by LP-based branch-and-bound: dual-simplex warm restarts
+/// down the tree, most-fractional branching with plunge ordering, root
+/// rounding + diving heuristics. Plays the role CPLEX plays in the paper's
+/// toolchain (see DESIGN.md substitutions).
+[[nodiscard]] MipResult solve(const Model& model, const SolveOptions& opts = {});
+
+}  // namespace wnet::milp

@@ -1,0 +1,42 @@
+#include "radio/csma.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wnet::radio {
+
+double charge_per_cycle_csma_mas(const DeviceCurrents& c, const NodeTraffic& t,
+                                 const TdmaConfig& timing, const CsmaConfig& csma) {
+  if (t.tx_packets < 0 || t.rx_packets < 0) {
+    throw std::invalid_argument("charge_per_cycle_csma_mas: negative packet count");
+  }
+  if (t.mean_tx_etx < 1.0) {
+    throw std::invalid_argument("charge_per_cycle_csma_mas: ETX must be >= 1");
+  }
+  if (csma.idle_listen_duty < 0.0 || csma.idle_listen_duty > 1.0) {
+    throw std::invalid_argument("charge_per_cycle_csma_mas: duty must be in [0, 1]");
+  }
+  const double airtime = timing.packet_airtime_s();
+  const double backoff_s = csma.mean_backoff_slots * timing.slot_s;
+  // Every transmission attempt pays carrier sense (receiver on) + airtime.
+  const double e_tx = t.tx_packets * t.mean_tx_etx * (c.tx_ma * airtime + c.rx_ma * backoff_s);
+  const double e_rx = t.rx_packets * t.mean_tx_etx * c.rx_ma * airtime;
+  const int k = (t.tx_packets + t.rx_packets) * timing.slots_per_packet();
+  const double awake_s = k * timing.slot_s;
+  const double e_active = c.active_ma * awake_s;
+  // Idle time splits into duty-cycled listening and true sleep.
+  const double idle_s = std::max(0.0, timing.report_period_s - awake_s);
+  const double e_idle = c.rx_ma * csma.idle_listen_duty * idle_s +
+                        c.sleep_ma * (1.0 - csma.idle_listen_duty) * idle_s;
+  return e_tx + e_rx + e_active + e_idle;
+}
+
+double lifetime_years_csma(double battery_mah, const DeviceCurrents& c, const NodeTraffic& t,
+                           const TdmaConfig& timing, const CsmaConfig& csma) {
+  if (battery_mah <= 0) throw std::invalid_argument("lifetime_years_csma: battery must be > 0");
+  const double q = charge_per_cycle_csma_mas(c, t, timing, csma);
+  if (q <= 0) return 0.0;
+  return (battery_mah * 3600.0 / q) * timing.report_period_s / kSecondsPerYear;
+}
+
+}  // namespace wnet::radio

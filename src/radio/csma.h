@@ -1,0 +1,32 @@
+#pragma once
+
+#include "radio/energy.h"
+#include "radio/tdma.h"
+
+namespace wnet::radio {
+
+/// Contention-based (CSMA, low-power-listening) MAC energy parameters —
+/// the paper notes its energy constraints extend to "contention-based
+/// protocols"; this is that extension. Unlike TDMA, senders pay a
+/// clear-channel-assessment/backoff listen before each transmission and
+/// idle nodes duty-cycle their receiver instead of sleeping outright.
+struct CsmaConfig {
+  /// Fraction of the reporting period spent idle-listening (LPL duty).
+  double idle_listen_duty = 0.01;
+  /// Mean carrier-sense + backoff time charged per transmission attempt,
+  /// in slot units of the base timing config.
+  double mean_backoff_slots = 2.0;
+};
+
+/// Charge per reporting cycle under CSMA, in mA*s. `timing` supplies the
+/// shared timing quantities (packet airtime, slot length, period).
+[[nodiscard]] double charge_per_cycle_csma_mas(const DeviceCurrents& c, const NodeTraffic& t,
+                                               const TdmaConfig& timing,
+                                               const CsmaConfig& csma);
+
+/// Battery lifetime in years under CSMA.
+[[nodiscard]] double lifetime_years_csma(double battery_mah, const DeviceCurrents& c,
+                                         const NodeTraffic& t, const TdmaConfig& timing,
+                                         const CsmaConfig& csma);
+
+}  // namespace wnet::radio

@@ -1,0 +1,47 @@
+#include "radio/energy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wnet::radio {
+
+double charge_per_cycle_mas(const DeviceCurrents& c, const NodeTraffic& t,
+                            const TdmaConfig& tdma) {
+  if (t.tx_packets < 0 || t.rx_packets < 0) {
+    throw std::invalid_argument("charge_per_cycle_mas: negative packet count");
+  }
+  if (t.mean_tx_etx < 1.0) {
+    throw std::invalid_argument("charge_per_cycle_mas: ETX must be >= 1");
+  }
+  const double airtime = tdma.packet_airtime_s();
+  // (3b): every TX packet is on air for ETX * mu / b; RX listens for one
+  // packet airtime per reception (the sender retries land in the same slot
+  // budget, so receive time also scales with ETX).
+  const double e_tx = t.tx_packets * t.mean_tx_etx * c.tx_ma * airtime;
+  const double e_rx = t.rx_packets * t.mean_tx_etx * c.rx_ma * airtime;
+  // Awake slots: each packet (TX or RX) occupies slots_per_packet slots in
+  // which the non-radio hardware is active.
+  const int k = (t.tx_packets + t.rx_packets) * tdma.slots_per_packet();
+  const double awake_s = k * tdma.slot_s;
+  const double e_active = c.active_ma * awake_s;
+  const double sleep_s = std::max(0.0, tdma.report_period_s - awake_s);
+  const double e_sleep = c.sleep_ma * sleep_s;
+  return e_tx + e_rx + e_active + e_sleep;
+}
+
+double lifetime_years(double battery_mah, const DeviceCurrents& c, const NodeTraffic& t,
+                      const TdmaConfig& tdma) {
+  if (battery_mah <= 0) throw std::invalid_argument("lifetime_years: battery must be > 0");
+  const double q_cycle = charge_per_cycle_mas(c, t, tdma);
+  if (q_cycle <= 0) return 0.0;
+  const double battery_mas = battery_mah * 3600.0;
+  const double cycles = battery_mas / q_cycle;
+  return cycles * tdma.report_period_s / kSecondsPerYear;
+}
+
+double average_current_ma(const DeviceCurrents& c, const NodeTraffic& t,
+                          const TdmaConfig& tdma) {
+  return charge_per_cycle_mas(c, t, tdma) / tdma.report_period_s;
+}
+
+}  // namespace wnet::radio

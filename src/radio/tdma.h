@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wnet::radio {
+
+/// Collision-free TDMA protocol parameters (paper Sec. 2, energy
+/// constraints): nodes wake only in dedicated slots for TX/RX; one TDMA
+/// superframe is served every reporting period (the paper's sensors send a
+/// packet every 30 s), and nodes sleep for the remainder of the period.
+struct TdmaConfig {
+  int slots_per_superframe = 16;   ///< n
+  double slot_s = 1e-3;            ///< t_slot, seconds
+  double report_period_s = 30.0;   ///< data-generation period (cycle length)
+  int packet_bytes = 50;           ///< mu
+  double bitrate_bps = 250e3;      ///< b
+
+  /// Superframe duration t_SF = n * t_slot.
+  [[nodiscard]] double superframe_s() const { return slots_per_superframe * slot_s; }
+
+  /// On-air time of one packet transmission, mu / b (seconds).
+  [[nodiscard]] double packet_airtime_s() const { return packet_bytes * 8.0 / bitrate_bps; }
+
+  /// Slots occupied by one packet (>= 1); with the paper's parameters a
+  /// 50-byte packet at 250 kbps spans two 1-ms slots.
+  [[nodiscard]] int slots_per_packet() const {
+    return static_cast<int>(std::ceil(packet_airtime_s() / slot_s));
+  }
+
+  /// Validates the configuration; throws std::invalid_argument on nonsense.
+  void validate() const {
+    if (slots_per_superframe <= 0) throw std::invalid_argument("TDMA: slots must be > 0");
+    if (slot_s <= 0) throw std::invalid_argument("TDMA: slot duration must be > 0");
+    if (report_period_s < superframe_s()) {
+      throw std::invalid_argument("TDMA: report period shorter than superframe");
+    }
+    if (packet_bytes <= 0) throw std::invalid_argument("TDMA: packet length must be > 0");
+    if (bitrate_bps <= 0) throw std::invalid_argument("TDMA: bitrate must be > 0");
+  }
+};
+
+}  // namespace wnet::radio

@@ -1,0 +1,73 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace wnet::util {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    size_t next = s.find(sep, pos);
+    if (next == std::string_view::npos) {
+      out.emplace_back(trim(s.substr(pos)));
+      break;
+    }
+    out.emplace_back(trim(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t b = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > b) out.emplace_back(s.substr(b, i - b));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  double value = 0;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<long> parse_long(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  long value = 0;
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace wnet::util

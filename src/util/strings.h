@@ -1,0 +1,31 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wnet::util {
+
+/// Removes leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits `s` on `sep`, trimming each piece; empty pieces are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on arbitrary runs of whitespace; empty pieces are dropped.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns nullopt on any trailing garbage.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// Parses a non-negative integer; returns nullopt on any trailing garbage.
+[[nodiscard]] std::optional<long> parse_long(std::string_view s);
+
+/// Lower-cases ASCII.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+}  // namespace wnet::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wnet::util {
+
+/// Right-padded ASCII table printer used by the benchmark harnesses to emit
+/// rows in the same layout as the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a separator line under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as comma-separated values (for machine post-processing).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+[[nodiscard]] std::string fmt_double(double v, int digits = 2);
+
+}  // namespace wnet::util

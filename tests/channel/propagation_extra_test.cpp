@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "channel/propagation.h"
+
+namespace wnet::channel {
+namespace {
+
+TEST(ItuIndoor, MatchesClosedForm) {
+  const ItuIndoorModel m(2.4e9, 30.0);
+  // PL(d) = 20 log10(2400) + 30 log10(d) - 28.
+  const double fixed = 20.0 * std::log10(2400.0) - 28.0;
+  EXPECT_NEAR(m.path_loss_db({0, 0}, {1, 0}), fixed, 1e-9);
+  EXPECT_NEAR(m.path_loss_db({0, 0}, {10, 0}), fixed + 30.0, 1e-9);
+  // 30 dB per decade: steeper than free space, shallower than n=4.
+  EXPECT_NEAR(m.path_loss_db({0, 0}, {100, 0}) - m.path_loss_db({0, 0}, {10, 0}), 30.0, 1e-9);
+}
+
+TEST(ItuIndoor, RejectsBadParams) {
+  EXPECT_THROW(ItuIndoorModel(0.0), std::invalid_argument);
+  EXPECT_THROW(ItuIndoorModel(2.4e9, -1.0), std::invalid_argument);
+}
+
+TEST(TwoRay, FreeSpaceBelowCrossover) {
+  const TwoRayModel m(2.4e9, 1.5, 1.5);
+  const FreeSpaceModel fs(2.4e9);
+  const double dc = m.crossover_distance_m();
+  EXPECT_GT(dc, 100.0);  // ~226 m at 2.4 GHz with 1.5 m antennas
+  EXPECT_NEAR(m.path_loss_db({0, 0}, {dc / 2, 0}), fs.path_loss_db({0, 0}, {dc / 2, 0}), 1e-9);
+}
+
+TEST(TwoRay, FourthPowerBeyondCrossover) {
+  const TwoRayModel m(2.4e9, 1.5, 1.5);
+  const double dc = m.crossover_distance_m();
+  const double pl1 = m.path_loss_db({0, 0}, {2 * dc, 0});
+  const double pl2 = m.path_loss_db({0, 0}, {20 * dc, 0});
+  EXPECT_NEAR(pl2 - pl1, 40.0, 1e-9);  // 40 dB per decade
+  // Taller antennas reduce loss in the far regime.
+  const TwoRayModel tall(2.4e9, 10.0, 10.0);
+  EXPECT_LT(tall.path_loss_db({0, 0}, {2000 + 2 * dc, 0}),
+            m.path_loss_db({0, 0}, {2000 + 2 * dc, 0}));
+}
+
+TEST(TwoRay, RejectsBadHeights) {
+  EXPECT_THROW(TwoRayModel(2.4e9, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Models, RelativeSeverityAtOfficeScale) {
+  // At 30 m indoors: free space < ITU office < log-distance n=3.5-ish.
+  const FreeSpaceModel fs(2.4e9);
+  const ItuIndoorModel itu(2.4e9);
+  const LogDistanceModel ld(2.4e9, 3.5);
+  const geom::Vec2 a{0, 0};
+  const geom::Vec2 b{30, 0};
+  EXPECT_LT(fs.path_loss_db(a, b), itu.path_loss_db(a, b));
+  EXPECT_LT(itu.path_loss_db(a, b), ld.path_loss_db(a, b));
+}
+
+}  // namespace
+}  // namespace wnet::channel

@@ -1,0 +1,82 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/propagation.h"
+#include "core/explorer.h"
+
+namespace wnet::archex {
+namespace {
+
+class AnalysisScenario : public ::testing::Test {
+ protected:
+  AnalysisScenario() : model_(2.4e9, 2.2), lib_(make_reference_library()), tmpl_(model_, lib_) {
+    tmpl_.add_node({"s0", {0, 5}, Role::kSensor, NodeKind::kFixed, std::nullopt});
+    tmpl_.add_node({"s1", {0, 9}, Role::kSensor, NodeKind::kFixed, std::nullopt});
+    tmpl_.add_node({"sink", {40, 5}, Role::kSink, NodeKind::kFixed, std::nullopt});
+    for (int i = 0; i < 4; ++i) {
+      tmpl_.add_node({"r" + std::to_string(i), {8.0 + 8.0 * i, 5.0}, Role::kRelay,
+                      NodeKind::kCandidate, std::nullopt});
+    }
+    spec_.link_quality.min_snr_db = 32.0;
+    spec_.objective = {1.0, 0.0, 0.0};
+    for (int s = 0; s < 2; ++s) {
+      RouteRequirement r;
+      r.source = s;
+      r.dest = 2;
+      spec_.routes.push_back(r);
+    }
+  }
+
+  channel::LogDistanceModel model_;
+  ComponentLibrary lib_;
+  NetworkTemplate tmpl_;
+  Specification spec_;
+};
+
+TEST_F(AnalysisScenario, StatsConsistentWithArchitecture) {
+  Explorer ex(tmpl_, spec_);
+  milp::SolveOptions so;
+  so.time_limit_s = 60.0;
+  const auto res = ex.explore({}, so);
+  ASSERT_TRUE(res.has_solution()) << milp::to_string(res.status);
+  const auto st = analyze_architecture(res.architecture, tmpl_, spec_);
+
+  // Histogram covers every route exactly once.
+  int routes = 0;
+  for (const auto& [hops, count] : st.hop_histogram) {
+    EXPECT_GE(hops, 1);
+    routes += count;
+  }
+  EXPECT_EQ(routes, static_cast<int>(res.architecture.routes.size()));
+
+  // Every active link meets the LQ floor: min margin >= 0.
+  EXPECT_GE(st.min_link_margin_db, -1e-6);
+  EXPECT_GE(st.mean_link_margin_db, st.min_link_margin_db);
+
+  // Component mix sums to deployed node count; cost matches.
+  int mix = 0;
+  for (const auto& [name, count] : st.component_mix) mix += count;
+  EXPECT_EQ(mix, res.architecture.num_nodes());
+  EXPECT_DOUBLE_EQ(st.total_cost_usd, res.architecture.total_cost_usd);
+
+  // Some node transmits at least one packet per cycle.
+  EXPECT_GE(st.max_tx_load_packets, 1);
+  EXPECT_GE(st.bottleneck_node, 0);
+
+  const std::string text = to_string(st);
+  EXPECT_NE(text.find("hops:"), std::string::npos);
+  EXPECT_NE(text.find("link margin"), std::string::npos);
+}
+
+TEST_F(AnalysisScenario, EmptyArchitectureYieldsZeros) {
+  NetworkArchitecture empty;
+  const auto st = analyze_architecture(empty, tmpl_, spec_);
+  EXPECT_TRUE(st.hop_histogram.empty());
+  EXPECT_DOUBLE_EQ(st.mean_link_margin_db, 0.0);
+  EXPECT_EQ(st.max_tx_load_packets, 0);
+  EXPECT_EQ(st.relays_deployed, 0);
+}
+
+}  // namespace
+}  // namespace wnet::archex

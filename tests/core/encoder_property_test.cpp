@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "channel/propagation.h"
+#include "core/explorer.h"
+#include "core/solution.h"
+
+namespace wnet::archex {
+namespace {
+
+/// Property sweep: on randomized small templates, (a) whatever the
+/// approximate encoding returns verifies against the spec, (b) its optimum
+/// is never better than the exact full-enumeration optimum, and (c) with a
+/// generous K* it matches the exact optimum (the paper's K* -> inf claim).
+class RandomScenarioProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomScenarioProperty, ApproxSoundAndConvergesToExact) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 977u + 13u);
+  std::uniform_real_distribution<double> ux(0.0, 36.0);
+  std::uniform_real_distribution<double> uy(0.0, 18.0);
+
+  const channel::LogDistanceModel model(2.4e9, 2.2);
+  const ComponentLibrary lib = make_reference_library();
+  NetworkTemplate tmpl(model, lib);
+
+  tmpl.add_node({"sink", {ux(rng), uy(rng)}, Role::kSink, NodeKind::kFixed, std::nullopt});
+  const int sensors = 2 + static_cast<int>(rng() % 2u);
+  for (int i = 0; i < sensors; ++i) {
+    tmpl.add_node({"s" + std::to_string(i), {ux(rng), uy(rng)}, Role::kSensor,
+                   NodeKind::kFixed, std::nullopt});
+  }
+  const int relays = 3 + static_cast<int>(rng() % 3u);
+  for (int i = 0; i < relays; ++i) {
+    tmpl.add_node({"r" + std::to_string(i), {ux(rng), uy(rng)}, Role::kRelay,
+                   NodeKind::kCandidate, std::nullopt});
+  }
+
+  Specification spec;
+  spec.link_quality.min_snr_db = 24.0 + static_cast<double>(rng() % 8u);
+  spec.objective = {1.0, 0.0, 0.0};
+  for (int i = 0; i < sensors; ++i) {
+    RouteRequirement r;
+    r.source = *tmpl.find_node("s" + std::to_string(i));
+    r.dest = 0;
+    spec.routes.push_back(r);
+  }
+
+  Explorer ex(tmpl, spec);
+  milp::SolveOptions so;
+  so.time_limit_s = 60.0;
+
+  EncoderOptions full;
+  full.mode = EncoderOptions::PathMode::kFull;
+  const auto exact = ex.explore(full, so);
+
+  EncoderOptions approx;
+  approx.k_star = 12;  // generous: covers the path diversity of tiny graphs
+  const auto appr = ex.explore(approx, so);
+
+  if (exact.status == milp::SolveStatus::kInfeasible) {
+    // A random layout can be unroutable under the SNR bound; the
+    // approximation must agree (it may only lose feasibility, never gain).
+    EXPECT_FALSE(appr.has_solution()) << "seed " << GetParam();
+    return;
+  }
+  ASSERT_EQ(exact.status, milp::SolveStatus::kOptimal) << "seed " << GetParam();
+  ASSERT_TRUE(appr.has_solution()) << "seed " << GetParam();
+
+  const auto rep = verify_architecture(appr.architecture, tmpl, spec);
+  EXPECT_TRUE(rep.ok) << "seed " << GetParam()
+                      << (rep.violations.empty() ? "" : ": " + rep.violations[0]);
+
+  EXPECT_GE(appr.objective, exact.objective - 1e-6) << "seed " << GetParam();
+  if (appr.status == milp::SolveStatus::kOptimal) {
+    EXPECT_NEAR(appr.objective, exact.objective, 1e-6) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenarioProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace wnet::archex

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "channel/link_metrics.h"
+#include "channel/propagation.h"
+#include "core/explorer.h"
+#include "core/solution.h"
+#include "core/spec/parser.h"
+
+namespace wnet::archex {
+namespace {
+
+TEST(InverseBer, RoundTripsThroughBerCurve) {
+  for (const double target : {1e-3, 1e-5, 1e-7}) {
+    const double snr = channel::snr_for_ber(channel::Modulation::kQpsk, target);
+    EXPECT_LE(channel::bit_error_rate(channel::Modulation::kQpsk, snr), target * 1.001);
+    // Slightly below the threshold the BER must exceed the target.
+    EXPECT_GT(channel::bit_error_rate(channel::Modulation::kQpsk, snr - 0.01), target);
+  }
+  // Tighter targets need more SNR; FSK needs more than QPSK.
+  EXPECT_GT(channel::snr_for_ber(channel::Modulation::kQpsk, 1e-7),
+            channel::snr_for_ber(channel::Modulation::kQpsk, 1e-3));
+  EXPECT_GT(channel::snr_for_ber(channel::Modulation::kFsk, 1e-5),
+            channel::snr_for_ber(channel::Modulation::kQpsk, 1e-5));
+  EXPECT_THROW((void)channel::snr_for_ber(channel::Modulation::kQpsk, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)channel::snr_for_ber(channel::Modulation::kQpsk, 0.6),
+               std::invalid_argument);
+}
+
+class LqMetricScenario : public ::testing::Test {
+ protected:
+  LqMetricScenario() : model_(2.4e9, 2.2), lib_(make_reference_library()), tmpl_(model_, lib_) {
+    tmpl_.add_node({"s0", {0, 5}, Role::kSensor, NodeKind::kFixed, std::nullopt});
+    tmpl_.add_node({"sink", {40, 5}, Role::kSink, NodeKind::kFixed, std::nullopt});
+    for (int i = 0; i < 4; ++i) {
+      tmpl_.add_node({"r" + std::to_string(i), {8.0 + 8.0 * i, 5.0}, Role::kRelay,
+                      NodeKind::kCandidate, std::nullopt});
+    }
+  }
+
+  channel::LogDistanceModel model_;
+  ComponentLibrary lib_;
+  NetworkTemplate tmpl_;
+};
+
+TEST_F(LqMetricScenario, BerBoundConvertsToRssFloor) {
+  Specification spec;
+  spec.link_quality.max_ber = 1e-6;
+  const auto floor = spec.min_rss_dbm();
+  ASSERT_TRUE(floor.has_value());
+  EXPECT_NEAR(*floor,
+              channel::snr_for_ber(channel::Modulation::kQpsk, 1e-6) - 100.0, 1e-9);
+}
+
+TEST_F(LqMetricScenario, BerBoundDrivesExplorationLikeEquivalentSnr) {
+  Specification ber_spec;
+  ber_spec.objective = {1.0, 0.0, 0.0};
+  RouteRequirement r;
+  r.source = 0;
+  r.dest = 1;
+  ber_spec.routes.push_back(r);
+  ber_spec.link_quality.max_ber = 1e-9;
+
+  Specification snr_spec = ber_spec;
+  snr_spec.link_quality = {};
+  snr_spec.link_quality.min_snr_db =
+      channel::snr_for_ber(channel::Modulation::kQpsk, 1e-9);
+
+  Explorer ex_ber(tmpl_, ber_spec);
+  Explorer ex_snr(tmpl_, snr_spec);
+  const auto rb = ex_ber.explore();
+  const auto rs = ex_snr.explore();
+  ASSERT_TRUE(rb.has_solution());
+  ASSERT_TRUE(rs.has_solution());
+  EXPECT_NEAR(rb.objective, rs.objective, 1e-6);
+  const auto rep = verify_architecture(rb.architecture, tmpl_, ber_spec);
+  EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST_F(LqMetricScenario, CsmaLifetimeConstraintBitesHarder) {
+  Specification spec;
+  spec.objective = {1.0, 0.0, 0.0};
+  RouteRequirement r;
+  r.source = 0;
+  r.dest = 1;
+  spec.routes.push_back(r);
+  spec.link_quality.min_snr_db = 20.0;
+  spec.lifetime = LifetimeRequirement{5.0, 3000.0};
+
+  Explorer ex(tmpl_, spec);
+  const auto tdma_run = ex.explore();
+  ASSERT_TRUE(tdma_run.has_solution());
+
+  // CSMA with a heavy idle-listening duty makes the 5-year bound
+  // unattainable on this battery: the model must come back infeasible.
+  spec.radio.mac = RadioConfig::MacProtocol::kCsma;
+  spec.radio.csma.idle_listen_duty = 0.5;
+  Explorer ex_csma(tmpl_, spec);
+  const auto csma_run = ex_csma.explore();
+  EXPECT_FALSE(csma_run.has_solution());
+
+  // A light duty cycle is workable again, at equal or higher cost.
+  spec.radio.csma.idle_listen_duty = 0.0005;
+  Explorer ex_light(tmpl_, spec);
+  const auto light_run = ex_light.explore();
+  ASSERT_TRUE(light_run.has_solution()) << milp::to_string(light_run.status);
+  EXPECT_GE(light_run.objective, tdma_run.objective - 1e-9);
+}
+
+TEST_F(LqMetricScenario, SpecParserAcceptsNewPatterns) {
+  const auto spec = spec::parse(R"(
+p = has_path(s0, sink)
+max_bit_error_rate(0.000001)
+protocol_csma(0.01, 3)
+)",
+                                tmpl_);
+  ASSERT_TRUE(spec.link_quality.max_ber.has_value());
+  EXPECT_DOUBLE_EQ(*spec.link_quality.max_ber, 1e-6);
+  EXPECT_EQ(spec.radio.mac, RadioConfig::MacProtocol::kCsma);
+  EXPECT_DOUBLE_EQ(spec.radio.csma.idle_listen_duty, 0.01);
+  EXPECT_DOUBLE_EQ(spec.radio.csma.mean_backoff_slots, 3.0);
+  EXPECT_THROW(spec::parse("max_bit_error_rate(0.7)\n", tmpl_), std::runtime_error);
+  EXPECT_THROW(spec::parse("protocol_csma()\n", tmpl_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wnet::archex

@@ -1,0 +1,158 @@
+#include "core/solution.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/propagation.h"
+#include "core/encode/encoder.h"
+#include "core/explorer.h"
+#include "core/render.h"
+#include "milp/solver.h"
+
+namespace wnet::archex {
+namespace {
+
+/// Fixture mirroring the encoder test bed, focused on decode/verify/render.
+class DecodeScenario : public ::testing::Test {
+ protected:
+  DecodeScenario() : model_(2.4e9, 2.0), lib_(make_reference_library()), tmpl_(model_, lib_) {
+    tmpl_.add_node({"s0", {0, 10}, Role::kSensor, NodeKind::kFixed, std::nullopt});
+    tmpl_.add_node({"sink", {30, 10}, Role::kSink, NodeKind::kFixed, std::nullopt});
+    tmpl_.add_node({"r0", {10, 10}, Role::kRelay, NodeKind::kCandidate, std::nullopt});
+    tmpl_.add_node({"r1", {20, 10}, Role::kRelay, NodeKind::kCandidate, std::nullopt});
+    spec_.link_quality.min_snr_db = 20.0;
+    spec_.objective = {1.0, 0.0, 0.0};
+    RouteRequirement r;
+    r.source = 0;
+    r.dest = 1;
+    spec_.routes.push_back(r);
+  }
+
+  channel::LogDistanceModel model_;
+  ComponentLibrary lib_;
+  NetworkTemplate tmpl_;
+  Specification spec_;
+};
+
+TEST_F(DecodeScenario, DecodeRoundTripsThroughModelVariables) {
+  Encoder enc(tmpl_, spec_, {});
+  const auto ep = enc.encode();
+  const auto res = milp::solve(ep.model);
+  ASSERT_TRUE(res.has_solution());
+  const auto arch = decode_solution(ep, tmpl_, spec_, res.x);
+
+  // Every deployed node's mapping var must be on in the assignment.
+  for (const auto& d : arch.nodes) {
+    const auto it = ep.mapping.find({d.component, d.node});
+    ASSERT_NE(it, ep.mapping.end());
+    EXPECT_GT(res.x[static_cast<size_t>(it->second.id)], 0.5);
+  }
+  // Fixed endpoints deployed; exactly one route decoded.
+  EXPECT_TRUE(arch.node_is_used(0));
+  EXPECT_TRUE(arch.node_is_used(1));
+  ASSERT_EQ(arch.routes.size(), 1u);
+  EXPECT_EQ(arch.routes[0].path.nodes.front(), 0);
+  EXPECT_EQ(arch.routes[0].path.nodes.back(), 1);
+  // Cost equals the sum of component prices.
+  double cost = 0;
+  for (const auto& d : arch.nodes) cost += lib_.at(d.component).cost_usd;
+  EXPECT_DOUBLE_EQ(cost, arch.total_cost_usd);
+}
+
+TEST_F(DecodeScenario, ComponentOfAndUsage) {
+  NetworkArchitecture arch;
+  arch.nodes.push_back({2, 3});
+  EXPECT_TRUE(arch.node_is_used(2));
+  EXPECT_FALSE(arch.node_is_used(1));
+  EXPECT_EQ(arch.component_of(2), 3);
+  EXPECT_EQ(arch.component_of(0), -1);
+}
+
+TEST_F(DecodeScenario, VerifyCatchesMissingFixedNode) {
+  NetworkArchitecture arch;  // nothing deployed
+  const auto rep = verify_architecture(arch, tmpl_, spec_);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST_F(DecodeScenario, VerifyCatchesMissingRoute) {
+  NetworkArchitecture arch;
+  arch.nodes.push_back({0, *lib_.find("sensor-std")});
+  arch.nodes.push_back({1, *lib_.find("sink-std")});
+  const auto rep = verify_architecture(arch, tmpl_, spec_);
+  EXPECT_FALSE(rep.ok);
+  bool mentions_route = false;
+  for (const auto& v : rep.violations) {
+    if (v.find("route") != std::string::npos) mentions_route = true;
+  }
+  EXPECT_TRUE(mentions_route);
+}
+
+TEST_F(DecodeScenario, VerifyCatchesLoopedPath) {
+  NetworkArchitecture arch;
+  arch.nodes.push_back({0, *lib_.find("sensor-pa")});
+  arch.nodes.push_back({1, *lib_.find("sink-ant")});
+  arch.nodes.push_back({2, *lib_.find("relay-pa-ant")});
+  ChosenRoute r;
+  r.route_index = 0;
+  r.path.nodes = {0, 2, 0, 1};  // revisits the source
+  arch.routes.push_back(r);
+  const auto rep = verify_architecture(arch, tmpl_, spec_);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST_F(DecodeScenario, VerifyCatchesRoleMismatch) {
+  NetworkArchitecture arch;
+  arch.nodes.push_back({0, *lib_.find("relay-basic")});  // relay part on a sensor node
+  const auto rep = verify_architecture(arch, tmpl_, spec_);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST_F(DecodeScenario, VerifyCatchesWeakLink) {
+  // Direct 30 m sensor->sink route with the weakest sensor violates a
+  // draconian RSS floor.
+  spec_.link_quality = {};
+  spec_.link_quality.min_rss_dbm = -40.0;
+  NetworkArchitecture arch;
+  arch.nodes.push_back({0, *lib_.find("sensor-std")});
+  arch.nodes.push_back({1, *lib_.find("sink-std")});
+  ChosenRoute r;
+  r.route_index = 0;
+  r.path.nodes = {0, 1};
+  arch.routes.push_back(r);
+  const auto rep = verify_architecture(arch, tmpl_, spec_);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST_F(DecodeScenario, DescribeMentionsDeployments) {
+  Explorer ex(tmpl_, spec_);
+  const auto res = ex.explore();
+  ASSERT_TRUE(res.has_solution());
+  const std::string text = describe(res.architecture, tmpl_);
+  EXPECT_NE(text.find("cost"), std::string::npos);
+  EXPECT_NE(text.find("routes"), std::string::npos);
+  EXPECT_NE(text.find("s0"), std::string::npos);
+}
+
+TEST_F(DecodeScenario, RenderProducesSvgWithNodes) {
+  Explorer ex(tmpl_, spec_);
+  const auto res = ex.explore();
+  ASSERT_TRUE(res.has_solution());
+  geom::FloorPlan plan(30, 20);
+  const std::string svg = render_svg(res.architecture, tmpl_, plan, spec_);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  const std::string tpl = render_template_svg(tmpl_, plan, spec_);
+  EXPECT_NE(tpl.find("<svg"), std::string::npos);
+}
+
+TEST_F(DecodeScenario, LifetimeMetricsPopulated) {
+  spec_.lifetime = LifetimeRequirement{3.0, 3000.0};
+  Explorer ex(tmpl_, spec_);
+  const auto res = ex.explore();
+  ASSERT_TRUE(res.has_solution());
+  EXPECT_GT(res.architecture.min_lifetime_years, 3.0 - 1e-9);
+  EXPECT_GE(res.architecture.avg_lifetime_years, res.architecture.min_lifetime_years);
+  EXPECT_GT(res.architecture.total_charge_per_cycle_mas, 0.0);
+}
+
+}  // namespace
+}  // namespace wnet::archex

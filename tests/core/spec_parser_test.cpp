@@ -1,0 +1,141 @@
+#include "core/spec/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/propagation.h"
+
+namespace wnet::archex {
+namespace {
+
+class SpecParserTest : public ::testing::Test {
+ protected:
+  SpecParserTest() : model_(2.4e9, 2.0), lib_(make_reference_library()), tmpl_(model_, lib_) {
+    tmpl_.add_node({"s1", {0, 0}, Role::kSensor, NodeKind::kFixed, std::nullopt});
+    tmpl_.add_node({"s2", {5, 0}, Role::kSensor, NodeKind::kFixed, std::nullopt});
+    tmpl_.add_node({"sink", {20, 0}, Role::kSink, NodeKind::kFixed, std::nullopt});
+  }
+
+  channel::LogDistanceModel model_;
+  ComponentLibrary lib_;
+  NetworkTemplate tmpl_;
+};
+
+TEST_F(SpecParserTest, ParsesThePaperStylePatterns) {
+  const auto spec = spec::parse(R"(
+# data collection requirements
+p1 = has_path(s1, sink)
+p2 = has_path(s1, sink)
+q1 = has_path(s2, sink)
+disjoint_links(p1, p2)
+max_hops(q1, 4)
+min_signal_to_noise(20)
+min_network_lifetime(5, 3000)
+objective cost=1 energy=0.5
+noise_floor(-100)
+report_period(30)
+)",
+                               tmpl_);
+  ASSERT_EQ(spec.routes.size(), 2u);
+  // Ungrouped route first, then the disjoint group.
+  const auto& single = spec.routes[0];
+  EXPECT_EQ(single.replicas, 1);
+  EXPECT_EQ(single.max_hops, 4);
+  EXPECT_EQ(single.source, *tmpl_.find_node("s2"));
+  const auto& dual = spec.routes[1];
+  EXPECT_EQ(dual.replicas, 2);
+  EXPECT_EQ(dual.source, *tmpl_.find_node("s1"));
+  EXPECT_EQ(dual.dest, *tmpl_.find_node("sink"));
+
+  EXPECT_DOUBLE_EQ(*spec.link_quality.min_snr_db, 20.0);
+  ASSERT_TRUE(spec.lifetime.has_value());
+  EXPECT_DOUBLE_EQ(spec.lifetime->min_years, 5.0);
+  EXPECT_DOUBLE_EQ(spec.lifetime->battery_mah, 3000.0);
+  EXPECT_DOUBLE_EQ(spec.objective.weight_cost, 1.0);
+  EXPECT_DOUBLE_EQ(spec.objective.weight_energy, 0.5);
+  EXPECT_DOUBLE_EQ(spec.objective.weight_dsod, 0.0);
+  EXPECT_DOUBLE_EQ(spec.radio.noise_floor_dbm, -100.0);
+  EXPECT_DOUBLE_EQ(spec.radio.tdma.report_period_s, 30.0);
+  // SNR 20 over -100 noise floor -> RSS floor -80.
+  EXPECT_DOUBLE_EQ(*spec.min_rss_dbm(), -80.0);
+}
+
+TEST_F(SpecParserTest, ParsesLocalizationPatterns) {
+  const auto spec = spec::parse(R"(
+eval_point(1.5, 2.5)
+eval_point(3, 4)
+min_reachable_devices(3, -80)
+objective cost=1 dsod=0.2
+)",
+                                tmpl_);
+  ASSERT_TRUE(spec.localization.has_value());
+  EXPECT_EQ(spec.localization->eval_points.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.localization->eval_points[1].y, 4.0);
+  EXPECT_EQ(spec.localization->min_anchors, 3);
+  EXPECT_DOUBLE_EQ(spec.localization->min_rss_dbm, -80.0);
+  EXPECT_DOUBLE_EQ(spec.objective.weight_dsod, 0.2);
+}
+
+TEST_F(SpecParserTest, ErrorsCarryLineNumbers) {
+  try {
+    spec::parse("p1 = has_path(s1, sink)\nbogus_pattern(1)\n", tmpl_);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST_F(SpecParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(spec::parse("p1 = has_path(s1)\n", tmpl_), std::runtime_error);
+  EXPECT_THROW(spec::parse("p1 = has_path(nope, sink)\n", tmpl_), std::runtime_error);
+  EXPECT_THROW(spec::parse("disjoint_links(p1, p2)\n", tmpl_), std::runtime_error);
+  EXPECT_THROW(spec::parse("min_signal_to_noise(a)\n", tmpl_), std::runtime_error);
+  EXPECT_THROW(spec::parse("objective cost\n", tmpl_), std::runtime_error);
+  EXPECT_THROW(spec::parse("objective banana=1\n", tmpl_), std::runtime_error);
+  EXPECT_THROW(spec::parse("p1 = has_path(s1, sink)\np1 = has_path(s1, sink)\n", tmpl_),
+               std::runtime_error);
+  EXPECT_THROW(spec::parse("max_hops(p9, 3)\n", tmpl_), std::runtime_error);
+}
+
+TEST_F(SpecParserTest, DisjointGroupsMustShareEndpoints) {
+  EXPECT_THROW(spec::parse(R"(
+p1 = has_path(s1, sink)
+p2 = has_path(s2, sink)
+disjoint_links(p1, p2)
+)",
+                           tmpl_),
+               std::runtime_error);
+}
+
+TEST_F(SpecParserTest, RouteCannotJoinTwoGroups) {
+  EXPECT_THROW(spec::parse(R"(
+p1 = has_path(s1, sink)
+p2 = has_path(s1, sink)
+p3 = has_path(s1, sink)
+disjoint_links(p1, p2)
+disjoint_links(p2, p3)
+)",
+                           tmpl_),
+               std::runtime_error);
+}
+
+TEST_F(SpecParserTest, MaxHopsOnGroupTakesTightest) {
+  const auto spec = spec::parse(R"(
+p1 = has_path(s1, sink)
+p2 = has_path(s1, sink)
+max_hops(p1, 5)
+max_hops(p2, 3)
+disjoint_links(p1, p2)
+)",
+                                tmpl_);
+  ASSERT_EQ(spec.routes.size(), 1u);
+  EXPECT_EQ(*spec.routes[0].max_hops, 3);
+}
+
+TEST_F(SpecParserTest, EmptySpecParses) {
+  const auto spec = spec::parse("\n# nothing\n", tmpl_);
+  EXPECT_TRUE(spec.routes.empty());
+  EXPECT_FALSE(spec.lifetime.has_value());
+}
+
+}  // namespace
+}  // namespace wnet::archex

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "geometry/floorplan.h"
+#include "geometry/segment.h"
+#include "geometry/svg.h"
+#include "geometry/vec2.h"
+
+namespace wnet::geom {
+namespace {
+
+TEST(Vec2, BasicArithmetic) {
+  const Vec2 a{1, 2};
+  const Vec2 b{3, -1};
+  EXPECT_EQ((a + b), (Vec2{4, 1}));
+  EXPECT_EQ((a - b), (Vec2{-2, 3}));
+  EXPECT_EQ((2.0 * a), (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.dist(b), std::hypot(2.0, 3.0));
+}
+
+TEST(Segment, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+}
+
+TEST(Segment, NoIntersection) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 1}}, {{2, 2}, {3, 3}}));  // collinear apart
+}
+
+TEST(Segment, TouchingEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}));
+}
+
+TEST(Segment, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}));
+}
+
+TEST(Segment, TJunction) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, -1}, {1, 0}}));
+}
+
+TEST(Segment, ParallelClose) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {10, 0}}, {{0, 0.01}, {10, 0.01}}));
+}
+
+TEST(Segment, PointDistance) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({-4, 3}, s), 5.0);  // beyond endpoint
+  EXPECT_DOUBLE_EQ(point_segment_distance({12, 0}, s), 2.0);
+}
+
+TEST(Segment, DegenerateSegmentIsPoint) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({4, 5}, s), 5.0);
+}
+
+TEST(FloorPlan, WallLossAccumulates) {
+  FloorPlan plan(20, 10);
+  plan.add_wall({5, 0}, {5, 10}, WallMaterial::kConcrete);
+  plan.add_wall({10, 0}, {10, 10}, WallMaterial::kLight);
+  // Path crossing both walls.
+  EXPECT_DOUBLE_EQ(plan.wall_loss_db({0, 5}, {15, 5}),
+                   default_wall_loss_db(WallMaterial::kConcrete) +
+                       default_wall_loss_db(WallMaterial::kLight));
+  EXPECT_EQ(plan.walls_crossed({0, 5}, {15, 5}), 2);
+  // Path crossing none.
+  EXPECT_DOUBLE_EQ(plan.wall_loss_db({0, 5}, {4, 5}), 0.0);
+}
+
+TEST(FloorPlan, ContainsBoundingBox) {
+  FloorPlan plan(20, 10);
+  EXPECT_TRUE(plan.contains({0, 0}));
+  EXPECT_TRUE(plan.contains({20, 10}));
+  EXPECT_FALSE(plan.contains({20.1, 5}));
+  EXPECT_FALSE(plan.contains({5, -0.1}));
+}
+
+TEST(FloorPlan, ParseRoundTrip) {
+  const std::string text =
+      "floor 30 20\n"
+      "# shell\n"
+      "wall 0 0 30 0 concrete\n"
+      "wall 10 0 10 20 light\n"
+      "wall 20 0 20 20\n";  // default material
+  const FloorPlan plan = parse_floorplan(text);
+  EXPECT_DOUBLE_EQ(plan.width(), 30.0);
+  EXPECT_DOUBLE_EQ(plan.height(), 20.0);
+  ASSERT_EQ(plan.walls().size(), 3u);
+  EXPECT_EQ(plan.walls()[0].material, WallMaterial::kConcrete);
+  EXPECT_EQ(plan.walls()[2].material, WallMaterial::kLight);
+
+  const FloorPlan again = parse_floorplan(to_text(plan));
+  EXPECT_EQ(again.walls().size(), plan.walls().size());
+  EXPECT_DOUBLE_EQ(again.width(), plan.width());
+}
+
+TEST(FloorPlan, ParseErrors) {
+  EXPECT_THROW(parse_floorplan("wall 0 0 1 1\n"), std::runtime_error);  // missing floor
+  EXPECT_THROW(parse_floorplan("floor 10\n"), std::runtime_error);
+  EXPECT_THROW(parse_floorplan("floor 10 10\nwall 0 0 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_floorplan("floor 10 10\nwall 0 0 1 1 adamantium\n"), std::runtime_error);
+  EXPECT_THROW(parse_floorplan("floor -5 10\n"), std::runtime_error);
+  EXPECT_THROW(parse_floorplan("floor 10 10\nfnord\n"), std::runtime_error);
+}
+
+TEST(FloorPlan, OfficeFloorHasShellAndRooms) {
+  const FloorPlan plan = make_office_floor(80, 45, 8);
+  EXPECT_GT(plan.walls().size(), 10u);
+  // A vertical path through the corridor walls must be attenuated.
+  EXPECT_GT(plan.wall_loss_db({40.2, 2}, {40.2, 43}), 0.0);
+}
+
+TEST(Svg, ProducesWellFormedDocument) {
+  SvgCanvas canvas(20, 10);
+  FloorPlan plan(20, 10);
+  plan.add_wall({0, 0}, {20, 0}, WallMaterial::kConcrete);
+  canvas.draw_floorplan(plan);
+  canvas.draw_circle({5, 5}, 3, "green");
+  canvas.draw_square({10, 5}, 3, "red");
+  canvas.draw_line({0, 0}, {20, 10}, "blue", 1.5, true);
+  canvas.draw_text({1, 1}, "label");
+  const std::string doc = canvas.to_string();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(Svg, FlipsYAxis) {
+  SvgCanvas canvas(10, 10, 10.0);
+  canvas.draw_circle({0, 0}, 1, "black");
+  // y=0 in meters must render at the bottom (pixel y = height).
+  EXPECT_NE(canvas.to_string().find("cy=\"100\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wnet::geom

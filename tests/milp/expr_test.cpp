@@ -1,0 +1,115 @@
+#include "milp/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "milp/model.h"
+
+namespace wnet::milp {
+namespace {
+
+TEST(LinExpr, BuildsAndMergesTerms) {
+  Var x{0};
+  Var y{1};
+  LinExpr e = 2.0 * LinExpr(x) + 3.0 * LinExpr(y) + 1.5;
+  e.add_term(x, 4.0);
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_DOUBLE_EQ(e.terms().at(x), 6.0);
+  EXPECT_DOUBLE_EQ(e.terms().at(y), 3.0);
+  EXPECT_DOUBLE_EQ(e.constant(), 1.5);
+}
+
+TEST(LinExpr, CancellingTermIsErased) {
+  Var x{0};
+  LinExpr e = LinExpr(x);
+  e.add_term(x, -1.0);
+  EXPECT_EQ(e.size(), 0u);
+}
+
+TEST(LinExpr, ZeroCoefficientNotStored) {
+  Var x{0};
+  LinExpr e;
+  e.add_term(x, 0.0);
+  EXPECT_EQ(e.size(), 0u);
+}
+
+TEST(LinExpr, ArithmeticOperators) {
+  Var x{0};
+  Var y{1};
+  LinExpr a = LinExpr(x) + LinExpr(y);
+  LinExpr b = LinExpr(x) - LinExpr(y);
+  LinExpr c = a - b;  // 2y
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.terms().at(y), 2.0);
+  LinExpr d = -c;
+  EXPECT_DOUBLE_EQ(d.terms().at(y), -2.0);
+}
+
+TEST(LinExpr, Evaluate) {
+  Var x{0};
+  Var y{1};
+  LinExpr e = 2.0 * LinExpr(x) - LinExpr(y) + 5.0;
+  EXPECT_DOUBLE_EQ(e.evaluate({3.0, 4.0}), 2 * 3 - 4 + 5.0);
+}
+
+TEST(LinExpr, InvalidVarThrows) {
+  LinExpr e;
+  EXPECT_THROW(e.add_term(Var{-1}, 1.0), std::invalid_argument);
+}
+
+TEST(Model, AddVarRespectsTypesAndBounds) {
+  Model m;
+  const Var b = m.add_binary("b");
+  const Var c = m.add_continuous("c", -1.0, 2.0);
+  const Var i = m.add_integer("i", 0, 9);
+  EXPECT_EQ(m.num_vars(), 3);
+  EXPECT_EQ(m.var(b).type, VarType::kBinary);
+  EXPECT_DOUBLE_EQ(m.var(b).ub, 1.0);
+  EXPECT_DOUBLE_EQ(m.var(c).lb, -1.0);
+  EXPECT_EQ(m.var(i).type, VarType::kInteger);
+}
+
+TEST(Model, AddVarRejectsCrossedBounds) {
+  Model m;
+  EXPECT_THROW(m.add_continuous("bad", 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Model, ConstraintFoldsConstant) {
+  Model m;
+  const Var x = m.add_continuous("x", 0, 10);
+  const int ci = m.add_le(LinExpr(x) + 3.0, 8.0);
+  EXPECT_DOUBLE_EQ(m.constrs()[static_cast<size_t>(ci)].rhs, 5.0);
+  EXPECT_DOUBLE_EQ(m.constrs()[static_cast<size_t>(ci)].expr.constant(), 0.0);
+}
+
+TEST(Model, FeasibilityCheck) {
+  Model m;
+  const Var x = m.add_integer("x", 0, 5);
+  const Var y = m.add_continuous("y", 0, 5);
+  m.add_le(LinExpr(x) + LinExpr(y), 6.0);
+  m.add_ge(LinExpr(x) - LinExpr(y), -1.0);
+  EXPECT_TRUE(m.is_feasible({2.0, 3.0}));
+  EXPECT_FALSE(m.is_feasible({2.5, 3.0}));   // fractional integer
+  EXPECT_FALSE(m.is_feasible({5.0, 3.0}));   // violates row 1
+  EXPECT_FALSE(m.is_feasible({0.0, 2.0}));   // violates row 2
+  EXPECT_FALSE(m.is_feasible({2.0}));        // arity
+}
+
+TEST(Model, NonzeroAndIntegerCounts) {
+  Model m;
+  const Var x = m.add_binary("x");
+  const Var y = m.add_continuous("y", 0, 1);
+  m.add_le(LinExpr(x) + LinExpr(y), 1.0);
+  m.add_le(LinExpr(x), 1.0);
+  EXPECT_EQ(m.num_integer_vars(), 1);
+  EXPECT_EQ(m.num_nonzeros(), 3u);
+}
+
+TEST(Model, UnknownVariableInConstraintThrows) {
+  Model m;
+  LinExpr e;
+  e.add_term(Var{7}, 1.0);
+  EXPECT_THROW(m.add_le(std::move(e), 1.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace wnet::milp

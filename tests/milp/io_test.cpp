@@ -1,0 +1,78 @@
+#include "milp/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wnet::milp {
+namespace {
+
+Model sample_model() {
+  Model m;
+  const Var x = m.add_continuous("x", 0.0, 4.0);
+  const Var y = m.add_binary("y");
+  const Var z = m.add_continuous("z", -kInf, kInf);
+  m.add_le(LinExpr(x) + 2.0 * LinExpr(y), 5.0);
+  m.add_ge(LinExpr(x) - LinExpr(z), -1.0);
+  m.add_eq(LinExpr(y) + LinExpr(z), 0.5);
+  m.minimize(3.0 * LinExpr(x) - LinExpr(y));
+  return m;
+}
+
+TEST(MpsWriter, SectionsAndRowTypes) {
+  const std::string mps = to_mps_string(sample_model(), "T");
+  EXPECT_NE(mps.find("NAME"), std::string::npos);
+  EXPECT_NE(mps.find("ROWS"), std::string::npos);
+  EXPECT_NE(mps.find(" N  COST"), std::string::npos);
+  EXPECT_NE(mps.find(" L  C0"), std::string::npos);
+  EXPECT_NE(mps.find(" G  C1"), std::string::npos);
+  EXPECT_NE(mps.find(" E  C2"), std::string::npos);
+  EXPECT_NE(mps.find("COLUMNS"), std::string::npos);
+  EXPECT_NE(mps.find("RHS"), std::string::npos);
+  EXPECT_NE(mps.find("BOUNDS"), std::string::npos);
+  EXPECT_NE(mps.find("ENDATA"), std::string::npos);
+}
+
+TEST(MpsWriter, IntegerMarkersBracketBinaries) {
+  const std::string mps = to_mps_string(sample_model());
+  const auto org = mps.find("'INTORG'");
+  const auto end = mps.find("'INTEND'");
+  ASSERT_NE(org, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_LT(org, end);
+  // The binary column X1 appears between the markers.
+  const auto x1 = mps.find("X1 ", org);
+  EXPECT_LT(x1, end);
+}
+
+TEST(MpsWriter, FreeVariableMarkedFr) {
+  const std::string mps = to_mps_string(sample_model());
+  EXPECT_NE(mps.find(" FR BND  X2"), std::string::npos);
+}
+
+TEST(MpsWriter, FileRoundTripToDisk) {
+  const std::string path = "/tmp/wnet_io_test.mps";
+  write_mps_file(sample_model(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), to_mps_string(sample_model()));
+  std::remove(path.c_str());
+
+  const std::string lp_path = "/tmp/wnet_io_test.lp";
+  write_lp_file(sample_model(), lp_path);
+  std::ifstream lp_in(lp_path);
+  ASSERT_TRUE(lp_in.good());
+  std::remove(lp_path.c_str());
+}
+
+TEST(MpsWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_mps_file(sample_model(), "/nonexistent-dir/x.mps"), std::runtime_error);
+  EXPECT_THROW(write_lp_file(sample_model(), "/nonexistent-dir/x.lp"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wnet::milp

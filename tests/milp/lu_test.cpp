@@ -1,0 +1,185 @@
+#include "milp/simplex/lu.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "milp/simplex/sparse.h"
+
+namespace wnet::milp::simplex {
+namespace {
+
+/// Builds a sparse matrix from dense data (rows x cols).
+SparseMatrix from_dense(const std::vector<std::vector<double>>& d) {
+  const int rows = static_cast<int>(d.size());
+  const int cols = rows > 0 ? static_cast<int>(d[0].size()) : 0;
+  SparseMatrix a(rows, cols);
+  for (int j = 0; j < cols; ++j) {
+    std::vector<Entry> col;
+    for (int i = 0; i < rows; ++i) {
+      if (d[static_cast<size_t>(i)][static_cast<size_t>(j)] != 0.0) {
+        col.push_back({i, d[static_cast<size_t>(i)][static_cast<size_t>(j)]});
+      }
+    }
+    a.set_column(j, std::move(col));
+  }
+  return a;
+}
+
+std::vector<double> mat_vec(const std::vector<std::vector<double>>& d,
+                            const std::vector<double>& x) {
+  std::vector<double> y(d.size(), 0.0);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = 0; j < x.size(); ++j) y[i] += d[i][j] * x[j];
+  }
+  return y;
+}
+
+std::vector<double> mat_t_vec(const std::vector<std::vector<double>>& d,
+                              const std::vector<double>& x) {
+  std::vector<double> y(d[0].size(), 0.0);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = 0; j < y.size(); ++j) y[j] += d[i][j] * x[i];
+  }
+  return y;
+}
+
+TEST(BasisLu, IdentityRoundTrip) {
+  const auto a = from_dense({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, {0, 1, 2}));
+  std::vector<double> x{3.0, -1.0, 2.0};
+  lu.ftran(x);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], -1.0, 1e-12);
+  EXPECT_NEAR(x[2], 2.0, 1e-12);
+  std::vector<double> y{1.0, 2.0, 3.0};
+  lu.btran(y);
+  EXPECT_NEAR(y[2], 3.0, 1e-12);
+}
+
+TEST(BasisLu, SolvesGeneralSystem) {
+  // B = [[2,1,0],[1,3,1],[0,1,4]] (columns 0..2).
+  const std::vector<std::vector<double>> dense{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}};
+  const auto a = from_dense(dense);
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, {0, 1, 2}));
+
+  const std::vector<double> x_true{1.0, -2.0, 0.5};
+  std::vector<double> rhs = mat_vec(dense, x_true);
+  lu.ftran(rhs);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(rhs[static_cast<size_t>(i)], x_true[static_cast<size_t>(i)], 1e-10);
+
+  const std::vector<double> y_true{0.5, 1.5, -1.0};
+  std::vector<double> c = mat_t_vec(dense, y_true);
+  lu.btran(c);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(c[static_cast<size_t>(i)], y_true[static_cast<size_t>(i)], 1e-10);
+}
+
+TEST(BasisLu, DetectsSingularBasis) {
+  const auto a = from_dense({{1, 2, 3}, {2, 4, 6}, {1, 1, 1}});  // col1 = 2*col0
+  BasisLu lu;
+  EXPECT_FALSE(lu.factorize(a, {0, 1, 2}));
+}
+
+TEST(BasisLu, SubsetOfWiderMatrixAsBasis) {
+  // A has 5 columns; basis picks {4, 1, 3}.
+  const std::vector<std::vector<double>> dense{
+      {1, 0, 2, 0, 1}, {0, 3, 0, 1, 0}, {2, 0, 0, 5, 1}};
+  const auto a = from_dense(dense);
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, {4, 1, 3}));
+  // B = columns 4,1,3: [[1,0,0],[0,3,1],[1,0,5]].
+  const std::vector<std::vector<double>> b{{1, 0, 0}, {0, 3, 1}, {1, 0, 5}};
+  const std::vector<double> x_true{2.0, 1.0, -1.0};
+  std::vector<double> rhs = mat_vec(b, x_true);
+  lu.ftran(rhs);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(rhs[static_cast<size_t>(i)], x_true[static_cast<size_t>(i)], 1e-10);
+}
+
+TEST(BasisLu, EtaUpdateMatchesRefactorization) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  const int m = 12;
+  // Random well-conditioned dense-ish matrix with extra columns to swap in.
+  std::vector<std::vector<double>> dense(static_cast<size_t>(m),
+                                         std::vector<double>(static_cast<size_t>(m) + 4, 0.0));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m + 4; ++j) {
+      if ((i + j) % 3 == 0 || i == j) dense[static_cast<size_t>(i)][static_cast<size_t>(j)] = u(rng);
+    }
+    dense[static_cast<size_t>(i)][static_cast<size_t>(i)] += 4.0;  // diagonal dominance
+  }
+  const auto a = from_dense(dense);
+  std::vector<int> basis(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) basis[static_cast<size_t>(i)] = i;
+
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(a, basis));
+
+  // Replace the basis position with the strongest pivot by column m
+  // (outside the current basis) so the new basis stays well conditioned.
+  const int entering = m;
+  std::vector<double> w(static_cast<size_t>(m), 0.0);
+  for (const Entry& e : a.column(entering)) w[static_cast<size_t>(e.row)] = e.value;
+  lu.ftran(w);
+  int pos = 0;
+  for (int i = 1; i < m; ++i) {
+    if (std::abs(w[static_cast<size_t>(i)]) > std::abs(w[static_cast<size_t>(pos)])) pos = i;
+  }
+  ASSERT_TRUE(lu.update(pos, w));
+  basis[static_cast<size_t>(pos)] = entering;
+
+  BasisLu fresh;
+  ASSERT_TRUE(fresh.factorize(a, basis));
+
+  std::vector<double> rhs(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) rhs[static_cast<size_t>(i)] = u(rng);
+  std::vector<double> via_eta = rhs;
+  std::vector<double> via_fresh = rhs;
+  lu.ftran(via_eta);
+  fresh.ftran(via_fresh);
+  for (int i = 0; i < m; ++i) EXPECT_NEAR(via_eta[static_cast<size_t>(i)], via_fresh[static_cast<size_t>(i)], 1e-8);
+
+  std::vector<double> c(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) c[static_cast<size_t>(i)] = u(rng);
+  std::vector<double> bt_eta = c;
+  std::vector<double> bt_fresh = c;
+  lu.btran(bt_eta);
+  fresh.btran(bt_fresh);
+  for (int i = 0; i < m; ++i) EXPECT_NEAR(bt_eta[static_cast<size_t>(i)], bt_fresh[static_cast<size_t>(i)], 1e-8);
+}
+
+TEST(BasisLu, RandomSparseSystemsProperty) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> u(-3.0, 3.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int m = 5 + trial;
+    std::vector<std::vector<double>> dense(static_cast<size_t>(m),
+                                           std::vector<double>(static_cast<size_t>(m), 0.0));
+    for (int i = 0; i < m; ++i) {
+      dense[static_cast<size_t>(i)][static_cast<size_t>(i)] = 5.0 + std::abs(u(rng));
+      for (int k = 0; k < 3; ++k) {
+        const int j = static_cast<int>(rng() % static_cast<unsigned>(m));
+        if (j != i) dense[static_cast<size_t>(i)][static_cast<size_t>(j)] = u(rng);
+      }
+    }
+    const auto a = from_dense(dense);
+    std::vector<int> basis(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) basis[static_cast<size_t>(i)] = i;
+    BasisLu lu;
+    ASSERT_TRUE(lu.factorize(a, basis));
+    std::vector<double> x_true(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) x_true[static_cast<size_t>(i)] = u(rng);
+    std::vector<double> rhs = mat_vec(dense, x_true);
+    lu.ftran(rhs);
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(rhs[static_cast<size_t>(i)], x_true[static_cast<size_t>(i)], 1e-8)
+          << "trial " << trial << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wnet::milp::simplex

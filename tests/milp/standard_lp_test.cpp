@@ -1,0 +1,94 @@
+#include "milp/simplex/standard_lp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wnet::milp::simplex {
+namespace {
+
+TEST(StandardLp, LayoutAndSlackRanges) {
+  Model m;
+  const Var x = m.add_continuous("x", -1.0, 2.0);
+  const Var y = m.add_binary("y");
+  m.add_le(LinExpr(x) + 2.0 * LinExpr(y), 3.0);   // row 0
+  m.add_ge(LinExpr(x) - LinExpr(y), -1.0);        // row 1
+  m.add_eq(LinExpr(x), 0.5);                      // row 2
+  m.minimize(LinExpr(x) + LinExpr(y) + 7.0);
+
+  const StandardLp lp(m);
+  EXPECT_EQ(lp.num_rows(), 3);
+  EXPECT_EQ(lp.num_cols(), 2 + 3);
+  EXPECT_EQ(lp.num_structural(), 2);
+  EXPECT_DOUBLE_EQ(lp.objective_constant(), 7.0);
+
+  // Slack 0 (<=): [0, inf); slack 1 (>=): (-inf, 0]; slack 2 (=): [0, 0].
+  EXPECT_DOUBLE_EQ(lp.lb()[2], 0.0);
+  EXPECT_TRUE(std::isinf(lp.ub()[2]));
+  EXPECT_TRUE(std::isinf(lp.lb()[3]));
+  EXPECT_DOUBLE_EQ(lp.ub()[3], 0.0);
+  EXPECT_DOUBLE_EQ(lp.lb()[4], 0.0);
+  EXPECT_DOUBLE_EQ(lp.ub()[4], 0.0);
+
+  // Slack coefficient +1 in its own row.
+  ASSERT_EQ(lp.a().column(2).size(), 1u);
+  EXPECT_EQ(lp.a().column(2)[0].row, 0);
+  EXPECT_DOUBLE_EQ(lp.a().column(2)[0].value, 1.0);
+
+  // Structural bounds preserved exactly.
+  EXPECT_DOUBLE_EQ(lp.lb()[static_cast<size_t>(x.id)], -1.0);
+  EXPECT_DOUBLE_EQ(lp.ub()[static_cast<size_t>(y.id)], 1.0);
+}
+
+TEST(StandardLp, ClampsOnlyCostSideInfinities) {
+  Model m;
+  const Var a = m.add_continuous("a", 0.0, kInf);  // c > 0: ub stays inf
+  const Var b = m.add_continuous("b", 0.0, kInf);  // c < 0: ub clamped
+  const Var c = m.add_continuous("c", -kInf, 0.0); // c > 0: lb clamped
+  m.minimize(LinExpr(a) - LinExpr(b) + LinExpr(c));
+
+  const StandardLp lp(m);
+  EXPECT_TRUE(std::isinf(lp.ub()[static_cast<size_t>(a.id)]));
+  EXPECT_FALSE(lp.ub_synthetic(a.id));
+  EXPECT_DOUBLE_EQ(lp.ub()[static_cast<size_t>(b.id)], kBigBound);
+  EXPECT_TRUE(lp.ub_synthetic(b.id));
+  EXPECT_DOUBLE_EQ(lp.lb()[static_cast<size_t>(c.id)], -kBigBound);
+  EXPECT_TRUE(lp.lb_synthetic(c.id));
+}
+
+TEST(StandardLp, SetBoundsReclampsAgainstCost) {
+  Model m;
+  const Var x = m.add_continuous("x", 0.0, 5.0);
+  m.minimize(-1.0 * LinExpr(x));
+  StandardLp lp(m);
+  lp.set_bounds(0, 0.0, kInf);  // cost pushes up: must clamp
+  EXPECT_DOUBLE_EQ(lp.ub()[0], kBigBound);
+  EXPECT_TRUE(lp.ub_synthetic(0));
+  lp.set_bounds(0, 1.0, 4.0);
+  EXPECT_FALSE(lp.ub_synthetic(0));
+  EXPECT_DOUBLE_EQ(lp.lb()[0], 1.0);
+  EXPECT_THROW(lp.set_bounds(0, 5.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(lp.set_bounds(99, 0.0, 1.0), std::out_of_range);
+}
+
+TEST(StandardLp, ObjectiveValueIncludesConstant) {
+  Model m;
+  const Var x = m.add_continuous("x", 0.0, 10.0);
+  m.minimize(2.0 * LinExpr(x) + 5.0);
+  const StandardLp lp(m);
+  std::vector<double> point(static_cast<size_t>(lp.num_cols()), 0.0);
+  point[0] = 3.0;
+  EXPECT_DOUBLE_EQ(lp.objective_value(point), 11.0);
+}
+
+TEST(StandardLp, EmptyModel) {
+  Model m;
+  m.minimize(LinExpr(4.2));
+  const StandardLp lp(m);
+  EXPECT_EQ(lp.num_rows(), 0);
+  EXPECT_EQ(lp.num_cols(), 0);
+  EXPECT_DOUBLE_EQ(lp.objective_value({}), 4.2);
+}
+
+}  // namespace
+}  // namespace wnet::milp::simplex

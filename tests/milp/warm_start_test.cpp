@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "milp/simplex/dual_simplex.h"
+#include "milp/solver.h"
+
+namespace wnet::milp {
+namespace {
+
+TEST(MipStart, AcceptedAsIncumbent) {
+  // Knapsack where the trivial rounding fails but a known-good start exists.
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  const Var c = m.add_binary("c");
+  m.add_le(2.0 * LinExpr(a) + 3.0 * LinExpr(b) + LinExpr(c), 5.0);
+  m.minimize(-5.0 * LinExpr(a) - 4.0 * LinExpr(b) - 3.0 * LinExpr(c));
+  SolveOptions opts;
+  opts.mip_start = {1.0, 1.0, 0.0};  // value 9, feasible
+  opts.node_limit = 0;               // no search at all: only root heuristics
+  opts.root_dive = false;
+  const auto res = solve(m, opts);
+  ASSERT_TRUE(res.has_solution());
+  EXPECT_LE(res.objective, -9.0 + 1e-9);
+}
+
+TEST(MipStart, InfeasibleStartIgnored) {
+  Model m;
+  const Var a = m.add_binary("a");
+  m.add_le(LinExpr(a), 0.0);
+  m.minimize(-1.0 * LinExpr(a));
+  SolveOptions opts;
+  opts.mip_start = {1.0};  // violates a <= 0
+  const auto res = solve(m, opts);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 0.0, 1e-9);
+  EXPECT_NEAR(res.x[0], 0.0, 1e-9);
+}
+
+TEST(DualSimplexResolve, TracksBoundChanges) {
+  Model m;
+  const Var x = m.add_continuous("x", 0.0, 3.0);
+  const Var y = m.add_continuous("y", 0.0, 2.0);
+  m.add_le(LinExpr(x) + LinExpr(y), 4.0);
+  m.minimize(-1.0 * LinExpr(x) - 2.0 * LinExpr(y));
+  simplex::StandardLp lp(m);
+  simplex::DualSimplex ds(lp);
+  auto r1 = ds.solve();
+  ASSERT_EQ(r1.status, simplex::LpStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, -6.0, 1e-8);
+
+  lp.set_bounds(0, 0.0, 1.0);
+  auto r2 = ds.resolve();
+  ASSERT_EQ(r2.status, simplex::LpStatus::kOptimal);
+  EXPECT_NEAR(r2.objective, -5.0, 1e-8);
+
+  lp.set_bounds(0, 0.0, 3.0);
+  auto r3 = ds.resolve();
+  ASSERT_EQ(r3.status, simplex::LpStatus::kOptimal);
+  EXPECT_NEAR(r3.objective, -6.0, 1e-8);
+}
+
+TEST(DualSimplexResolve, DetectsInfeasibilityAfterTightening) {
+  Model m;
+  const Var x = m.add_continuous("x", 0.0, 10.0);
+  m.add_ge(LinExpr(x), 5.0);
+  m.minimize(LinExpr(x));
+  simplex::StandardLp lp(m);
+  simplex::DualSimplex ds(lp);
+  ASSERT_EQ(ds.solve().status, simplex::LpStatus::kOptimal);
+  lp.set_bounds(0, 0.0, 4.0);
+  EXPECT_EQ(ds.resolve().status, simplex::LpStatus::kPrimalInfeasible);
+}
+
+TEST(SolverStats, ReportsWork) {
+  Model m;
+  std::vector<Var> xs;
+  for (int i = 0; i < 12; ++i) xs.push_back(m.add_binary("x"));
+  for (int r = 0; r < 8; ++r) {
+    LinExpr e;
+    for (int i = r % 3; i < 12; i += 2) e += (1.0 + (i % 4)) * LinExpr(xs[static_cast<size_t>(i)]);
+    m.add_ge(std::move(e), 6.0);
+  }
+  LinExpr obj;
+  for (int i = 0; i < 12; ++i) obj += (1.0 + (i * 7) % 5) * LinExpr(xs[static_cast<size_t>(i)]);
+  m.minimize(obj);
+  const auto res = solve(m);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_GT(res.stats.lp_iterations, 0);
+  EXPECT_GE(res.stats.time_s, 0.0);
+  EXPECT_GE(res.bound, res.stats.root_bound - 1e-9);
+  EXPECT_NEAR(res.bound, res.objective, 1e-6 * std::max(1.0, std::abs(res.objective)));
+}
+
+TEST(LpTimeLimit, ExpiresGracefully) {
+  // A moderately large LP with a zero time budget must come back quickly
+  // with kIterLimit rather than hanging.
+  Model m;
+  std::vector<Var> xs;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) xs.push_back(m.add_continuous("x", 0.0, 10.0));
+  for (int r = 0; r < n; ++r) {
+    LinExpr e;
+    for (int i = 0; i < n; ++i) {
+      if ((i + r) % 3 == 0) e += (1.0 + (i % 5)) * LinExpr(xs[static_cast<size_t>(i)]);
+    }
+    m.add_ge(std::move(e), 5.0 + r % 7);
+  }
+  LinExpr obj;
+  for (int i = 0; i < n; ++i) obj += LinExpr(xs[static_cast<size_t>(i)]);
+  m.minimize(obj);
+  simplex::StandardLp lp(m);
+  simplex::LpOptions opts;
+  opts.time_limit_s = 0.0;
+  simplex::DualSimplex ds(lp, opts);
+  const auto res = ds.solve();
+  EXPECT_TRUE(res.status == simplex::LpStatus::kIterLimit ||
+              res.status == simplex::LpStatus::kOptimal);  // tiny LPs may finish in <64 iters
+}
+
+}  // namespace
+}  // namespace wnet::milp
