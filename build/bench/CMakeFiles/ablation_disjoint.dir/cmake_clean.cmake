@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disjoint.dir/ablation_disjoint.cpp.o"
+  "CMakeFiles/ablation_disjoint.dir/ablation_disjoint.cpp.o.d"
+  "ablation_disjoint"
+  "ablation_disjoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disjoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

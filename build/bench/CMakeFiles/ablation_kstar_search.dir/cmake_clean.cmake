@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kstar_search.dir/ablation_kstar_search.cpp.o"
+  "CMakeFiles/ablation_kstar_search.dir/ablation_kstar_search.cpp.o.d"
+  "ablation_kstar_search"
+  "ablation_kstar_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kstar_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

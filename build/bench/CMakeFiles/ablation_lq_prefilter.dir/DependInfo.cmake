@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_lq_prefilter.cpp" "bench/CMakeFiles/ablation_lq_prefilter.dir/ablation_lq_prefilter.cpp.o" "gcc" "bench/CMakeFiles/ablation_lq_prefilter.dir/ablation_lq_prefilter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/wnet_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wnet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wnet_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/wnet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lq_prefilter.dir/ablation_lq_prefilter.cpp.o"
+  "CMakeFiles/ablation_lq_prefilter.dir/ablation_lq_prefilter.cpp.o.d"
+  "ablation_lq_prefilter"
+  "ablation_lq_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lq_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

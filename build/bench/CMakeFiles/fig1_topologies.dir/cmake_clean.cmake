@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_topologies.dir/fig1_topologies.cpp.o"
+  "CMakeFiles/fig1_topologies.dir/fig1_topologies.cpp.o.d"
+  "fig1_topologies"
+  "fig1_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

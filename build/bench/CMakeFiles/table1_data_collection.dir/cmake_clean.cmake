@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_data_collection.dir/table1_data_collection.cpp.o"
+  "CMakeFiles/table1_data_collection.dir/table1_data_collection.cpp.o.d"
+  "table1_data_collection"
+  "table1_data_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_data_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_localization.dir/table2_localization.cpp.o"
+  "CMakeFiles/table2_localization.dir/table2_localization.cpp.o.d"
+  "table2_localization"
+  "table2_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

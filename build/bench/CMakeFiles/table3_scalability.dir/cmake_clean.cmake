@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_scalability.dir/table3_scalability.cpp.o"
+  "CMakeFiles/table3_scalability.dir/table3_scalability.cpp.o.d"
+  "table3_scalability"
+  "table3_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

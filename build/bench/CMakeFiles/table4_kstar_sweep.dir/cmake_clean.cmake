@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_kstar_sweep.dir/table4_kstar_sweep.cpp.o"
+  "CMakeFiles/table4_kstar_sweep.dir/table4_kstar_sweep.cpp.o.d"
+  "table4_kstar_sweep"
+  "table4_kstar_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_kstar_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_driven.dir/spec_driven.cpp.o"
+  "CMakeFiles/spec_driven.dir/spec_driven.cpp.o.d"
+  "spec_driven"
+  "spec_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

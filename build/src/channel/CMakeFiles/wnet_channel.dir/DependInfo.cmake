@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/link_metrics.cpp" "src/channel/CMakeFiles/wnet_channel.dir/link_metrics.cpp.o" "gcc" "src/channel/CMakeFiles/wnet_channel.dir/link_metrics.cpp.o.d"
+  "/root/repo/src/channel/propagation.cpp" "src/channel/CMakeFiles/wnet_channel.dir/propagation.cpp.o" "gcc" "src/channel/CMakeFiles/wnet_channel.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/wnet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnet_channel.dir/link_metrics.cpp.o"
+  "CMakeFiles/wnet_channel.dir/link_metrics.cpp.o.d"
+  "CMakeFiles/wnet_channel.dir/propagation.cpp.o"
+  "CMakeFiles/wnet_channel.dir/propagation.cpp.o.d"
+  "libwnet_channel.a"
+  "libwnet_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnet_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwnet_channel.a"
+)

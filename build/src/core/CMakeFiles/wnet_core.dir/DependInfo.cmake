@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/wnet_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/encode/encoder.cpp" "src/core/CMakeFiles/wnet_core.dir/encode/encoder.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/encode/encoder.cpp.o.d"
+  "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/wnet_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/core/library.cpp" "src/core/CMakeFiles/wnet_core.dir/library.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/library.cpp.o.d"
+  "/root/repo/src/core/network_template.cpp" "src/core/CMakeFiles/wnet_core.dir/network_template.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/network_template.cpp.o.d"
+  "/root/repo/src/core/render.cpp" "src/core/CMakeFiles/wnet_core.dir/render.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/render.cpp.o.d"
+  "/root/repo/src/core/resilience.cpp" "src/core/CMakeFiles/wnet_core.dir/resilience.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/resilience.cpp.o.d"
+  "/root/repo/src/core/solution.cpp" "src/core/CMakeFiles/wnet_core.dir/solution.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/solution.cpp.o.d"
+  "/root/repo/src/core/spec/parser.cpp" "src/core/CMakeFiles/wnet_core.dir/spec/parser.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/spec/parser.cpp.o.d"
+  "/root/repo/src/core/workloads/scenarios.cpp" "src/core/CMakeFiles/wnet_core.dir/workloads/scenarios.cpp.o" "gcc" "src/core/CMakeFiles/wnet_core.dir/workloads/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/milp/CMakeFiles/wnet_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wnet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wnet_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/wnet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnet_core.dir/analysis.cpp.o"
+  "CMakeFiles/wnet_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/wnet_core.dir/encode/encoder.cpp.o"
+  "CMakeFiles/wnet_core.dir/encode/encoder.cpp.o.d"
+  "CMakeFiles/wnet_core.dir/explorer.cpp.o"
+  "CMakeFiles/wnet_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/wnet_core.dir/library.cpp.o"
+  "CMakeFiles/wnet_core.dir/library.cpp.o.d"
+  "CMakeFiles/wnet_core.dir/network_template.cpp.o"
+  "CMakeFiles/wnet_core.dir/network_template.cpp.o.d"
+  "CMakeFiles/wnet_core.dir/render.cpp.o"
+  "CMakeFiles/wnet_core.dir/render.cpp.o.d"
+  "CMakeFiles/wnet_core.dir/resilience.cpp.o"
+  "CMakeFiles/wnet_core.dir/resilience.cpp.o.d"
+  "CMakeFiles/wnet_core.dir/solution.cpp.o"
+  "CMakeFiles/wnet_core.dir/solution.cpp.o.d"
+  "CMakeFiles/wnet_core.dir/spec/parser.cpp.o"
+  "CMakeFiles/wnet_core.dir/spec/parser.cpp.o.d"
+  "CMakeFiles/wnet_core.dir/workloads/scenarios.cpp.o"
+  "CMakeFiles/wnet_core.dir/workloads/scenarios.cpp.o.d"
+  "libwnet_core.a"
+  "libwnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnet_geometry.dir/floorplan.cpp.o"
+  "CMakeFiles/wnet_geometry.dir/floorplan.cpp.o.d"
+  "CMakeFiles/wnet_geometry.dir/segment.cpp.o"
+  "CMakeFiles/wnet_geometry.dir/segment.cpp.o.d"
+  "CMakeFiles/wnet_geometry.dir/svg.cpp.o"
+  "CMakeFiles/wnet_geometry.dir/svg.cpp.o.d"
+  "libwnet_geometry.a"
+  "libwnet_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnet_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnet_graph.dir/connectivity.cpp.o"
+  "CMakeFiles/wnet_graph.dir/connectivity.cpp.o.d"
+  "CMakeFiles/wnet_graph.dir/digraph.cpp.o"
+  "CMakeFiles/wnet_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/wnet_graph.dir/dijkstra.cpp.o"
+  "CMakeFiles/wnet_graph.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/wnet_graph.dir/yen.cpp.o"
+  "CMakeFiles/wnet_graph.dir/yen.cpp.o.d"
+  "libwnet_graph.a"
+  "libwnet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

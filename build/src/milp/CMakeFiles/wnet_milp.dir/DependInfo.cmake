@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/milp/expr.cpp" "src/milp/CMakeFiles/wnet_milp.dir/expr.cpp.o" "gcc" "src/milp/CMakeFiles/wnet_milp.dir/expr.cpp.o.d"
+  "/root/repo/src/milp/io.cpp" "src/milp/CMakeFiles/wnet_milp.dir/io.cpp.o" "gcc" "src/milp/CMakeFiles/wnet_milp.dir/io.cpp.o.d"
+  "/root/repo/src/milp/linearize.cpp" "src/milp/CMakeFiles/wnet_milp.dir/linearize.cpp.o" "gcc" "src/milp/CMakeFiles/wnet_milp.dir/linearize.cpp.o.d"
+  "/root/repo/src/milp/model.cpp" "src/milp/CMakeFiles/wnet_milp.dir/model.cpp.o" "gcc" "src/milp/CMakeFiles/wnet_milp.dir/model.cpp.o.d"
+  "/root/repo/src/milp/presolve.cpp" "src/milp/CMakeFiles/wnet_milp.dir/presolve.cpp.o" "gcc" "src/milp/CMakeFiles/wnet_milp.dir/presolve.cpp.o.d"
+  "/root/repo/src/milp/simplex/dual_simplex.cpp" "src/milp/CMakeFiles/wnet_milp.dir/simplex/dual_simplex.cpp.o" "gcc" "src/milp/CMakeFiles/wnet_milp.dir/simplex/dual_simplex.cpp.o.d"
+  "/root/repo/src/milp/simplex/lu.cpp" "src/milp/CMakeFiles/wnet_milp.dir/simplex/lu.cpp.o" "gcc" "src/milp/CMakeFiles/wnet_milp.dir/simplex/lu.cpp.o.d"
+  "/root/repo/src/milp/simplex/standard_lp.cpp" "src/milp/CMakeFiles/wnet_milp.dir/simplex/standard_lp.cpp.o" "gcc" "src/milp/CMakeFiles/wnet_milp.dir/simplex/standard_lp.cpp.o.d"
+  "/root/repo/src/milp/solver.cpp" "src/milp/CMakeFiles/wnet_milp.dir/solver.cpp.o" "gcc" "src/milp/CMakeFiles/wnet_milp.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

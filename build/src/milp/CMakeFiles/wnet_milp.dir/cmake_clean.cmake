@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnet_milp.dir/expr.cpp.o"
+  "CMakeFiles/wnet_milp.dir/expr.cpp.o.d"
+  "CMakeFiles/wnet_milp.dir/io.cpp.o"
+  "CMakeFiles/wnet_milp.dir/io.cpp.o.d"
+  "CMakeFiles/wnet_milp.dir/linearize.cpp.o"
+  "CMakeFiles/wnet_milp.dir/linearize.cpp.o.d"
+  "CMakeFiles/wnet_milp.dir/model.cpp.o"
+  "CMakeFiles/wnet_milp.dir/model.cpp.o.d"
+  "CMakeFiles/wnet_milp.dir/presolve.cpp.o"
+  "CMakeFiles/wnet_milp.dir/presolve.cpp.o.d"
+  "CMakeFiles/wnet_milp.dir/simplex/dual_simplex.cpp.o"
+  "CMakeFiles/wnet_milp.dir/simplex/dual_simplex.cpp.o.d"
+  "CMakeFiles/wnet_milp.dir/simplex/lu.cpp.o"
+  "CMakeFiles/wnet_milp.dir/simplex/lu.cpp.o.d"
+  "CMakeFiles/wnet_milp.dir/simplex/standard_lp.cpp.o"
+  "CMakeFiles/wnet_milp.dir/simplex/standard_lp.cpp.o.d"
+  "CMakeFiles/wnet_milp.dir/solver.cpp.o"
+  "CMakeFiles/wnet_milp.dir/solver.cpp.o.d"
+  "libwnet_milp.a"
+  "libwnet_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnet_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnet_radio.dir/csma.cpp.o"
+  "CMakeFiles/wnet_radio.dir/csma.cpp.o.d"
+  "CMakeFiles/wnet_radio.dir/energy.cpp.o"
+  "CMakeFiles/wnet_radio.dir/energy.cpp.o.d"
+  "libwnet_radio.a"
+  "libwnet_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnet_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

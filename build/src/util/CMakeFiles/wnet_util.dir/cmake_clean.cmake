@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnet_util.dir/strings.cpp.o"
+  "CMakeFiles/wnet_util.dir/strings.cpp.o.d"
+  "CMakeFiles/wnet_util.dir/table.cpp.o"
+  "CMakeFiles/wnet_util.dir/table.cpp.o.d"
+  "libwnet_util.a"
+  "libwnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

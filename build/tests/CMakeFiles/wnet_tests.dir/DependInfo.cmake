@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/channel/channel_test.cpp" "tests/CMakeFiles/wnet_tests.dir/channel/channel_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/channel/channel_test.cpp.o.d"
+  "/root/repo/tests/channel/propagation_extra_test.cpp" "tests/CMakeFiles/wnet_tests.dir/channel/propagation_extra_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/channel/propagation_extra_test.cpp.o.d"
+  "/root/repo/tests/core/analysis_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/encoder_property_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/encoder_property_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/encoder_property_test.cpp.o.d"
+  "/root/repo/tests/core/encoder_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/encoder_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/encoder_test.cpp.o.d"
+  "/root/repo/tests/core/explorer_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/explorer_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/explorer_test.cpp.o.d"
+  "/root/repo/tests/core/library_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/library_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/library_test.cpp.o.d"
+  "/root/repo/tests/core/lq_metrics_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/lq_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/lq_metrics_test.cpp.o.d"
+  "/root/repo/tests/core/resilience_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/resilience_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/resilience_test.cpp.o.d"
+  "/root/repo/tests/core/solution_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/solution_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/solution_test.cpp.o.d"
+  "/root/repo/tests/core/spec_parser_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/spec_parser_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/spec_parser_test.cpp.o.d"
+  "/root/repo/tests/core/workloads_test.cpp" "tests/CMakeFiles/wnet_tests.dir/core/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/core/workloads_test.cpp.o.d"
+  "/root/repo/tests/geometry/geometry_test.cpp" "tests/CMakeFiles/wnet_tests.dir/geometry/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/geometry/geometry_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/wnet_tests.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/milp/expr_test.cpp" "tests/CMakeFiles/wnet_tests.dir/milp/expr_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/milp/expr_test.cpp.o.d"
+  "/root/repo/tests/milp/io_test.cpp" "tests/CMakeFiles/wnet_tests.dir/milp/io_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/milp/io_test.cpp.o.d"
+  "/root/repo/tests/milp/linearize_test.cpp" "tests/CMakeFiles/wnet_tests.dir/milp/linearize_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/milp/linearize_test.cpp.o.d"
+  "/root/repo/tests/milp/lu_test.cpp" "tests/CMakeFiles/wnet_tests.dir/milp/lu_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/milp/lu_test.cpp.o.d"
+  "/root/repo/tests/milp/presolve_test.cpp" "tests/CMakeFiles/wnet_tests.dir/milp/presolve_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/milp/presolve_test.cpp.o.d"
+  "/root/repo/tests/milp/simplex_test.cpp" "tests/CMakeFiles/wnet_tests.dir/milp/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/milp/simplex_test.cpp.o.d"
+  "/root/repo/tests/milp/solver_test.cpp" "tests/CMakeFiles/wnet_tests.dir/milp/solver_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/milp/solver_test.cpp.o.d"
+  "/root/repo/tests/milp/standard_lp_test.cpp" "tests/CMakeFiles/wnet_tests.dir/milp/standard_lp_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/milp/standard_lp_test.cpp.o.d"
+  "/root/repo/tests/milp/warm_start_test.cpp" "tests/CMakeFiles/wnet_tests.dir/milp/warm_start_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/milp/warm_start_test.cpp.o.d"
+  "/root/repo/tests/radio/csma_test.cpp" "tests/CMakeFiles/wnet_tests.dir/radio/csma_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/radio/csma_test.cpp.o.d"
+  "/root/repo/tests/radio/radio_test.cpp" "tests/CMakeFiles/wnet_tests.dir/radio/radio_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/radio/radio_test.cpp.o.d"
+  "/root/repo/tests/util/util_test.cpp" "tests/CMakeFiles/wnet_tests.dir/util/util_test.cpp.o" "gcc" "tests/CMakeFiles/wnet_tests.dir/util/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/wnet_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wnet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wnet_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/wnet_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
