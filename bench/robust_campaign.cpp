@@ -1,0 +1,100 @@
+// Robustness harness: cost of fault-injection campaigns and of the
+// counterexample-guided repair loop on the data-collection workload.
+// Reports, per campaign depth k, the scenario count, campaign wall time
+// (the replay is purely analytical, so this measures the O(scenarios x
+// route links) scan), and what the repair loop buys: pass rate before vs
+// after hardening, extra dollar cost, and total repair time.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/explorer.h"
+#include "core/faults/campaign.h"
+#include "core/faults/fault_model.h"
+#include "core/workloads/scenarios.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace wnet;
+using namespace wnet::archex;
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv,
+                   {{"sensors", "8"},
+                    {"grid-x", "5"},
+                    {"grid-y", "3"},
+                    {"kstar", "8"},
+                    {"seed", "1"},
+                    {"draws", "100"},
+                    {"sigma", "2.0"},
+                    {"budget", "120"},
+                    {"time-limit", "45"}});
+
+  workloads::DataCollectionConfig cfg;
+  cfg.sensors = args.geti("sensors");
+  cfg.relay_grid_x = args.geti("grid-x");
+  cfg.relay_grid_y = args.geti("grid-y");
+  cfg.route_replicas = 1;
+  const auto sc = workloads::make_data_collection(cfg);
+
+  const Explorer explorer(*sc->tmpl, sc->spec);
+  EncoderOptions eo;
+  eo.k_star = args.geti("kstar");
+  milp::SolveOptions so;
+  so.time_limit_s = args.getd("time-limit");
+  const auto baseline = explorer.explore(eo, so);
+  if (!baseline.has_solution()) {
+    std::printf("baseline exploration failed (%s)\n", milp::to_string(baseline.status));
+    return 1;
+  }
+
+  // --- Campaign replay cost as the fault model deepens.
+  util::Table replay({"k", "Scenarios", "Pass rate (%)", "Replay (ms)"});
+  for (int k = 1; k <= 3; ++k) {
+    faults::FaultModelConfig fc;
+    fc.seed = static_cast<uint64_t>(args.geti("seed"));
+    fc.max_simultaneous_failures = k;
+    fc.fading_draws = args.geti("draws");
+    fc.fading_sigma_db = args.getd("sigma");
+    const faults::FaultModel fm(*sc->tmpl, sc->spec, fc);
+    const auto scenarios = fm.scenarios(baseline.architecture);
+    const util::Stopwatch sw;
+    const auto rep = faults::run_campaign(baseline.architecture, *sc->tmpl, sc->spec, scenarios);
+    replay.add_row({std::to_string(k), std::to_string(rep.total()),
+                    util::fmt_double(100.0 * rep.pass_rate(), 1),
+                    util::fmt_double(sw.millis(), 2)});
+  }
+  std::printf("Campaign replay cost (baseline architecture)\n%s\n", replay.to_string().c_str());
+
+  // --- What the repair loop buys over the baseline.
+  Explorer::RobustExploreOptions ro;
+  ro.encoder = eo;
+  ro.solver = so;
+  ro.faults.seed = static_cast<uint64_t>(args.geti("seed"));
+  ro.faults.max_simultaneous_failures = 2;
+  ro.faults.fading_draws = args.geti("draws");
+  ro.faults.fading_sigma_db = args.getd("sigma");
+  ro.time_budget_s = args.getd("budget");
+  const auto robust = explorer.explore_robust(ro);
+
+  faults::FaultModelConfig fc = ro.faults;
+  const faults::FaultModel fm(*sc->tmpl, sc->spec, fc);
+  const auto before =
+      faults::run_campaign(baseline.architecture, *sc->tmpl, sc->spec,
+                           fm.scenarios(baseline.architecture));
+
+  util::Table loop({"Design", "Pass rate (%)", "$ cost", "Routes", "Time (s)"});
+  loop.add_row({"baseline", util::fmt_double(100.0 * before.pass_rate(), 1),
+                util::fmt_double(baseline.architecture.total_cost_usd, 0),
+                std::to_string(baseline.architecture.routes.size()),
+                util::fmt_double(baseline.total_time_s, 1)});
+  if (robust.best.has_solution()) {
+    loop.add_row({robust.robust ? "repaired (robust)" : "repaired (best effort)",
+                  util::fmt_double(100.0 * robust.report.pass_rate(), 1),
+                  util::fmt_double(robust.best.architecture.total_cost_usd, 0),
+                  std::to_string(robust.best.architecture.routes.size()),
+                  util::fmt_double(robust.total_time_s, 1)});
+  }
+  std::printf("Repair loop (%d iterations, %d hardenings)\n%s\n", robust.iterations,
+              robust.hardenings_applied, loop.to_string().c_str());
+  return 0;
+}

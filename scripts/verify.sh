@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify (ROADMAP.md): plain build + ctest, then the same suite under
+# ASan+UBSan so fault-injection code paths are memory-checked too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+cmake -B build-asan -S . -DWNET_SANITIZE=ON
+cmake --build build-asan -j
+# Leak checking needs ptrace, which container runtimes often deny; ASan's
+# memory-error detection is unaffected by turning it off.
+ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure -j

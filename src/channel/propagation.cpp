@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/rng.h"
+
 namespace wnet::channel {
 
 namespace {
@@ -45,6 +47,43 @@ MultiWallModel::MultiWallModel(double frequency_hz, double exponent,
 
 double MultiWallModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
   return base_.path_loss_db(tx, rx) + plan_->wall_loss_db(tx, rx);
+}
+
+namespace {
+
+/// Position hash at millimeter resolution: links between the same physical
+/// endpoints always map to the same fade, independent of float noise.
+uint64_t point_key(geom::Vec2 p) {
+  const auto qx = static_cast<uint64_t>(static_cast<int64_t>(std::llround(p.x * 1000.0)));
+  const auto qy = static_cast<uint64_t>(static_cast<int64_t>(std::llround(p.y * 1000.0)));
+  return util::splitmix64(qx ^ util::splitmix64(qy));
+}
+
+}  // namespace
+
+ShadowingModel::ShadowingModel(const PropagationModel& base, double sigma_db, uint64_t seed)
+    : base_(&base), sigma_db_(sigma_db), seed_(seed) {
+  if (sigma_db < 0) throw std::invalid_argument("ShadowingModel: sigma must be >= 0");
+}
+
+double ShadowingModel::shadowing_db(geom::Vec2 tx, geom::Vec2 rx) const {
+  if (sigma_db_ == 0.0) return 0.0;
+  // Commutative endpoint combination makes the fade symmetric; Box-Muller
+  // over splitmix-derived uniforms keeps it platform-deterministic (no
+  // std::distribution implementation variance).
+  const uint64_t a = point_key(tx);
+  const uint64_t b = point_key(rx);
+  const uint64_t pair = (a ^ b) + util::splitmix64(a + b);
+  const uint64_t h1 = util::splitmix64(seed_ ^ pair);
+  const uint64_t h2 = util::splitmix64(h1);
+  constexpr double kScale = 1.0 / 9007199254740992.0;  // 2^-53
+  const double u1 = (static_cast<double>(h1 >> 11) + 0.5) * kScale;  // (0, 1)
+  const double u2 = static_cast<double>(h2 >> 11) * kScale;          // [0, 1)
+  return sigma_db_ * std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double ShadowingModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
+  return base_->path_loss_db(tx, rx) + shadowing_db(tx, rx);
 }
 
 ItuIndoorModel::ItuIndoorModel(double frequency_hz, double power_coefficient)

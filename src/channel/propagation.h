@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "geometry/floorplan.h"
@@ -79,6 +80,30 @@ class ItuIndoorModel final : public PropagationModel {
  private:
   double fixed_term_db_;
   double n_;
+};
+
+/// Log-normal shadowing decorator: adds a zero-mean Gaussian offset
+/// (standard deviation `sigma_db`) to the base model's path loss. The
+/// offset is a pure function of (seed, endpoint pair) — symmetric in tx/rx
+/// and stable across calls — so one ShadowingModel instance is one frozen
+/// fading realization and Monte-Carlo campaigns drawing many instances
+/// with derived seeds are reproducible bit-for-bit.
+class ShadowingModel final : public PropagationModel {
+ public:
+  /// Keeps a reference to `base`; it must outlive the decorator.
+  ShadowingModel(const PropagationModel& base, double sigma_db, uint64_t seed);
+
+  [[nodiscard]] double path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const override;
+
+  /// The shadowing offset alone (dB, positive = deeper fade).
+  [[nodiscard]] double shadowing_db(geom::Vec2 tx, geom::Vec2 rx) const;
+
+  [[nodiscard]] double sigma_db() const { return sigma_db_; }
+
+ private:
+  const PropagationModel* base_;
+  double sigma_db_;
+  uint64_t seed_;
 };
 
 /// Two-ray ground-reflection model: free space up to the crossover distance

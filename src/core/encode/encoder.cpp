@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "channel/link_metrics.h"
+#include "graph/connectivity.h"
 #include "graph/yen.h"
 #include "milp/linearize.h"
 #include "util/stopwatch.h"
@@ -66,9 +67,11 @@ class Build {
 
   EncodedProblem run() {
     util::Stopwatch clock;
+    collect_margins();
     determine_scope();
     emit_sizing();
     emit_edges_and_paths();
+    emit_hardening();
     emit_link_quality();
     emit_energy();
     emit_localization();
@@ -82,6 +85,93 @@ class Build {
   }
 
  private:
+  // ----------------------------------------------------------- hardening
+  /// Folds kMargin hardenings into one per-link headroom map (max wins),
+  /// consulted by both the LQ prefilter and the LQ implication.
+  void collect_margins() {
+    for (const auto& hc : o_.hardening) {
+      if (hc.kind != HardeningConstraint::Kind::kMargin || hc.margin_db <= 0.0) continue;
+      for (const auto& [a, b] : hc.links) {
+        const EdgeKey key{std::min(a, b), std::max(a, b)};
+        auto [it, fresh] = lq_margin_.try_emplace(key, hc.margin_db);
+        if (!fresh) it->second = std::max(it->second, hc.margin_db);
+      }
+    }
+  }
+
+  [[nodiscard]] double margin_for(int i, int j) const {
+    const auto it = lq_margin_.find({std::min(i, j), std::max(i, j)});
+    return it == lq_margin_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] static bool path_avoids(const Path& p, const HardeningConstraint& hc) {
+    for (int v : hc.nodes) {
+      if (graph::path_uses_node(p, v)) return false;
+    }
+    for (const auto& [a, b] : hc.links) {
+      if (graph::path_uses_link(p, a, b)) return false;
+    }
+    return true;
+  }
+
+  /// kAvoid hardenings: per constraint, at least one replica of the route
+  /// must avoid the failed element set. In approx mode this is a cover over
+  /// the route's compliant candidate selectors; in full mode an indicator
+  /// per replica certifies its x^pi touches nothing forbidden.
+  void emit_hardening() {
+    int idx = 0;
+    for (const auto& hc : o_.hardening) {
+      const std::string tag = "harden" + std::to_string(idx++);
+      if (hc.kind != HardeningConstraint::Kind::kAvoid) continue;
+      if (hc.route_index < 0 || hc.route_index >= static_cast<int>(s_.routes.size())) continue;
+
+      if (o_.mode == EncoderOptions::PathMode::kApprox) {
+        LinExpr ok;
+        bool any = false;
+        for (const auto& c : p_.candidates) {
+          if (c.route_index != hc.route_index || !path_avoids(c.path, hc)) continue;
+          ok += LinExpr(c.selector);
+          any = true;
+        }
+        if (!any) {
+          // No candidate can dodge the failed set: the hardening is
+          // unsatisfiable under this K*/replica budget. Encode the verdict
+          // explicitly so the repair loop sees infeasible, not a silently
+          // dropped constraint.
+          const Var zero = p_.model.add_binary(tag + "_unsat");
+          p_.model.set_bounds(zero, 0.0, 0.0);
+          ok += LinExpr(zero);
+        }
+        p_.model.add_ge(std::move(ok), 1.0, tag);
+      } else {
+        LinExpr ok;
+        for (size_t pi = 0; pi < p_.full_path_edges.size(); ++pi) {
+          if (p_.full_path_ids[pi].first != hc.route_index) continue;
+          LinExpr forbidden;
+          bool touched = false;
+          for (const auto& [key, x] : p_.full_path_edges[pi]) {
+            bool bad = false;
+            for (int v : hc.nodes) bad = bad || key.first == v || key.second == v;
+            for (const auto& [a, b] : hc.links) {
+              bad = bad || (key.first == a && key.second == b) ||
+                    (key.first == b && key.second == a);
+            }
+            if (bad) {
+              forbidden += LinExpr(x);
+              touched = true;
+            }
+          }
+          const Var a = p_.model.add_binary(tag + "_ok_p" + std::to_string(pi));
+          if (touched) {
+            milp::imply_le(p_.model, a, forbidden, 0.0, tag + "_clean_p" + std::to_string(pi));
+          }
+          ok += LinExpr(a);
+        }
+        p_.model.add_ge(std::move(ok), 1.0, tag);
+      }
+    }
+  }
+
   // ---------------------------------------------------------------- scope
   void determine_scope() {
     if (o_.mode == EncoderOptions::PathMode::kFull) {
@@ -120,12 +210,13 @@ class Build {
     Digraph work = g_;  // weights mutated per route, restored after
     const auto rss_floor = s_.min_rss_dbm();
 
-    // LQ prefilter: links that cannot meet the bound even with the best
-    // components never become candidates.
+    // LQ prefilter: links that cannot meet the bound (including any fading
+    // margin hardened onto them) even with the best components never become
+    // candidates.
     if (o_.lq_prefilter && rss_floor) {
       for (int e = 0; e < work.num_edges(); ++e) {
         const auto& ed = work.edge(e);
-        if (t_.best_rss_dbm(ed.from, ed.to) < *rss_floor) {
+        if (t_.best_rss_dbm(ed.from, ed.to) < *rss_floor + margin_for(ed.from, ed.to)) {
           work.set_weight(e, graph::kInfWeight);
         }
       }
@@ -474,9 +565,10 @@ class Build {
       p_.rss[key] = rss;
       rhs -= LinExpr(rss);
       p_.model.add_eq(std::move(rhs), 0.0);
-      // (2b): active link must clear the bound.
+      // (2b): active link must clear the bound, plus any fading-hardening
+      // headroom the repair loop demanded for this link.
       if (rss_floor) {
-        milp::imply_ge(p_.model, e, LinExpr(rss), *rss_floor,
+        milp::imply_ge(p_.model, e, LinExpr(rss), *rss_floor + margin_for(i, j),
                        "lq_" + t_.node(i).name + "_" + t_.node(j).name);
       }
     }
@@ -679,6 +771,7 @@ class Build {
   std::vector<PendingCandidate> pending_candidates_;
   std::map<int, LinExpr> node_users_;
   std::map<int, std::pair<Var, Var>> node_traffic_vars_;
+  std::map<EdgeKey, double> lq_margin_;  ///< undirected (lo,hi) -> headroom dB
 };
 
 }  // namespace

@@ -1,10 +1,35 @@
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "core/encode/encoded_problem.h"
 #include "core/network_template.h"
 #include "core/requirements.h"
 
 namespace wnet::archex {
+
+/// A counterexample-derived hardening constraint, fed back into the encoder
+/// by Explorer::explore_robust when a fault scenario breaks a requirement.
+struct HardeningConstraint {
+  enum class Kind {
+    /// Route `route_index` must keep at least one replica whose path avoids
+    /// every listed node and (undirected) link — forbids sole reliance on a
+    /// failed element set. If no candidate can comply, the model encodes
+    /// that verdict as infeasible (the repair loop then raises N_rep).
+    kAvoid,
+    /// The listed links must clear the LQ floor with `margin_db` extra
+    /// headroom — hardens against the fading realization that broke them.
+    /// Only meaningful when the spec sets an LQ bound.
+    kMargin,
+  };
+
+  Kind kind = Kind::kAvoid;
+  int route_index = -1;                    ///< kAvoid: which requirement
+  std::vector<int> nodes;                  ///< kAvoid: nodes to avoid
+  std::vector<std::pair<int, int>> links;  ///< failed links, undirected
+  double margin_db = 0.0;                  ///< kMargin: extra headroom (dB)
+};
 
 /// Encoder configuration. `kFull` is the paper's exact flow-based encoding
 /// (constraints (1a)-(1e) over all template edges); `kApprox` is Algorithm 1
@@ -31,6 +56,11 @@ struct EncoderOptions {
     kNone,                   ///< ablation: rerun Yen on the intact graph
   };
   DisjointStrategy disjoint_strategy = DisjointStrategy::kDisconnectMinDisjoint;
+
+  /// Robustness hardenings accumulated by the explore_robust repair loop.
+  /// kMargin entries also tighten the LQ prefilter, so Yen stops proposing
+  /// links that cannot carry the required headroom.
+  std::vector<HardeningConstraint> hardening;
 };
 
 /// Compiles (template, specification) into a MILP. Stateless apart from

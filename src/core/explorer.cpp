@@ -46,19 +46,28 @@ std::vector<double> fixed_routing_start(const EncodedProblem& ep,
     picked[g] = best;
   }
 
+  return solve_with_fixed_selectors(ep, picked, sopts);
+}
+
+}  // namespace
+
+std::vector<double> solve_with_fixed_selectors(
+    const EncodedProblem& ep,
+    const std::map<std::pair<int, int>, const CandidatePath*>& picked,
+    const milp::SolveOptions& sopts) {
   milp::Model restricted = ep.model;
   for (const auto& c : ep.candidates) {
-    const bool on = picked.at({c.route_index, c.replica}) == &c;
+    const auto it = picked.find({c.route_index, c.replica});
+    const bool on = it != picked.end() && it->second == &c;
     restricted.set_bounds(c.selector, on ? 1.0 : 0.0, on ? 1.0 : 0.0);
   }
   milp::SolveOptions wopts = sopts;
   wopts.time_limit_s = std::min(30.0, std::max(5.0, 0.2 * sopts.time_limit_s));
   wopts.rel_gap = std::max(sopts.rel_gap, 0.01);
+  wopts.mip_start.clear();
   const milp::MipResult wres = milp::solve(restricted, wopts);
   return wres.has_solution() ? wres.x : std::vector<double>{};
 }
-
-}  // namespace
 
 ExplorationResult Explorer::explore(const EncoderOptions& eopts,
                                     const milp::SolveOptions& sopts) const {

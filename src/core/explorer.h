@@ -1,9 +1,12 @@
 #pragma once
 
+#include <map>
 #include <utility>
 #include <vector>
 
 #include "core/encode/encoder.h"
+#include "core/faults/campaign.h"
+#include "core/faults/fault_model.h"
 #include "core/solution.h"
 #include "milp/solver.h"
 
@@ -53,9 +56,61 @@ class Explorer {
     return search_k_star(KStarSearchOptions{});
   }
 
+  /// Counterexample-guided robust exploration (core/faults/robust.cpp).
+  struct RobustExploreOptions {
+    EncoderOptions encoder;
+    milp::SolveOptions solver;
+    faults::FaultModelConfig faults;
+
+    /// Repair-loop budget: the loop stops after this many encode/solve/
+    /// campaign iterations even if counterexamples remain.
+    int max_repair_iterations = 8;
+    /// Wall-clock budget across ALL iterations (encode + solve + campaign).
+    /// Solver time limits shrink to the remaining budget; once it is spent
+    /// the loop returns the best architecture found so far.
+    double time_budget_s = 300.0;
+    /// How far the repair loop may raise a route's replica count above the
+    /// specification when hardening alone is infeasible.
+    int max_extra_replicas = 1;
+  };
+
+  struct RobustExplorationResult {
+    /// Best architecture found, ranked by campaign pass rate then objective.
+    ExplorationResult best;
+    /// Campaign report for `best` (machine-readable via to_json()).
+    faults::CampaignReport report;
+    int iterations = 0;
+    bool robust = false;  ///< true iff `best` passes every scenario
+    int hardenings_applied = 0;
+    std::vector<int> raised_routes;  ///< routes whose N_rep the loop raised
+    double total_time_s = 0.0;
+  };
+
+  /// Explore, replay a deterministic fault-injection campaign against the
+  /// result, turn every failure into encoder hardening constraints (avoid
+  /// failed element sets, demand fading margins), and re-solve with a warm
+  /// restart — iterating until the campaign passes or budgets run out.
+  /// Degrades gracefully: always returns the best architecture seen.
+  [[nodiscard]] RobustExplorationResult explore_robust(
+      const RobustExploreOptions& ropts) const;
+  [[nodiscard]] RobustExplorationResult explore_robust() const {
+    return explore_robust(RobustExploreOptions{});
+  }
+
  private:
   const NetworkTemplate* tmpl_;
   const Specification* spec_;
 };
+
+/// Fixes every candidate selector to the `picked` assignment (exactly one
+/// candidate per (route, replica) group) and briefly solves the remaining
+/// sizing-only MILP. Building block for warm starts: both the fixed-routing
+/// primal heuristic and explore_robust's repair restarts go through here.
+/// Returns the full variable assignment, or empty if the restricted model
+/// has no solution.
+[[nodiscard]] std::vector<double> solve_with_fixed_selectors(
+    const EncodedProblem& ep,
+    const std::map<std::pair<int, int>, const CandidatePath*>& picked,
+    const milp::SolveOptions& sopts);
 
 }  // namespace wnet::archex

@@ -1,0 +1,225 @@
+#include "core/faults/campaign.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "channel/propagation.h"
+#include "graph/connectivity.h"
+
+namespace wnet::archex::faults {
+
+namespace {
+
+/// Realized RSS of one route hop under an arbitrary propagation model
+/// (mirrors decode_solution's link budget, with the model overridable so
+/// fading scenarios can swap in a ShadowingModel).
+double hop_rss_dbm(const NetworkArchitecture& arch, const NetworkTemplate& tmpl,
+                   const channel::PropagationModel& model, int from, int to) {
+  double rss = -model.path_loss_db(tmpl.node(from).position, tmpl.node(to).position);
+  const int ct = arch.component_of(from);
+  const int cr = arch.component_of(to);
+  if (ct >= 0) {
+    const Component& c = tmpl.library().at(ct);
+    rss += c.tx_power_dbm + c.antenna_gain_dbi;
+  }
+  if (cr >= 0) rss += tmpl.library().at(cr).antenna_gain_dbi;
+  return rss;
+}
+
+bool replica_survives_nodes(const ChosenRoute& r, const std::vector<int>& failed) {
+  for (int v : failed) {
+    if (graph::path_uses_node(r.path, v)) return false;
+  }
+  return true;
+}
+
+bool replica_survives_cuts(const ChosenRoute& r,
+                           const std::vector<std::pair<int, int>>& cuts) {
+  for (const auto& [a, b] : cuts) {
+    if (graph::path_uses_link(r.path, a, b)) return false;
+  }
+  return true;
+}
+
+/// Fading survival: every hop of the replica must still clear the LQ floor
+/// under the scenario's frozen shadowing realization. Reports the links
+/// that dipped below and the deepest shortfall for the repair loop.
+bool replica_survives_fading(const ChosenRoute& r, const NetworkArchitecture& arch,
+                             const NetworkTemplate& tmpl,
+                             const channel::PropagationModel& faded, double rss_floor,
+                             ScenarioOutcome& out) {
+  bool ok = true;
+  const auto& ns = r.path.nodes;
+  for (size_t i = 0; i + 1 < ns.size(); ++i) {
+    const double rss = hop_rss_dbm(arch, tmpl, faded, ns[i], ns[i + 1]);
+    if (rss < rss_floor - 1e-9) {
+      ok = false;
+      out.weak_links.emplace_back(std::min(ns[i], ns[i + 1]), std::max(ns[i], ns[i + 1]));
+      out.worst_shortfall_db = std::max(out.worst_shortfall_db, rss_floor - rss);
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int CampaignReport::passed() const {
+  int n = 0;
+  for (const auto& o : outcomes) n += o.passed ? 1 : 0;
+  return n;
+}
+
+std::vector<const ScenarioOutcome*> CampaignReport::failures() const {
+  std::vector<const ScenarioOutcome*> out;
+  for (const auto& o : outcomes) {
+    if (!o.passed) out.push_back(&o);
+  }
+  return out;
+}
+
+std::vector<int> CampaignReport::broken_per_route(int num_routes) const {
+  std::vector<int> counts(static_cast<size_t>(std::max(0, num_routes)), 0);
+  for (const auto& o : outcomes) {
+    for (int ri : o.broken_routes) {
+      if (ri >= 0 && ri < num_routes) ++counts[static_cast<size_t>(ri)];
+    }
+  }
+  return counts;
+}
+
+std::string CampaignReport::to_json() const {
+  int num_routes = 0;
+  for (const auto& o : outcomes) {
+    for (int ri : o.broken_routes) num_routes = std::max(num_routes, ri + 1);
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"total\": " << total() << ",\n";
+  os << "  \"passed\": " << passed() << ",\n";
+  os << "  \"failed\": " << failed() << ",\n";
+
+  os << "  \"by_kind\": {";
+  bool first_kind = true;
+  for (FaultKind k : {FaultKind::kNodeFailure, FaultKind::kLinkCut, FaultKind::kFading}) {
+    int tot = 0, pass = 0;
+    for (const auto& o : outcomes) {
+      if (o.scenario.kind != k) continue;
+      ++tot;
+      pass += o.passed ? 1 : 0;
+    }
+    if (tot == 0) continue;
+    os << (first_kind ? "" : ", ") << "\"" << to_string(k) << "\": {\"total\": " << tot
+       << ", \"passed\": " << pass << "}";
+    first_kind = false;
+  }
+  os << "},\n";
+
+  const auto per_route = broken_per_route(num_routes);
+  os << "  \"broken_per_route\": [";
+  for (size_t i = 0; i < per_route.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << per_route[i];
+  }
+  os << "],\n";
+
+  os << "  \"failures\": [";
+  bool first_fail = true;
+  for (const auto& o : outcomes) {
+    if (o.passed) continue;
+    os << (first_fail ? "\n" : ",\n") << "    {\"id\": " << o.scenario.id << ", \"kind\": \""
+       << to_string(o.scenario.kind) << "\"";
+    if (!o.scenario.failed_nodes.empty()) {
+      os << ", \"nodes\": [";
+      for (size_t i = 0; i < o.scenario.failed_nodes.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << o.scenario.failed_nodes[i];
+      }
+      os << "]";
+    }
+    if (!o.scenario.cut_links.empty()) {
+      os << ", \"links\": [";
+      for (size_t i = 0; i < o.scenario.cut_links.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << "[" << o.scenario.cut_links[i].first << ", "
+           << o.scenario.cut_links[i].second << "]";
+      }
+      os << "]";
+    }
+    if (o.scenario.kind == FaultKind::kFading) {
+      os << ", \"fading_seed\": " << o.scenario.fading_seed << ", \"worst_shortfall_db\": "
+         << o.worst_shortfall_db;
+    }
+    os << ", \"broken_routes\": [";
+    for (size_t i = 0; i < o.broken_routes.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << o.broken_routes[i];
+    }
+    os << "]}";
+    first_fail = false;
+  }
+  os << (first_fail ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+CampaignReport run_campaign(const NetworkArchitecture& arch, const NetworkTemplate& tmpl,
+                            const Specification& spec,
+                            const std::vector<FaultScenario>& scenarios) {
+  CampaignReport rep;
+  rep.outcomes.reserve(scenarios.size());
+  const auto rss_floor = spec.min_rss_dbm();
+
+  for (const FaultScenario& sc : scenarios) {
+    ScenarioOutcome out;
+    out.scenario = sc;
+
+    // Fading scenarios share one frozen realization across all routes.
+    std::unique_ptr<channel::ShadowingModel> faded;
+    if (sc.kind == FaultKind::kFading && rss_floor) {
+      faded = std::make_unique<channel::ShadowingModel>(tmpl.channel_model(),
+                                                        sc.fading_sigma_db, sc.fading_seed);
+    }
+
+    for (size_t ri = 0; ri < spec.routes.size(); ++ri) {
+      bool any_exists = false;
+      bool any_survives = false;
+      for (const auto& r : arch.routes) {
+        if (r.route_index != static_cast<int>(ri)) continue;
+        any_exists = true;
+        bool ok = true;
+        switch (sc.kind) {
+          case FaultKind::kNodeFailure:
+            ok = replica_survives_nodes(r, sc.failed_nodes);
+            break;
+          case FaultKind::kLinkCut:
+            ok = replica_survives_cuts(r, sc.cut_links);
+            break;
+          case FaultKind::kFading:
+            ok = faded == nullptr ||
+                 replica_survives_fading(r, arch, tmpl, *faded, *rss_floor, out);
+            break;
+        }
+        if (ok) {
+          any_survives = true;
+          // Keep scanning fading replicas so weak_links records every
+          // offender; for structural faults the first survivor settles it.
+          if (sc.kind != FaultKind::kFading) break;
+        }
+      }
+      if (any_exists && !any_survives) out.broken_routes.push_back(static_cast<int>(ri));
+    }
+
+    out.passed = out.broken_routes.empty();
+    if (out.passed) {
+      // Weak links on routes that still had a surviving replica are not
+      // counterexamples; drop them so reports stay actionable.
+      out.weak_links.clear();
+      out.worst_shortfall_db = 0.0;
+    } else {
+      std::sort(out.weak_links.begin(), out.weak_links.end());
+      out.weak_links.erase(std::unique(out.weak_links.begin(), out.weak_links.end()),
+                           out.weak_links.end());
+    }
+    rep.outcomes.push_back(std::move(out));
+  }
+  return rep;
+}
+
+}  // namespace wnet::archex::faults

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/faults/fault_model.h"
+#include "core/network_template.h"
+#include "core/requirements.h"
+#include "core/solution.h"
+
+namespace wnet::archex::faults {
+
+/// Verdict of one scenario replay. A route *requirement* survives a
+/// scenario if at least one of its synthesized replicas stays functional —
+/// the same semantics analyze_resilience has always used, generalized from
+/// single relay failures to arbitrary fault sets.
+struct ScenarioOutcome {
+  FaultScenario scenario;
+  bool passed = true;
+  /// Requirement indices with no surviving replica under this scenario.
+  std::vector<int> broken_routes;
+  /// Fading failures only: route links that dipped below the LQ floor,
+  /// and the deepest shortfall (dB) observed among them. These are the
+  /// counterexample the repair loop turns into margin hardenings.
+  std::vector<std::pair<int, int>> weak_links;
+  double worst_shortfall_db = 0.0;
+};
+
+/// Aggregate result of an injection campaign over one architecture.
+struct CampaignReport {
+  std::vector<ScenarioOutcome> outcomes;
+
+  [[nodiscard]] int total() const { return static_cast<int>(outcomes.size()); }
+  [[nodiscard]] int passed() const;
+  [[nodiscard]] int failed() const { return total() - passed(); }
+  [[nodiscard]] bool all_passed() const { return passed() == total(); }
+  [[nodiscard]] double pass_rate() const {
+    return total() == 0 ? 1.0 : static_cast<double>(passed()) / total();
+  }
+  [[nodiscard]] std::vector<const ScenarioOutcome*> failures() const;
+
+  /// Scenarios broken per route requirement (index -> count).
+  [[nodiscard]] std::vector<int> broken_per_route(int num_routes) const;
+
+  /// Machine-readable report: totals, per-kind and per-requirement
+  /// breakdowns, and the full failure list with the failed element sets.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Replays every scenario against the architecture and scores survival of
+/// each route requirement. Purely analytical (no solver); cost is
+/// O(scenarios x route links).
+[[nodiscard]] CampaignReport run_campaign(const NetworkArchitecture& arch,
+                                          const NetworkTemplate& tmpl,
+                                          const Specification& spec,
+                                          const std::vector<FaultScenario>& scenarios);
+
+}  // namespace wnet::archex::faults

@@ -1,0 +1,160 @@
+#include "core/faults/fault_model.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace wnet::archex::faults {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeFailure: return "node";
+    case FaultKind::kLinkCut: return "link";
+    case FaultKind::kFading: return "fading";
+  }
+  return "unknown";
+}
+
+std::string FaultScenario::describe(const NetworkTemplate& tmpl) const {
+  std::ostringstream os;
+  switch (kind) {
+    case FaultKind::kNodeFailure: {
+      os << "fail";
+      for (int v : failed_nodes) os << " " << tmpl.node(v).name;
+      break;
+    }
+    case FaultKind::kLinkCut: {
+      os << "cut";
+      for (const auto& [a, b] : cut_links) {
+        os << " " << tmpl.node(a).name << "--" << tmpl.node(b).name;
+      }
+      break;
+    }
+    case FaultKind::kFading:
+      os << "fading sigma=" << fading_sigma_db << "dB seed=" << fading_seed;
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Number of k-subsets of n, saturating well above any scenario cap.
+long long binomial_capped(int n, int k, long long cap) {
+  long long c = 1;
+  for (int i = 0; i < k; ++i) {
+    c = c * (n - i) / (i + 1);
+    if (c > cap) return cap + 1;
+  }
+  return c;
+}
+
+/// All (or, above the cap, a seeded sample of) k-subsets of `pool`,
+/// emitted in deterministic order.
+std::vector<std::vector<int>> k_subsets(const std::vector<int>& pool, int k, int cap,
+                                        uint64_t seed) {
+  std::vector<std::vector<int>> out;
+  const int n = static_cast<int>(pool.size());
+  if (k <= 0 || k > n || cap <= 0) return out;
+
+  if (binomial_capped(n, k, cap) <= cap) {
+    // Lexicographic enumeration over index combinations.
+    std::vector<int> idx(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = i;
+    while (true) {
+      std::vector<int> subset;
+      subset.reserve(static_cast<size_t>(k));
+      for (int i : idx) subset.push_back(pool[static_cast<size_t>(i)]);
+      out.push_back(std::move(subset));
+      int pos = k - 1;
+      while (pos >= 0 && idx[static_cast<size_t>(pos)] == n - k + pos) --pos;
+      if (pos < 0) break;
+      ++idx[static_cast<size_t>(pos)];
+      for (int i = pos + 1; i < k; ++i) {
+        idx[static_cast<size_t>(i)] = idx[static_cast<size_t>(i - 1)] + 1;
+      }
+    }
+    return out;
+  }
+
+  // Too many to enumerate: draw `cap` distinct subsets with a seeded RNG.
+  util::Rng rng(seed);
+  std::set<std::vector<int>> seen;
+  int guard = 0;
+  while (static_cast<int>(out.size()) < cap && ++guard < cap * 64) {
+    std::set<int> pick;
+    while (static_cast<int>(pick.size()) < k) {
+      pick.insert(pool[static_cast<size_t>(rng.uniform_int(0, n - 1))]);
+    }
+    std::vector<int> subset(pick.begin(), pick.end());
+    if (seen.insert(subset).second) out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const NetworkTemplate& tmpl, const Specification& spec,
+                       FaultModelConfig cfg)
+    : tmpl_(&tmpl), spec_(&spec), cfg_(cfg) {}
+
+std::vector<FaultScenario> FaultModel::scenarios(const NetworkArchitecture& arch) const {
+  std::vector<FaultScenario> out;
+  int next_id = 0;
+
+  // Deployed candidate relays, sorted for deterministic enumeration.
+  std::vector<int> relays;
+  for (const auto& d : arch.nodes) {
+    if (tmpl_->node(d.node).kind == NodeKind::kCandidate) relays.push_back(d.node);
+  }
+  std::sort(relays.begin(), relays.end());
+  relays.erase(std::unique(relays.begin(), relays.end()), relays.end());
+
+  for (int k = 1; k <= cfg_.max_simultaneous_failures; ++k) {
+    const uint64_t level_seed = util::splitmix64(cfg_.seed ^ static_cast<uint64_t>(k));
+    for (auto& subset : k_subsets(relays, k, cfg_.max_scenarios_per_k, level_seed)) {
+      FaultScenario sc;
+      sc.id = next_id++;
+      sc.kind = FaultKind::kNodeFailure;
+      sc.failed_nodes = std::move(subset);
+      out.push_back(std::move(sc));
+    }
+  }
+
+  if (cfg_.link_cuts) {
+    std::set<std::pair<int, int>> links;
+    for (const auto& r : arch.routes) {
+      const auto& ns = r.path.nodes;
+      for (size_t i = 0; i + 1 < ns.size(); ++i) {
+        links.insert({std::min(ns[i], ns[i + 1]), std::max(ns[i], ns[i + 1])});
+      }
+    }
+    int emitted = 0;
+    for (const auto& l : links) {
+      if (emitted++ >= cfg_.max_link_scenarios) break;
+      FaultScenario sc;
+      sc.id = next_id++;
+      sc.kind = FaultKind::kLinkCut;
+      sc.cut_links.push_back(l);
+      out.push_back(std::move(sc));
+    }
+  }
+
+  // Fading can only break a requirement when an RSS floor exists to dip
+  // below, so skip the draws entirely otherwise.
+  if (cfg_.fading_draws > 0 && cfg_.fading_sigma_db > 0.0 && spec_->min_rss_dbm()) {
+    for (int d = 0; d < cfg_.fading_draws; ++d) {
+      FaultScenario sc;
+      sc.id = next_id++;
+      sc.kind = FaultKind::kFading;
+      sc.fading_seed = util::splitmix64(cfg_.seed + 0x9e3779b97f4a7c15ULL * (d + 1));
+      sc.fading_sigma_db = cfg_.fading_sigma_db;
+      out.push_back(std::move(sc));
+    }
+  }
+  return out;
+}
+
+}  // namespace wnet::archex::faults

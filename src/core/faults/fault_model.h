@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/network_template.h"
+#include "core/requirements.h"
+#include "core/solution.h"
+
+namespace wnet::archex::faults {
+
+/// What a scenario breaks. Node failures and link cuts model hardware death
+/// and persistent obstructions; fading scenarios freeze one Monte-Carlo
+/// shadowing realization of the whole floor (channel::ShadowingModel).
+enum class FaultKind { kNodeFailure, kLinkCut, kFading };
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// One deterministic failure scenario to replay against an architecture.
+struct FaultScenario {
+  int id = 0;
+  FaultKind kind = FaultKind::kNodeFailure;
+
+  /// kNodeFailure: template nodes that die simultaneously.
+  std::vector<int> failed_nodes;
+  /// kLinkCut: undirected links (normalized lo<hi endpoint pairs) that die.
+  std::vector<std::pair<int, int>> cut_links;
+  /// kFading: frozen shadowing realization (seed + sigma in dB).
+  uint64_t fading_seed = 0;
+  double fading_sigma_db = 0.0;
+
+  [[nodiscard]] std::string describe(const NetworkTemplate& tmpl) const;
+};
+
+/// Campaign composition knobs. Everything downstream of `seed` is
+/// deterministic: same seed + same architecture => identical scenario list.
+struct FaultModelConfig {
+  uint64_t seed = 1;
+
+  /// Generate all j-simultaneous relay-failure scenarios for j = 1..k
+  /// (sampled once a level exceeds `max_scenarios_per_k`).
+  int max_simultaneous_failures = 2;
+  int max_scenarios_per_k = 128;
+
+  /// Cut every distinct link used by a synthesized route (capped).
+  bool link_cuts = true;
+  int max_link_scenarios = 128;
+
+  /// Monte-Carlo shadowing draws (skipped when the spec has no LQ floor —
+  /// without a floor a fade cannot break any requirement).
+  int fading_draws = 100;
+  double fading_sigma_db = 4.0;
+};
+
+/// Generates failure scenarios targeting a synthesized architecture: the
+/// fault candidates are the relays it actually deployed and the links its
+/// routes actually use — the elements whose loss can break a requirement.
+/// Fixed infrastructure (sensors, sinks) is assumed fault-free, matching
+/// the paper's framing of redundancy as relay-level resiliency.
+class FaultModel {
+ public:
+  FaultModel(const NetworkTemplate& tmpl, const Specification& spec,
+             FaultModelConfig cfg = {});
+
+  [[nodiscard]] std::vector<FaultScenario> scenarios(const NetworkArchitecture& arch) const;
+
+  [[nodiscard]] const FaultModelConfig& config() const { return cfg_; }
+
+ private:
+  const NetworkTemplate* tmpl_;
+  const Specification* spec_;
+  FaultModelConfig cfg_;
+};
+
+}  // namespace wnet::archex::faults

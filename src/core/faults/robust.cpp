@@ -1,0 +1,316 @@
+// Counterexample-guided robust exploration: Explorer::explore_robust.
+//
+// The loop alternates synthesis and falsification. Each iteration encodes
+// the (possibly hardened) specification, solves with a repair warm start
+// seeded from the previous architecture, replays the deterministic fault
+// campaign against the decoded result, and folds every failure back into
+// the encoder as hardening constraints:
+//
+//   node failure / link cut that broke route r  ->  kAvoid(r, failed set)
+//   fading draw that sank links below the floor ->  kMargin(links, shortfall)
+//
+// When the hardened model turns infeasible (no candidate can dodge the
+// failed set), the loop raises the broken routes' replica counts — bounded
+// by max_extra_replicas — and retries. It stops on a fully passing
+// campaign, on budget exhaustion, or when counterexamples stop being new,
+// and always returns the best architecture seen (pass rate, then cost).
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/faults/campaign.h"
+#include "core/faults/fault_model.h"
+#include "graph/connectivity.h"
+#include "graph/digraph.h"
+#include "util/stopwatch.h"
+
+namespace wnet::archex {
+
+namespace {
+
+bool path_avoids(const graph::Path& p, const HardeningConstraint& h) {
+  for (int v : h.nodes) {
+    if (graph::path_uses_node(p, v)) return false;
+  }
+  for (const auto& [a, b] : h.links) {
+    if (graph::path_uses_link(p, a, b)) return false;
+  }
+  return true;
+}
+
+/// Stable identity of a hardening, for the cross-iteration dedupe set.
+std::string hardening_key(const HardeningConstraint& h) {
+  std::ostringstream os;
+  os << (h.kind == HardeningConstraint::Kind::kAvoid ? "A" : "M") << h.route_index << ":";
+  for (int v : h.nodes) os << "n" << v;
+  for (const auto& [a, b] : h.links) os << "l" << a << "-" << b;
+  return os.str();
+}
+
+/// Turns one campaign's failures into hardening constraints. Structural
+/// failures become per-route avoidance demands; fading failures become
+/// link margins sized to the observed shortfall plus 1 dB of slack (the
+/// encoder keeps the max margin per link, so repeats only tighten).
+std::vector<HardeningConstraint> derive_hardenings(const faults::CampaignReport& report) {
+  std::vector<HardeningConstraint> out;
+  for (const faults::ScenarioOutcome* o : report.failures()) {
+    if (o->scenario.kind == faults::FaultKind::kFading) {
+      if (o->weak_links.empty()) continue;
+      HardeningConstraint h;
+      h.kind = HardeningConstraint::Kind::kMargin;
+      h.links = o->weak_links;
+      h.margin_db = std::ceil(o->worst_shortfall_db) + 1.0;
+      out.push_back(std::move(h));
+      continue;
+    }
+    for (int ri : o->broken_routes) {
+      HardeningConstraint h;
+      h.kind = HardeningConstraint::Kind::kAvoid;
+      h.route_index = ri;
+      h.nodes = o->scenario.failed_nodes;
+      h.links = o->scenario.cut_links;
+      out.push_back(std::move(h));
+    }
+  }
+  return out;
+}
+
+/// Repair warm start: map the previous architecture's routes onto the new
+/// candidate sets by path equality, fill gaps (new replicas, regenerated
+/// candidates) greedily, then swap replicas until every kAvoid hardening
+/// has a compliant pick — keeping replicas of a route edge-disjoint
+/// throughout. Returns empty (no warm start) if the mapping cannot be
+/// repaired; the main solve then simply starts cold.
+std::vector<double> repair_start(const EncodedProblem& ep, const NetworkArchitecture& prev,
+                                 const std::vector<HardeningConstraint>& hardening,
+                                 const milp::SolveOptions& sopts) {
+  if (ep.candidates.empty()) return {};
+
+  std::map<std::pair<int, int>, std::vector<const CandidatePath*>> groups;
+  for (const auto& c : ep.candidates) groups[{c.route_index, c.replica}].push_back(&c);
+
+  std::map<std::pair<int, int>, const graph::Path*> prev_paths;
+  for (const auto& r : prev.routes) prev_paths[{r.route_index, r.replica}] = &r.path;
+
+  std::map<std::pair<int, int>, const CandidatePath*> picked;
+  const auto disjoint_with_route = [&](const std::pair<int, int>& g,
+                                       const CandidatePath* c) {
+    for (const auto& [og, oc] : picked) {
+      if (og.first == g.first && og.second != g.second &&
+          graph::shared_edges(c->path, oc->path) > 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Pass 1: keep every previous route that still exists verbatim among the
+  // candidates (hardening may have regenerated or filtered the sets).
+  for (const auto& [g, cands] : groups) {
+    const auto it = prev_paths.find(g);
+    if (it == prev_paths.end()) continue;
+    for (const CandidatePath* c : cands) {
+      if (c->path.nodes == it->second->nodes) {
+        picked[g] = c;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: fill unpicked groups greedily by cost, preferring candidates
+  // that satisfy every avoidance hardening on their route.
+  for (const auto& [g, cands] : groups) {
+    if (picked.count(g)) continue;
+    const CandidatePath* best = nullptr;
+    bool best_avoids = false;
+    for (const CandidatePath* c : cands) {
+      if (!disjoint_with_route(g, c)) continue;
+      bool avoids = true;
+      for (const auto& h : hardening) {
+        if (h.kind == HardeningConstraint::Kind::kAvoid && h.route_index == g.first &&
+            !path_avoids(c->path, h)) {
+          avoids = false;
+          break;
+        }
+      }
+      if (best == nullptr || (avoids && !best_avoids) ||
+          (avoids == best_avoids && c->path.cost < best->path.cost)) {
+        best = c;
+        best_avoids = avoids;
+      }
+    }
+    if (best == nullptr) return {};
+    picked[g] = best;
+  }
+
+  // Pass 3: every avoidance hardening needs >= 1 compliant replica on its
+  // route. Swap the cheapest offender to a compliant disjoint candidate.
+  for (const auto& h : hardening) {
+    if (h.kind != HardeningConstraint::Kind::kAvoid) continue;
+    bool satisfied = false;
+    for (const auto& [g, c] : picked) {
+      if (g.first == h.route_index && path_avoids(c->path, h)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    bool repaired = false;
+    for (auto& [g, c] : picked) {
+      if (g.first != h.route_index) continue;
+      const CandidatePath* old = c;
+      c = nullptr;  // exclude self from the disjointness check
+      const CandidatePath* swap = nullptr;
+      for (const CandidatePath* cand : groups.at(g)) {
+        if (!path_avoids(cand->path, h) || !disjoint_with_route(g, cand)) continue;
+        if (swap == nullptr || cand->path.cost < swap->path.cost) swap = cand;
+      }
+      c = swap != nullptr ? swap : old;
+      if (swap != nullptr) {
+        repaired = true;
+        break;
+      }
+    }
+    if (!repaired) return {};  // irreparable by swapping: go cold
+  }
+
+  std::map<std::pair<int, int>, const CandidatePath*> final_picks;
+  for (const auto& [g, c] : picked) {
+    if (c != nullptr) final_picks[g] = c;
+  }
+  return solve_with_fixed_selectors(ep, final_picks, sopts);
+}
+
+}  // namespace
+
+Explorer::RobustExplorationResult Explorer::explore_robust(
+    const RobustExploreOptions& ropts) const {
+  util::Stopwatch clock;
+  RobustExplorationResult out;
+
+  EncoderOptions eopts = ropts.encoder;
+  Specification spec = *spec_;  // mutable: repair may raise replica counts
+  std::vector<int> extra(spec.routes.size(), 0);
+  const faults::FaultModel fmodel(*tmpl_, spec, ropts.faults);
+
+  std::set<std::string> seen;
+  for (const auto& h : eopts.hardening) seen.insert(hardening_key(h));
+
+  // Raises N_rep on every listed route still under the extra-replica cap;
+  // returns false when no route can be raised any further.
+  const auto raise_replicas = [&](const std::set<int>& routes) {
+    bool any = false;
+    for (int ri : routes) {
+      if (ri < 0 || ri >= static_cast<int>(spec.routes.size())) continue;
+      if (extra[static_cast<size_t>(ri)] >= ropts.max_extra_replicas) continue;
+      ++extra[static_cast<size_t>(ri)];
+      ++spec.routes[static_cast<size_t>(ri)].replicas;
+      out.raised_routes.push_back(ri);
+      any = true;
+    }
+    return any;
+  };
+
+  double best_rate = -1.0;
+  NetworkArchitecture prev_arch;
+  bool have_prev = false;
+  std::set<int> prev_broken;
+
+  for (int iter = 0; iter < ropts.max_repair_iterations; ++iter) {
+    const double remaining = ropts.time_budget_s - clock.seconds();
+    if (iter > 0 && remaining <= 0.0) break;
+    out.iterations = iter + 1;
+
+    milp::SolveOptions sopts = ropts.solver;
+    sopts.time_limit_s = std::min(sopts.time_limit_s, std::max(1.0, remaining));
+
+    const Encoder enc(*tmpl_, spec, eopts);
+    EncodedProblem ep = enc.encode();
+    if (have_prev && sopts.mip_start.empty()) {
+      sopts.mip_start = repair_start(ep, prev_arch, eopts.hardening, sopts);
+    }
+
+    const util::Stopwatch iter_clock;
+    const milp::MipResult res = milp::solve(ep.model, sopts);
+
+    if (!res.has_solution()) {
+      // Hardened model is infeasible: no candidate set can dodge the failed
+      // elements at the current redundancy. Raise N_rep on the hardened
+      // routes and re-encode; if nothing can be raised, settle for the
+      // best architecture found so far.
+      std::set<int> targets;
+      for (const auto& h : eopts.hardening) {
+        if (h.kind == HardeningConstraint::Kind::kAvoid) targets.insert(h.route_index);
+      }
+      if (!raise_replicas(targets)) break;
+      continue;
+    }
+
+    ExplorationResult er;
+    er.status = res.status;
+    er.encode_stats = ep.stats;
+    er.solve_stats = res.stats;
+    er.objective = res.objective;
+    er.architecture = decode_solution(ep, *tmpl_, spec, res.x);
+    er.total_time_s = iter_clock.seconds();
+
+    const auto report = faults::run_campaign(er.architecture, *tmpl_, spec,
+                                             fmodel.scenarios(er.architecture));
+    const double rate = report.pass_rate();
+    if (rate > best_rate + 1e-12 ||
+        (rate > best_rate - 1e-12 && out.best.has_solution() &&
+         er.objective < out.best.objective - 1e-9) ||
+        !out.best.has_solution()) {
+      best_rate = rate;
+      out.report = report;
+      prev_arch = er.architecture;
+      out.best = std::move(er);
+      have_prev = true;
+    }
+    if (report.all_passed()) {
+      out.robust = true;
+      break;
+    }
+
+    // Fold fresh counterexamples into the encoder; when every failure has
+    // already been hardened against (the model simply cannot satisfy
+    // them), escalate to more replicas on the still-broken routes.
+    std::set<int> broken;
+    for (const faults::ScenarioOutcome* o : report.failures()) {
+      broken.insert(o->broken_routes.begin(), o->broken_routes.end());
+    }
+    std::vector<HardeningConstraint> fresh;
+    for (auto& h : derive_hardenings(report)) {
+      if (seen.insert(hardening_key(h)).second) fresh.push_back(std::move(h));
+    }
+    if (fresh.empty()) {
+      if (!raise_replicas(broken)) break;
+      prev_broken = std::move(broken);
+      continue;
+    }
+    out.hardenings_applied += static_cast<int>(fresh.size());
+    for (auto& h : fresh) eopts.hardening.push_back(std::move(h));
+
+    // A route that keeps failing across consecutive iterations is chasing
+    // its tail — each repair just shifts the single point of failure
+    // somewhere new. Avoidance alone will not converge there; add
+    // redundancy right away instead of exhausting the iteration budget.
+    std::set<int> repeat_broken;
+    for (int ri : broken) {
+      if (prev_broken.count(ri) != 0) repeat_broken.insert(ri);
+    }
+    if (!repeat_broken.empty()) raise_replicas(repeat_broken);
+    prev_broken = std::move(broken);
+  }
+
+  out.total_time_s = clock.seconds();
+  return out;
+}
+
+}  // namespace wnet::archex

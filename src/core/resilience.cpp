@@ -1,43 +1,32 @@
 #include "core/resilience.h"
 
-#include <algorithm>
 #include <set>
+
+#include "core/faults/campaign.h"
+#include "core/faults/fault_model.h"
 
 namespace wnet::archex {
 
 ResilienceReport analyze_resilience(const NetworkArchitecture& arch,
                                     const NetworkTemplate& tmpl, const Specification& spec) {
+  // The classic single-failure sweep is now one (exhaustive, k=1,
+  // nodes-only) configuration of the general fault-injection campaign.
+  faults::FaultModelConfig cfg;
+  cfg.max_simultaneous_failures = 1;
+  cfg.max_scenarios_per_k = tmpl.num_nodes();  // enumerate every deployed relay
+  cfg.link_cuts = false;
+  cfg.fading_draws = 0;
+  const faults::FaultModel model(tmpl, spec, cfg);
+  const auto report = faults::run_campaign(arch, tmpl, spec, model.scenarios(arch));
+
   ResilienceReport rep;
-
-  // Deployed relays (candidate nodes only; fixed infrastructure is assumed
-  // fault-free).
-  std::vector<int> relays;
-  for (const auto& d : arch.nodes) {
-    if (tmpl.node(d.node).kind == NodeKind::kCandidate) relays.push_back(d.node);
-  }
-
-  std::set<int> fragile;
   std::set<int> critical;
-  for (int failed : relays) {
-    for (size_t ri = 0; ri < spec.routes.size(); ++ri) {
-      bool any_survives = false;
-      bool any_exists = false;
-      for (const auto& r : arch.routes) {
-        if (r.route_index != static_cast<int>(ri)) continue;
-        any_exists = true;
-        const auto& ns = r.path.nodes;
-        if (std::find(ns.begin(), ns.end(), failed) == ns.end()) {
-          any_survives = true;
-          break;
-        }
-      }
-      if (any_exists && !any_survives) {
-        fragile.insert(static_cast<int>(ri));
-        critical.insert(failed);
-      }
-    }
+  std::set<int> fragile;
+  for (const auto& o : report.outcomes) {
+    if (o.passed) continue;
+    critical.insert(o.scenario.failed_nodes.at(0));
+    fragile.insert(o.broken_routes.begin(), o.broken_routes.end());
   }
-
   rep.critical_relays.assign(critical.begin(), critical.end());
   rep.fragile_routes.assign(fragile.begin(), fragile.end());
   for (size_t ri = 0; ri < spec.routes.size(); ++ri) {

@@ -30,6 +30,10 @@ struct ResilienceReport {
 /// survives if at least one of its replicas survives. Fixed nodes (sensors,
 /// sinks) are assumed fault-free — the paper's redundancy targets the
 /// relay infrastructure.
+///
+/// This is the k=1 special case of the general fault-injection machinery in
+/// core/faults/ (which adds k-simultaneous failures, link cuts, and
+/// Monte-Carlo fading) and is implemented on top of it.
 [[nodiscard]] ResilienceReport analyze_resilience(const NetworkArchitecture& arch,
                                                   const NetworkTemplate& tmpl,
                                                   const Specification& spec);

@@ -47,6 +47,22 @@ bool is_valid_simple_path(const Digraph& g, const Path& p) {
   return true;
 }
 
+bool path_uses_node(const Path& p, NodeId v) {
+  for (NodeId n : p.nodes) {
+    if (n == v) return true;
+  }
+  return false;
+}
+
+bool path_uses_link(const Path& p, NodeId a, NodeId b) {
+  for (size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+    const NodeId u = p.nodes[i];
+    const NodeId w = p.nodes[i + 1];
+    if ((u == a && w == b) || (u == b && w == a)) return true;
+  }
+  return false;
+}
+
 std::vector<std::vector<int>> incidence_matrix(const Digraph& g) {
   std::vector<std::vector<int>> c(static_cast<size_t>(g.num_nodes()),
                                   std::vector<int>(static_cast<size_t>(g.num_edges()), 0));

@@ -17,6 +17,13 @@ namespace wnet::graph {
 /// encoders as a defensive check and heavily in tests.
 [[nodiscard]] bool is_valid_simple_path(const Digraph& g, const Path& p);
 
+/// True if `v` appears anywhere on the path (endpoints included).
+[[nodiscard]] bool path_uses_node(const Path& p, NodeId v);
+
+/// True if some hop of the path connects `a` and `b` in either direction —
+/// the membership test fault campaigns use for (undirected) link cuts.
+[[nodiscard]] bool path_uses_link(const Path& p, NodeId a, NodeId b);
+
 /// Dense incidence matrix of the template (rows = nodes, cols = edges;
 /// +1 at the source row, -1 at the destination row). This is the `c` matrix
 /// of constraint (1a) in the paper.

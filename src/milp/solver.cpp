@@ -137,12 +137,20 @@ void BranchAndBound::apply_chain(const std::shared_ptr<const BoundChange>& chain
 LpResult BranchAndBound::solve_lp(const Basis* basis) {
   if (!engine_) engine_ = std::make_unique<DualSimplex>(lp_, opts_.lp);
   engine_->set_time_limit(std::max(1.0, opts_.time_limit_s - clock_.seconds()));
-  LpResult res = basis != nullptr ? engine_->solve_from(*basis) : engine_->solve();
+  // Past the cold-restart threshold, inherited bases are suspect (stale or
+  // ill-conditioned factorizations keep tripping the engine): start cold.
+  const bool warm_ok = stats_.numerical_failures < opts_.cold_restart_after_failures;
+  LpResult res = (basis != nullptr && warm_ok) ? engine_->solve_from(*basis) : engine_->solve();
   stats_.lp_iterations += res.iterations;
-  if (res.status == LpStatus::kIterLimit || res.status == LpStatus::kNumericalTrouble) {
+  // Escalating cold retries: rebuild the engine from scratch with a 10x
+  // larger iteration budget each round rather than abandoning the subtree.
+  simplex::LpOptions retry = opts_.lp;
+  for (int attempt = 0;
+       res.status == LpStatus::kIterLimit || res.status == LpStatus::kNumericalTrouble;
+       ++attempt) {
     ++stats_.numerical_failures;
-    simplex::LpOptions retry = opts_.lp;
-    retry.max_iters *= 2;
+    if (attempt >= opts_.max_numerical_retries || clock_.seconds() > opts_.time_limit_s) break;
+    retry.max_iters *= 10;
     retry.time_limit_s = std::max(1.0, opts_.time_limit_s - clock_.seconds());
     engine_ = std::make_unique<DualSimplex>(lp_, retry);
     res = engine_->solve();

@@ -29,6 +29,15 @@ struct SolveOptions {
   /// initial incumbent if it passes the model's own feasibility check.
   std::vector<double> mip_start;
   simplex::LpOptions lp;
+
+  /// Numerical-failure handling: when a node LP hits its iteration limit or
+  /// numerical trouble, re-solve it from scratch (cold dual simplex, fresh
+  /// factorization) with a 10x larger iteration budget per escalation —
+  /// up to this many escalations — instead of abandoning the subtree.
+  int max_numerical_retries = 3;
+  /// Once this many numerical failures have accumulated in one solve, warm
+  /// bases are treated as tainted and every node LP starts cold.
+  long cold_restart_after_failures = 25;
 };
 
 struct SolveStats {

@@ -5,6 +5,17 @@
 
 namespace wnet::util {
 
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// Used wherever a value must be hashed into an independent-looking seed
+/// deterministically (fault scenarios, per-link shadowing draws) without
+/// dragging in a stateful engine.
+[[nodiscard]] constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic seeded RNG wrapper; all workload generators take one of
 /// these so every experiment is reproducible bit-for-bit.
 class Rng {

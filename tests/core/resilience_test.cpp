@@ -89,5 +89,97 @@ TEST_F(ResilienceScenario, EmptyArchitectureTriviallyResilient) {
   EXPECT_TRUE(rep.fully_resilient());
 }
 
+/// Hand-built architecture with two node-disjoint replicas down the two
+/// relay corridors (node ids per fixture: ra_i = 2+2i, rb_i = 3+2i).
+NetworkArchitecture two_corridor_arch() {
+  NetworkArchitecture arch;
+  for (int v : {2, 3, 4, 5, 6, 7}) arch.nodes.push_back({v, 0});
+  ChosenRoute a;
+  a.route_index = 0;
+  a.replica = 0;
+  a.path.nodes = {0, 2, 4, 6, 1};
+  ChosenRoute b;
+  b.route_index = 0;
+  b.replica = 1;
+  b.path.nodes = {0, 3, 5, 7, 1};
+  arch.routes = {a, b};
+  return arch;
+}
+
+TEST_F(ResilienceScenario, PairFailureBreaksWhatEverySingleFailureSurvives) {
+  const NetworkArchitecture arch = two_corridor_arch();
+  spec_.routes.clear();
+  RouteRequirement r;
+  r.source = 0;
+  r.dest = 1;
+  r.replicas = 2;
+  spec_.routes.push_back(r);
+
+  // k = 1: node-disjoint replicas survive every single relay failure.
+  faults::FaultModelConfig cfg;
+  cfg.max_simultaneous_failures = 1;
+  cfg.max_scenarios_per_k = 64;
+  cfg.link_cuts = false;
+  cfg.fading_draws = 0;
+  {
+    const faults::FaultModel fm(tmpl_, spec_, cfg);
+    const auto scenarios = fm.scenarios(arch);
+    EXPECT_EQ(scenarios.size(), 6u);  // one per deployed relay
+    const auto rep = faults::run_campaign(arch, tmpl_, spec_, scenarios);
+    EXPECT_TRUE(rep.all_passed());
+  }
+
+  // k = 2: any pair hitting both corridors kills both replicas at once.
+  cfg.max_simultaneous_failures = 2;
+  const faults::FaultModel fm(tmpl_, spec_, cfg);
+  const auto scenarios = fm.scenarios(arch);
+  EXPECT_EQ(scenarios.size(), 6u + 15u);  // C(6,1) + C(6,2), enumerated
+  const auto rep = faults::run_campaign(arch, tmpl_, spec_, scenarios);
+  EXPECT_FALSE(rep.all_passed());
+  // Exactly the 3x3 cross-corridor pairs break the requirement.
+  EXPECT_EQ(rep.failed(), 9);
+  for (const auto* o : rep.failures()) {
+    ASSERT_EQ(o->scenario.failed_nodes.size(), 2u);
+    const int lo = o->scenario.failed_nodes[0];
+    const int hi = o->scenario.failed_nodes[1];
+    EXPECT_NE(lo % 2, hi % 2) << "same-corridor pair cannot break both replicas";
+    EXPECT_EQ(o->broken_routes, std::vector<int>{0});
+  }
+}
+
+TEST_F(ResilienceScenario, LinkCutBreaksSingleReplicaButNotDisjointPair) {
+  spec_.routes.clear();
+  RouteRequirement r;
+  r.source = 0;
+  r.dest = 1;
+  r.replicas = 2;
+  spec_.routes.push_back(r);
+
+  faults::FaultModelConfig cfg;
+  cfg.max_simultaneous_failures = 0;  // link cuts only
+  cfg.fading_draws = 0;
+
+  // Two disjoint replicas: every single link cut leaves the other intact.
+  const NetworkArchitecture arch = two_corridor_arch();
+  const faults::FaultModel fm(tmpl_, spec_, cfg);
+  {
+    const auto scenarios = fm.scenarios(arch);
+    EXPECT_EQ(scenarios.size(), 8u);  // 4 hops per corridor
+    EXPECT_TRUE(faults::run_campaign(arch, tmpl_, spec_, scenarios).all_passed());
+  }
+
+  // Strip the second replica: now every cut along the survivor is fatal.
+  NetworkArchitecture lone = arch;
+  lone.routes.resize(1);
+  const auto scenarios = fm.scenarios(lone);
+  EXPECT_EQ(scenarios.size(), 4u);
+  const auto rep = faults::run_campaign(lone, tmpl_, spec_, scenarios);
+  EXPECT_EQ(rep.failed(), 4);
+  for (const auto* o : rep.failures()) {
+    EXPECT_EQ(o->scenario.kind, faults::FaultKind::kLinkCut);
+    EXPECT_EQ(o->broken_routes, std::vector<int>{0});
+  }
+}
+
 }  // namespace
 }  // namespace wnet::archex

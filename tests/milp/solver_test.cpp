@@ -227,5 +227,43 @@ TEST_P(RandomMipProperty, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMipProperty, ::testing::Range(0, 40));
 
+TEST(MipSolver, RecoversFromLpIterationStarvation) {
+  // Regression for numerical-failure handling: with a starved per-LP
+  // iteration budget the old single x2 retry still hit the limit and the
+  // solve aborted with kNoSolution. Escalating cold retries (x10 per
+  // attempt) must recover the node LP and still prove optimality.
+  Model m;
+  const Var x1 = m.add_binary("x1");
+  const Var x2 = m.add_binary("x2");
+  const Var x3 = m.add_binary("x3");
+  m.add_le(2.0 * LinExpr(x1) + 3.0 * LinExpr(x2) + LinExpr(x3), 5.0);
+  m.minimize(-5.0 * LinExpr(x1) - 4.0 * LinExpr(x2) - 3.0 * LinExpr(x3));
+
+  SolveOptions opts;
+  opts.lp.max_iters = 1;
+  const auto res = solve(m, opts);
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -9.0, 1e-6);
+  EXPECT_GT(res.stats.numerical_failures, 0);
+}
+
+TEST(MipSolver, RetryEscalationIsBounded) {
+  // With escalation disabled entirely the starved solve must fail the same
+  // way the pre-hardening solver did — proving the retries are what save
+  // RecoversFromLpIterationStarvation, and that the knob bounds the work.
+  Model m;
+  const Var x1 = m.add_binary("x1");
+  const Var x2 = m.add_binary("x2");
+  m.add_le(LinExpr(x1) + LinExpr(x2), 1.0);
+  m.minimize(-2.0 * LinExpr(x1) - LinExpr(x2));
+
+  SolveOptions opts;
+  opts.lp.max_iters = 1;
+  opts.max_numerical_retries = 0;
+  const auto res = solve(m, opts);
+  EXPECT_FALSE(res.has_solution());
+  EXPECT_GT(res.stats.numerical_failures, 0);
+}
+
 }  // namespace
 }  // namespace wnet::milp
