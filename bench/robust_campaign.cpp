@@ -13,6 +13,7 @@
 #include "core/workloads/scenarios.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace wnet;
 using namespace wnet::archex;
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
                     {"draws", "100"},
                     {"sigma", "2.0"},
                     {"budget", "120"},
-                    {"time-limit", "45"}});
+                    {"time-limit", "45"},
+                    {"threads", "1"}});  // workers for campaign scoring; 0 = all cores
 
   workloads::DataCollectionConfig cfg;
   cfg.sensors = args.geti("sensors");
@@ -57,8 +59,11 @@ int main(int argc, char** argv) {
     fc.fading_sigma_db = args.getd("sigma");
     const faults::FaultModel fm(*sc->tmpl, sc->spec, fc);
     const auto scenarios = fm.scenarios(baseline.architecture);
+    faults::CampaignOptions copts;
+    copts.threads = util::resolve_threads(args.geti("threads"));
     const util::Stopwatch sw;
-    const auto rep = faults::run_campaign(baseline.architecture, *sc->tmpl, sc->spec, scenarios);
+    const auto rep =
+        faults::CampaignRunner(*sc->tmpl, sc->spec, copts).run(baseline.architecture, scenarios);
     replay.add_row({std::to_string(k), std::to_string(rep.total()),
                     util::fmt_double(100.0 * rep.pass_rate(), 1),
                     util::fmt_double(sw.millis(), 2)});
@@ -74,13 +79,15 @@ int main(int argc, char** argv) {
   ro.faults.fading_draws = args.geti("draws");
   ro.faults.fading_sigma_db = args.getd("sigma");
   ro.time_budget_s = args.getd("budget");
+  ro.threads = util::resolve_threads(args.geti("threads"));
   const auto robust = explorer.explore_robust(ro);
 
   faults::FaultModelConfig fc = ro.faults;
   const faults::FaultModel fm(*sc->tmpl, sc->spec, fc);
-  const auto before =
-      faults::run_campaign(baseline.architecture, *sc->tmpl, sc->spec,
-                           fm.scenarios(baseline.architecture));
+  faults::CampaignOptions copts;
+  copts.threads = ro.threads;
+  const auto before = faults::CampaignRunner(*sc->tmpl, sc->spec, copts)
+                          .run(baseline.architecture, fm.scenarios(baseline.architecture));
 
   util::Table loop({"Design", "Pass rate (%)", "$ cost", "Routes", "Time (s)"});
   loop.add_row({"baseline", util::fmt_double(100.0 * before.pass_rate(), 1),

@@ -17,6 +17,7 @@
 #include "core/workloads/scenarios.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace wnet;
 using namespace wnet::archex;
@@ -29,7 +30,8 @@ int main(int argc, char** argv) {
                     {"kstar", "10"},
                     {"full-build-max-nodes", "60"},
                     {"full-solve-max-nodes", "35"},
-                    {"paper", "0"}});
+                    {"paper", "0"},
+                    {"threads", "1"}});  // encoder candidate-generation workers; 0 = all cores
 
   std::vector<std::pair<int, int>> sizes = {{30, 10}, {50, 20}, {80, 30}, {120, 50}};
   if (args.getb("paper")) {
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
     // --- Approximate encoding: build and solve.
     EncoderOptions approx;
     approx.k_star = args.geti("kstar");
+    approx.threads = util::resolve_threads(args.geti("threads"));
     milp::SolveOptions so;
     so.time_limit_s = args.getd("time-limit");
     so.rel_gap = args.getd("gap");

@@ -12,6 +12,7 @@
 #include "graph/yen.h"
 #include "milp/linearize.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace wnet::archex {
 
@@ -206,59 +207,73 @@ class Build {
     int replica;
   };
 
+  /// Yen batches for one route, on a private copy of the prefiltered graph
+  /// (DisconnectMinDisjointPath mutates weights between replica groups).
+  /// Pure apart from the copy, so routes can run on any thread.
+  [[nodiscard]] std::vector<PendingCandidate> route_candidates(const Digraph& base,
+                                                               int ri) const {
+    std::vector<PendingCandidate> out;
+    Digraph work = base;
+    const auto& route = s_.routes[static_cast<size_t>(ri)];
+    const int nrep = std::max(1, route.replicas);
+    // BalanceData: split K* into Nrep groups of K with Nrep*K >= K*.
+    const int k_per_rep = std::max(1, (o_.k_star + nrep - 1) / nrep);
+
+    for (int rep = 0; rep < nrep; ++rep) {
+      auto paths = graph::yen_k_shortest(work, route.source, route.dest, k_per_rep);
+      if (route.max_hops) {
+        std::erase_if(paths, [&](const Path& p) { return p.hops() > *route.max_hops; });
+      }
+      for (const Path& p : paths) {
+        out.push_back({p, ri, rep});
+      }
+      if (o_.disjoint_strategy == EncoderOptions::DisjointStrategy::kNone) continue;
+      if (rep + 1 < nrep && !paths.empty()) {
+        // DisconnectMinDisjointPath: remove the path sharing the most
+        // edges with its batch so the next group starts fresh.
+        size_t worst = 0;
+        int worst_shared = -1;
+        for (size_t a = 0; a < paths.size(); ++a) {
+          int shared = 0;
+          for (size_t b = 0; b < paths.size(); ++b) {
+            if (a != b) shared += graph::shared_edges(paths[a], paths[b]);
+          }
+          if (shared > worst_shared) {
+            worst_shared = shared;
+            worst = a;
+          }
+        }
+        for (graph::EdgeId e : paths[worst].edges) work.set_weight(e, graph::kInfWeight);
+      }
+    }
+    return out;
+  }
+
   void generate_candidates() {
-    Digraph work = g_;  // weights mutated per route, restored after
+    Digraph base = g_;
     const auto rss_floor = s_.min_rss_dbm();
 
     // LQ prefilter: links that cannot meet the bound (including any fading
     // margin hardened onto them) even with the best components never become
     // candidates.
     if (o_.lq_prefilter && rss_floor) {
-      for (int e = 0; e < work.num_edges(); ++e) {
-        const auto& ed = work.edge(e);
+      for (int e = 0; e < base.num_edges(); ++e) {
+        const auto& ed = base.edge(e);
         if (t_.best_rss_dbm(ed.from, ed.to) < *rss_floor + margin_for(ed.from, ed.to)) {
-          work.set_weight(e, graph::kInfWeight);
+          base.set_weight(e, graph::kInfWeight);
         }
       }
     }
-    std::vector<double> base_weights(static_cast<size_t>(work.num_edges()));
-    for (int e = 0; e < work.num_edges(); ++e) base_weights[static_cast<size_t>(e)] = work.edge(e).weight;
 
-    for (size_t ri = 0; ri < s_.routes.size(); ++ri) {
-      const auto& route = s_.routes[static_cast<size_t>(ri)];
-      const int nrep = std::max(1, route.replicas);
-      // BalanceData: split K* into Nrep groups of K with Nrep*K >= K*.
-      const int k_per_rep = std::max(1, (o_.k_star + nrep - 1) / nrep);
-
-      for (int rep = 0; rep < nrep; ++rep) {
-        auto paths = graph::yen_k_shortest(work, route.source, route.dest, k_per_rep);
-        if (route.max_hops) {
-          std::erase_if(paths, [&](const Path& p) { return p.hops() > *route.max_hops; });
-        }
-        for (const Path& p : paths) {
-          pending_candidates_.push_back({p, static_cast<int>(ri), rep});
-        }
-        if (o_.disjoint_strategy == EncoderOptions::DisjointStrategy::kNone) continue;
-        if (rep + 1 < nrep && !paths.empty()) {
-          // DisconnectMinDisjointPath: remove the path sharing the most
-          // edges with its batch so the next group starts fresh.
-          size_t worst = 0;
-          int worst_shared = -1;
-          for (size_t a = 0; a < paths.size(); ++a) {
-            int shared = 0;
-            for (size_t b = 0; b < paths.size(); ++b) {
-              if (a != b) shared += graph::shared_edges(paths[a], paths[b]);
-            }
-            if (shared > worst_shared) {
-              worst_shared = shared;
-              worst = a;
-            }
-          }
-          for (graph::EdgeId e : paths[worst].edges) work.set_weight(e, graph::kInfWeight);
-        }
-      }
-      // Restore weights for the next route.
-      for (int e = 0; e < work.num_edges(); ++e) work.set_weight(e, base_weights[static_cast<size_t>(e)]);
+    // Routes are independent Yen sweeps; fan them out and merge the batches
+    // back in route order, so the candidate list (and every variable name
+    // and constraint downstream) is identical for any thread count.
+    const util::ParallelExecutor exec(o_.threads);
+    auto per_route = exec.map<std::vector<PendingCandidate>>(
+        static_cast<int>(s_.routes.size()),
+        [&](int ri) { return route_candidates(base, ri); });
+    for (auto& batch : per_route) {
+      for (auto& pc : batch) pending_candidates_.push_back(std::move(pc));
     }
   }
 

@@ -61,6 +61,13 @@ struct EncoderOptions {
   /// kMargin entries also tighten the LQ prefilter, so Yen stops proposing
   /// links that cannot carry the required headroom.
   std::vector<HardeningConstraint> hardening;
+
+  /// Worker threads for candidate generation: the per-route Yen batches are
+  /// independent (each route works on a private copy of the prefiltered
+  /// graph), so they run concurrently and merge in route order. The
+  /// candidate list — and therefore the whole encoding — is identical for
+  /// every value. <= 1 runs serial; 0 is NOT auto here, callers resolve.
+  int threads = 1;
 };
 
 /// Compiles (template, specification) into a MILP. Stateless apart from

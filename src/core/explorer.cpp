@@ -6,6 +6,7 @@
 
 #include "graph/digraph.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace wnet::archex {
 
@@ -98,10 +99,35 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
                                                     const milp::SolveOptions& sopts) const {
   KStarSearchResult out;
   eopts.mode = EncoderOptions::PathMode::kApprox;
+  const int n = static_cast<int>(kopts.ladder.size());
+
+  // Parallel mode speculatively evaluates every rung up front (each rung
+  // is an independent encode + solve); the serial selection scan below
+  // then consumes rung i from `evaluated[i]` instead of exploring lazily.
+  // Selection order, improvement rule and tie-breaks are shared with the
+  // serial path verbatim, so the winner is identical for any thread count
+  // — parallelism buys wall clock at the price of evaluating rungs a
+  // serial run would have skipped after its early exit.
+  std::vector<ExplorationResult> evaluated;
+  if (kopts.threads > 1) {
+    const util::ParallelExecutor exec(kopts.threads);
+    evaluated = exec.map<ExplorationResult>(n, [&](int i) {
+      EncoderOptions eo = eopts;
+      eo.k_star = kopts.ladder[static_cast<size_t>(i)];
+      return explore(eo, sopts);
+    });
+  }
+
   double best_obj = milp::kInf;
-  for (int k : kopts.ladder) {
-    eopts.k_star = k;
-    ExplorationResult r = explore(eopts, sopts);
+  for (int i = 0; i < n; ++i) {
+    const int k = kopts.ladder[static_cast<size_t>(i)];
+    ExplorationResult r;
+    if (kopts.threads > 1) {
+      r = std::move(evaluated[static_cast<size_t>(i)]);
+    } else {
+      eopts.k_star = k;
+      r = explore(eopts, sopts);
+    }
     out.trace.emplace_back(k, r);
     const bool improved =
         r.has_solution() &&

@@ -43,6 +43,12 @@ class Explorer {
     std::vector<int> ladder = {1, 3, 5, 10, 20};
     double time_threshold_s = 600.0;
     double min_improvement = 1e-3;
+    /// Worker threads: > 1 evaluates every ladder rung concurrently, then
+    /// replays the serial selection scan (same improvement rule, same
+    /// tie-break order) over the per-rung results — chosen_k, best and the
+    /// trace come out identical to a serial run. The serial path evaluates
+    /// rungs lazily and keeps its early exit.
+    int threads = 1;
   };
   struct KStarSearchResult {
     int chosen_k = 0;
@@ -72,6 +78,11 @@ class Explorer {
     /// How far the repair loop may raise a route's replica count above the
     /// specification when hardening alone is infeasible.
     int max_extra_replicas = 1;
+    /// Worker threads for the per-iteration fault campaigns (scenario
+    /// scoring via faults::CampaignRunner) and for candidate generation
+    /// inside the encoder. Reports and repair trajectories are identical
+    /// for every value; <= 1 is fully serial.
+    int threads = 1;
   };
 
   struct RobustExplorationResult {

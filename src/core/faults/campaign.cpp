@@ -6,6 +6,7 @@
 
 #include "channel/propagation.h"
 #include "graph/connectivity.h"
+#include "util/thread_pool.h"
 
 namespace wnet::archex::faults {
 
@@ -60,6 +61,65 @@ bool replica_survives_fading(const ChosenRoute& r, const NetworkArchitecture& ar
     }
   }
   return ok;
+}
+
+/// One scenario's verdict: a pure function of (architecture, scenario) —
+/// fading realizations are frozen by the scenario's own seed, so outcomes
+/// are independent of evaluation order and safe to compute concurrently.
+ScenarioOutcome evaluate_scenario(const NetworkArchitecture& arch, const NetworkTemplate& tmpl,
+                                  const Specification& spec, const FaultScenario& sc) {
+  ScenarioOutcome out;
+  out.scenario = sc;
+  const auto rss_floor = spec.min_rss_dbm();
+
+  // Fading scenarios share one frozen realization across all routes.
+  std::unique_ptr<channel::ShadowingModel> faded;
+  if (sc.kind == FaultKind::kFading && rss_floor) {
+    faded = std::make_unique<channel::ShadowingModel>(tmpl.channel_model(), sc.fading_sigma_db,
+                                                      sc.fading_seed);
+  }
+
+  for (size_t ri = 0; ri < spec.routes.size(); ++ri) {
+    bool any_exists = false;
+    bool any_survives = false;
+    for (const auto& r : arch.routes) {
+      if (r.route_index != static_cast<int>(ri)) continue;
+      any_exists = true;
+      bool ok = true;
+      switch (sc.kind) {
+        case FaultKind::kNodeFailure:
+          ok = replica_survives_nodes(r, sc.failed_nodes);
+          break;
+        case FaultKind::kLinkCut:
+          ok = replica_survives_cuts(r, sc.cut_links);
+          break;
+        case FaultKind::kFading:
+          ok = faded == nullptr ||
+               replica_survives_fading(r, arch, tmpl, *faded, *rss_floor, out);
+          break;
+      }
+      if (ok) {
+        any_survives = true;
+        // Keep scanning fading replicas so weak_links records every
+        // offender; for structural faults the first survivor settles it.
+        if (sc.kind != FaultKind::kFading) break;
+      }
+    }
+    if (any_exists && !any_survives) out.broken_routes.push_back(static_cast<int>(ri));
+  }
+
+  out.passed = out.broken_routes.empty();
+  if (out.passed) {
+    // Weak links on routes that still had a surviving replica are not
+    // counterexamples; drop them so reports stay actionable.
+    out.weak_links.clear();
+    out.worst_shortfall_db = 0.0;
+  } else {
+    std::sort(out.weak_links.begin(), out.weak_links.end());
+    out.weak_links.erase(std::unique(out.weak_links.begin(), out.weak_links.end()),
+                         out.weak_links.end());
+  }
+  return out;
 }
 
 }  // namespace
@@ -159,67 +219,25 @@ std::string CampaignReport::to_json() const {
   return os.str();
 }
 
+CampaignRunner::CampaignRunner(const NetworkTemplate& tmpl, const Specification& spec,
+                               CampaignOptions opts)
+    : tmpl_(&tmpl), spec_(&spec), opts_(opts) {}
+
+CampaignReport CampaignRunner::run(const NetworkArchitecture& arch,
+                                   const std::vector<FaultScenario>& scenarios) const {
+  CampaignReport rep;
+  const util::ParallelExecutor exec(opts_.threads);
+  rep.outcomes = exec.map<ScenarioOutcome>(
+      static_cast<int>(scenarios.size()), [&](int i) {
+        return evaluate_scenario(arch, *tmpl_, *spec_, scenarios[static_cast<size_t>(i)]);
+      });
+  return rep;
+}
+
 CampaignReport run_campaign(const NetworkArchitecture& arch, const NetworkTemplate& tmpl,
                             const Specification& spec,
                             const std::vector<FaultScenario>& scenarios) {
-  CampaignReport rep;
-  rep.outcomes.reserve(scenarios.size());
-  const auto rss_floor = spec.min_rss_dbm();
-
-  for (const FaultScenario& sc : scenarios) {
-    ScenarioOutcome out;
-    out.scenario = sc;
-
-    // Fading scenarios share one frozen realization across all routes.
-    std::unique_ptr<channel::ShadowingModel> faded;
-    if (sc.kind == FaultKind::kFading && rss_floor) {
-      faded = std::make_unique<channel::ShadowingModel>(tmpl.channel_model(),
-                                                        sc.fading_sigma_db, sc.fading_seed);
-    }
-
-    for (size_t ri = 0; ri < spec.routes.size(); ++ri) {
-      bool any_exists = false;
-      bool any_survives = false;
-      for (const auto& r : arch.routes) {
-        if (r.route_index != static_cast<int>(ri)) continue;
-        any_exists = true;
-        bool ok = true;
-        switch (sc.kind) {
-          case FaultKind::kNodeFailure:
-            ok = replica_survives_nodes(r, sc.failed_nodes);
-            break;
-          case FaultKind::kLinkCut:
-            ok = replica_survives_cuts(r, sc.cut_links);
-            break;
-          case FaultKind::kFading:
-            ok = faded == nullptr ||
-                 replica_survives_fading(r, arch, tmpl, *faded, *rss_floor, out);
-            break;
-        }
-        if (ok) {
-          any_survives = true;
-          // Keep scanning fading replicas so weak_links records every
-          // offender; for structural faults the first survivor settles it.
-          if (sc.kind != FaultKind::kFading) break;
-        }
-      }
-      if (any_exists && !any_survives) out.broken_routes.push_back(static_cast<int>(ri));
-    }
-
-    out.passed = out.broken_routes.empty();
-    if (out.passed) {
-      // Weak links on routes that still had a surviving replica are not
-      // counterexamples; drop them so reports stay actionable.
-      out.weak_links.clear();
-      out.worst_shortfall_db = 0.0;
-    } else {
-      std::sort(out.weak_links.begin(), out.weak_links.end());
-      out.weak_links.erase(std::unique(out.weak_links.begin(), out.weak_links.end()),
-                           out.weak_links.end());
-    }
-    rep.outcomes.push_back(std::move(out));
-  }
-  return rep;
+  return CampaignRunner(tmpl, spec).run(arch, scenarios);
 }
 
 }  // namespace wnet::archex::faults

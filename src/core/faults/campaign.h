@@ -48,9 +48,35 @@ struct CampaignReport {
   [[nodiscard]] std::string to_json() const;
 };
 
-/// Replays every scenario against the architecture and scores survival of
+/// Knobs of the campaign replay engine itself (scenario *content* lives in
+/// FaultModelConfig). `threads <= 1` is the serial path.
+struct CampaignOptions {
+  int threads = 1;  ///< worker count; <= 1 replays scenarios inline
+};
+
+/// Replays fault scenarios against an architecture and scores survival of
 /// each route requirement. Purely analytical (no solver); cost is
-/// O(scenarios x route links).
+/// O(scenarios x route links), and scenarios are independent of each other
+/// — each one is a pure function of (architecture, scenario) — so the
+/// runner scores them across a worker pool and merges outcomes by scenario
+/// index. The report is bit-identical for every thread count.
+class CampaignRunner {
+ public:
+  CampaignRunner(const NetworkTemplate& tmpl, const Specification& spec,
+                 CampaignOptions opts = {});
+
+  [[nodiscard]] CampaignReport run(const NetworkArchitecture& arch,
+                                   const std::vector<FaultScenario>& scenarios) const;
+
+  [[nodiscard]] const CampaignOptions& options() const { return opts_; }
+
+ private:
+  const NetworkTemplate* tmpl_;
+  const Specification* spec_;
+  CampaignOptions opts_;
+};
+
+/// Serial convenience wrapper around CampaignRunner.
 [[nodiscard]] CampaignReport run_campaign(const NetworkArchitecture& arch,
                                           const NetworkTemplate& tmpl,
                                           const Specification& spec,

@@ -145,11 +145,17 @@ std::vector<FaultScenario> FaultModel::scenarios(const NetworkArchitecture& arch
   // Fading can only break a requirement when an RSS floor exists to dip
   // below, so skip the draws entirely otherwise.
   if (cfg_.fading_draws > 0 && cfg_.fading_sigma_db > 0.0 && spec_->min_rss_dbm()) {
+    // Each draw's realization is keyed on (campaign seed, draw index) via a
+    // double splitmix64 — no shared RNG stream, so scenario outcomes do not
+    // depend on the order (or the thread) in which they are evaluated, and
+    // distinct campaign seeds can never alias onto shifted copies of the
+    // same draw sequence (the old additive form `seed + C * (d+1)` did).
+    const uint64_t stream = util::splitmix64(cfg_.seed);
     for (int d = 0; d < cfg_.fading_draws; ++d) {
       FaultScenario sc;
       sc.id = next_id++;
       sc.kind = FaultKind::kFading;
-      sc.fading_seed = util::splitmix64(cfg_.seed + 0x9e3779b97f4a7c15ULL * (d + 1));
+      sc.fading_seed = util::splitmix64(stream ^ static_cast<uint64_t>(d));
       sc.fading_sigma_db = cfg_.fading_sigma_db;
       out.push_back(std::move(sc));
     }

@@ -195,9 +195,12 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
   RobustExplorationResult out;
 
   EncoderOptions eopts = ropts.encoder;
+  eopts.threads = std::max(eopts.threads, ropts.threads);
   Specification spec = *spec_;  // mutable: repair may raise replica counts
   std::vector<int> extra(spec.routes.size(), 0);
   const faults::FaultModel fmodel(*tmpl_, spec, ropts.faults);
+  faults::CampaignOptions copts;
+  copts.threads = ropts.threads;
 
   std::set<std::string> seen;
   for (const auto& h : eopts.hardening) seen.insert(hardening_key(h));
@@ -260,8 +263,8 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
     er.architecture = decode_solution(ep, *tmpl_, spec, res.x);
     er.total_time_s = iter_clock.seconds();
 
-    const auto report = faults::run_campaign(er.architecture, *tmpl_, spec,
-                                             fmodel.scenarios(er.architecture));
+    const auto report = faults::CampaignRunner(*tmpl_, spec, copts)
+                            .run(er.architecture, fmodel.scenarios(er.architecture));
     const double rate = report.pass_rate();
     if (rate > best_rate + 1e-12 ||
         (rate > best_rate - 1e-12 && out.best.has_solution() &&

@@ -35,7 +35,9 @@ std::vector<int> NetworkTemplate::nodes_with_role(Role r) const {
 }
 
 void NetworkTemplate::ensure_pl_cache() const {
-  if (cache_valid_) return;
+  if (cache_valid_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_valid_.load(std::memory_order_relaxed)) return;
   const size_t n = nodes_.size();
   pl_cache_.assign(n * n, 0.0);
   for (size_t i = 0; i < n; ++i) {
@@ -45,7 +47,7 @@ void NetworkTemplate::ensure_pl_cache() const {
       pl_cache_[j * n + i] = pl;
     }
   }
-  cache_valid_ = true;
+  cache_valid_.store(true, std::memory_order_release);
 }
 
 double NetworkTemplate::path_loss_db(int i, int j) const {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,8 +78,12 @@ class NetworkTemplate {
   const ComponentLibrary* library_;
   std::vector<TemplateNode> nodes_;
   double cutoff_rss_dbm_ = -95.0;
+  /// Concurrent explorers share one template, so the lazy build is guarded:
+  /// the atomic flag makes the hot (already-built) path lock-free and the
+  /// mutex serializes the one-time fill.
   mutable std::vector<double> pl_cache_;  ///< row-major n*n, NaN = not built
-  mutable bool cache_valid_ = false;
+  mutable std::atomic<bool> cache_valid_ = false;
+  mutable std::mutex cache_mu_;
 };
 
 }  // namespace wnet::archex

@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+
+namespace wnet::util {
+
+int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) throw std::invalid_argument("ThreadPool: need >= 1 thread");
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are the closure's responsibility (see for_each)
+  }
+}
+
+ParallelExecutor::ParallelExecutor(int threads) : threads_(std::max(1, threads)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+ParallelExecutor::~ParallelExecutor() = default;
+
+void ParallelExecutor::for_each(int n, const std::function<void(int)>& fn) const {
+  if (n <= 0) return;
+  if (pool_ == nullptr) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared cursor: workers claim indices one at a time, so load balances
+  // whatever the per-index cost skew. Each index runs exactly once; slot
+  // ownership (not completion order) carries the results, which is what
+  // makes the merge deterministic. Exceptions are kept per index and the
+  // lowest-index one is rethrown — the same exception a serial run would
+  // surface first.
+  struct Join {
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::exception_ptr> errors;
+  };
+  const auto join = std::make_shared<Join>();
+  join->errors.assign(static_cast<size_t>(n), nullptr);
+
+  const int tasks = std::min(pool_->size(), n);
+  for (int t = 0; t < tasks; ++t) {
+    pool_->submit([join, n, &fn] {
+      for (;;) {
+        const int i = join->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          fn(i);
+        } catch (...) {
+          join->errors[static_cast<size_t>(i)] = std::current_exception();
+        }
+        if (join->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          const std::lock_guard<std::mutex> lock(join->mu);
+          join->cv.notify_all();
+        }
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(join->mu);
+  join->cv.wait(lock, [&] { return join->done.load(std::memory_order_acquire) == n; });
+  for (const std::exception_ptr& e : join->errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace wnet::util

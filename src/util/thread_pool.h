@@ -1,0 +1,83 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wnet::util {
+
+/// Resolves a thread-count request: values >= 1 pass through, anything else
+/// (0, negative) means "auto" — the hardware concurrency, floored at 1.
+[[nodiscard]] int resolve_threads(int requested);
+
+/// Fixed-size worker pool over a FIFO task queue. Tasks are opaque
+/// void() closures; completion signalling is the caller's business
+/// (ParallelExecutor below layers deterministic fan-out/join on top).
+/// The destructor drains nothing: it stops accepting work, wakes the
+/// workers, and joins them after the queue empties.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Must not be called after destruction began.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Deterministic parallel-for over an index range, with a serial fallback.
+/// `threads <= 1` runs everything inline on the calling thread — the
+/// zero-dependency default every caller starts from. With more threads the
+/// executor owns a ThreadPool and hands out indices through a shared
+/// cursor, so any thread count covers every index exactly once.
+///
+/// Determinism contract: results must be keyed by index (see map()), never
+/// by completion order. The first exception (lowest index) thrown by any
+/// task is rethrown on the calling thread after all tasks finish.
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(int threads = 1);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  [[nodiscard]] int threads() const { return threads_; }
+  [[nodiscard]] bool serial() const { return pool_ == nullptr; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete.
+  void for_each(int n, const std::function<void(int)>& fn) const;
+
+  /// Index-ordered map: out[i] = fn(i). The merge is deterministic by
+  /// construction — slot i is written only by the task that claimed i —
+  /// so results are identical for every thread count.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> map(int n, Fn&& fn) const {
+    std::vector<T> out(static_cast<size_t>(n > 0 ? n : 0));
+    for_each(n, [&](int i) { out[static_cast<size_t>(i)] = fn(i); });
+    return out;
+  }
+
+ private:
+  int threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace wnet::util

@@ -1,0 +1,115 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wnet::util {
+namespace {
+
+TEST(ResolveThreads, ExplicitPassesThroughAutoFloorsAtOne) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(5), 5);
+  // 0 and negatives mean "auto": whatever the hardware reports, but >= 1.
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_GE(resolve_threads(-3), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3);
+    for (int i = 0; i < 64; ++i) pool.submit([&count] { count.fetch_add(1); });
+  }  // workers finish the queue before joining
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelExecutor, SerialModeHasNoPool) {
+  const ParallelExecutor serial(1);
+  EXPECT_TRUE(serial.serial());
+  EXPECT_EQ(serial.threads(), 1);
+  const ParallelExecutor threaded(4);
+  EXPECT_FALSE(threaded.serial());
+  EXPECT_EQ(threaded.threads(), 4);
+}
+
+TEST(ParallelExecutor, ForEachCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    const ParallelExecutor exec(threads);
+    const int n = 257;  // deliberately not a multiple of any worker count
+    std::vector<std::atomic<int>> hits(n);
+    exec.for_each(n, [&hits](int i) { hits[static_cast<size_t>(i)].fetch_add(1); });
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelExecutor, HandlesEmptyAndTinyRanges) {
+  const ParallelExecutor exec(4);
+  int calls = 0;
+  std::mutex mu;
+  exec.for_each(0, [&](int) {
+    const std::lock_guard<std::mutex> lk(mu);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0);
+  // Fewer items than workers: still every index exactly once.
+  exec.for_each(2, [&](int) {
+    const std::lock_guard<std::mutex> lk(mu);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ParallelExecutor, MapIsIndexOrderedForEveryThreadCount) {
+  const auto expect = [](const std::vector<int>& out) {
+    for (int i = 0; i < static_cast<int>(out.size()); ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i * i);
+  };
+  for (int threads : {1, 2, 4, 8}) {
+    const ParallelExecutor exec(threads);
+    expect(exec.map<int>(100, [](int i) { return i * i; }));
+  }
+}
+
+TEST(ParallelExecutor, ExecutorIsReusableAcrossCalls) {
+  const ParallelExecutor exec(3);
+  for (int round = 0; round < 5; ++round) {
+    const auto out = exec.map<int>(17, [round](int i) { return i + round; });
+    for (int i = 0; i < 17; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i + round);
+  }
+}
+
+TEST(ParallelExecutor, LowestIndexExceptionWins) {
+  for (int threads : {1, 4}) {
+    const ParallelExecutor exec(threads);
+    try {
+      exec.for_each(16, [](int i) {
+        if (i == 3 || i == 7) throw std::runtime_error("boom " + std::to_string(i));
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      // The contract: the first exception in *index* order is rethrown,
+      // independent of which worker hit its throw first.
+      EXPECT_STREQ(e.what(), "boom 3") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelExecutor, SurvivesAnExceptionAndKeepsWorking) {
+  const ParallelExecutor exec(4);
+  EXPECT_THROW(exec.for_each(8, [](int i) {
+    if (i == 0) throw std::logic_error("first");
+  }),
+               std::logic_error);
+  const auto out = exec.map<int>(8, [](int i) { return 2 * i; });
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], 2 * i);
+}
+
+}  // namespace
+}  // namespace wnet::util
