@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "graph/digraph.h"
 #include "util/stopwatch.h"
@@ -12,6 +13,21 @@ namespace wnet::archex {
 
 Explorer::Explorer(const NetworkTemplate& tmpl, const Specification& spec)
     : tmpl_(&tmpl), spec_(&spec) {}
+
+std::string ExplorationResult::solver_json() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"status\": \"" << milp::to_string(status) << "\"";
+  os << ", \"objective\": " << objective;
+  os << ", \"total_time_s\": " << total_time_s;
+  os << ", \"encode\": {\"vars\": " << encode_stats.num_vars
+     << ", \"constrs\": " << encode_stats.num_constrs
+     << ", \"nonzeros\": " << encode_stats.nonzeros
+     << ", \"candidate_paths\": " << encode_stats.candidate_paths
+     << ", \"encode_time_s\": " << encode_stats.encode_time_s << "}";
+  os << ", \"solver\": " << solve_stats.to_json() << "}";
+  return os.str();
+}
 
 namespace {
 

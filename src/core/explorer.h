@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,12 @@ struct ExplorationResult {
   [[nodiscard]] bool has_solution() const {
     return status == milp::SolveStatus::kOptimal || status == milp::SolveStatus::kFeasible;
   }
+
+  /// Machine-readable run telemetry: status, objective and encode sizes
+  /// wrapped around milp::SolveStats::to_json() (nodes, LP iterations,
+  /// warm-start hit rate, propagation fixings, incumbent timeline). This is
+  /// the JSON the `solver_profile` bench and the `--solver-json` flags emit.
+  [[nodiscard]] std::string solver_json() const;
 };
 
 /// The top-level design-space explorer — the ArchEx flow of the paper:

@@ -1,57 +1,94 @@
 #include "milp/presolve.h"
 
 #include <cmath>
-
-#include "milp/linearize.h"
+#include <deque>
 
 namespace wnet::milp {
 
+RowSystem::RowSystem(const Model& m) {
+  const int n = m.num_vars();
+  is_int.assign(static_cast<size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    is_int[static_cast<size_t>(j)] =
+        m.vars()[static_cast<size_t>(j)].type != VarType::kContinuous ? 1 : 0;
+  }
+  var_rows.assign(static_cast<size_t>(n), {});
+  row_start.push_back(0);
+  for (int r = 0; r < m.num_constrs(); ++r) {
+    const Constraint& cn = m.constrs()[static_cast<size_t>(r)];
+    for (const auto& [v, a] : cn.expr.terms()) {
+      if (a == 0.0) continue;
+      col.push_back(v.id);
+      coef.push_back(a);
+      var_rows[static_cast<size_t>(v.id)].push_back(r);
+    }
+    row_start.push_back(static_cast<int>(col.size()));
+    sense.push_back(cn.sense);
+    rhs.push_back(cn.rhs);
+  }
+}
+
 namespace {
 
-/// Tightens x's bounds given `expr sense rhs`, using the activity of the
-/// row excluding x. Returns the number of bounds changed, or -1 on proven
-/// infeasibility.
-int tighten_from_row(Model& m, const Constraint& cn, double tol) {
+/// Tightens the bounds of one row's variables given `row sense rhs`, using
+/// the activity of the row excluding each variable in turn. Bounds live in
+/// the caller's arrays. Returns the number of bounds changed, or -1 on
+/// proven infeasibility; tightened variable ids are appended to `changed`
+/// when non-null.
+int tighten_row(const RowSystem& rs, int row, std::vector<double>& lb, std::vector<double>& ub,
+                double tol, bool integers_only, std::vector<int>* changed) {
+  const int begin = rs.row_start[static_cast<size_t>(row)];
+  const int end = rs.row_start[static_cast<size_t>(row) + 1];
+  const Sense sense = rs.sense[static_cast<size_t>(row)];
+  const double rhs = rs.rhs[static_cast<size_t>(row)];
+
   // Row activity bounds including every term.
-  const double act_lo = expr_lower_bound(m, cn.expr);
-  const double act_hi = expr_upper_bound(m, cn.expr);
+  double act_lo = 0.0;
+  double act_hi = 0.0;
+  for (int t = begin; t < end; ++t) {
+    const double a = rs.coef[static_cast<size_t>(t)];
+    const size_t j = static_cast<size_t>(rs.col[static_cast<size_t>(t)]);
+    act_lo += a >= 0 ? a * lb[j] : a * ub[j];
+    act_hi += a >= 0 ? a * ub[j] : a * lb[j];
+  }
 
   // Quick infeasibility / redundancy screening.
-  if (cn.sense != Sense::kGe && act_lo > cn.rhs + tol) return -1;
-  if (cn.sense != Sense::kLe && act_hi < cn.rhs - tol) return -1;
+  if (sense != Sense::kGe && act_lo > rhs + tol) return -1;
+  if (sense != Sense::kLe && act_hi < rhs - tol) return -1;
 
-  int changed = 0;
-  for (const auto& [v, a] : cn.expr.terms()) {
-    const VarData& vd = m.var(v);
+  int count = 0;
+  for (int t = begin; t < end; ++t) {
+    const double a = rs.coef[static_cast<size_t>(t)];
+    const int jc = rs.col[static_cast<size_t>(t)];
+    const size_t j = static_cast<size_t>(jc);
+    if (integers_only && rs.is_int[j] == 0) continue;
     // Activity of the row without this term (subtract its own extreme).
-    const double own_lo = a >= 0 ? a * vd.lb : a * vd.ub;
-    const double own_hi = a >= 0 ? a * vd.ub : a * vd.lb;
+    const double own_lo = a >= 0 ? a * lb[j] : a * ub[j];
+    const double own_hi = a >= 0 ? a * ub[j] : a * lb[j];
 
-    double new_lb = vd.lb;
-    double new_ub = vd.ub;
+    double new_lb = lb[j];
+    double new_ub = ub[j];
 
-    if (cn.sense != Sense::kGe && std::isfinite(act_lo)) {
+    if (sense != Sense::kGe && std::isfinite(act_lo)) {
       // sum <= rhs: a*x <= rhs - (act_lo - own_lo)
-      const double rest_lo = act_lo - own_lo;
-      const double cap = cn.rhs - rest_lo;
+      const double cap = rhs - (act_lo - own_lo);
       if (a > 0) {
         new_ub = std::min(new_ub, cap / a);
-      } else if (a < 0) {
+      } else {
         new_lb = std::max(new_lb, cap / a);
       }
     }
-    if (cn.sense != Sense::kLe && std::isfinite(act_hi)) {
+    if (sense != Sense::kLe && std::isfinite(act_hi)) {
       // sum >= rhs: a*x >= rhs - (act_hi - own_hi)
-      const double rest_hi = act_hi - own_hi;
-      const double floor_v = cn.rhs - rest_hi;
+      const double floor_v = rhs - (act_hi - own_hi);
       if (a > 0) {
         new_lb = std::max(new_lb, floor_v / a);
-      } else if (a < 0) {
+      } else {
         new_ub = std::min(new_ub, floor_v / a);
       }
     }
 
-    if (vd.type != VarType::kContinuous) {
+    if (rs.is_int[j] != 0) {
       // Round inward, with a small epsilon so 2.9999999 stays 3.
       new_lb = std::ceil(new_lb - 1e-9);
       new_ub = std::floor(new_ub + 1e-9);
@@ -59,23 +96,40 @@ int tighten_from_row(Model& m, const Constraint& cn, double tol) {
     if (new_lb > new_ub + tol) return -1;
     new_ub = std::max(new_ub, new_lb);
 
-    if (new_lb > vd.lb + tol || new_ub < vd.ub - tol) {
-      m.set_bounds(v, std::max(new_lb, vd.lb), std::min(new_ub, vd.ub));
-      ++changed;
+    if (new_lb > lb[j] + tol || new_ub < ub[j] - tol) {
+      lb[j] = std::max(new_lb, lb[j]);
+      ub[j] = std::min(new_ub, ub[j]);
+      // Keep the running activities consistent with the tightened bounds so
+      // later terms of this row see the update (skipped when the old
+      // extreme was infinite: the delta would be ill-defined, and the
+      // stale — merely conservative — activity is still valid).
+      if (std::isfinite(own_lo)) act_lo += (a >= 0 ? a * lb[j] : a * ub[j]) - own_lo;
+      if (std::isfinite(own_hi)) act_hi += (a >= 0 ? a * ub[j] : a * lb[j]) - own_hi;
+      if (changed != nullptr) changed->push_back(jc);
+      ++count;
     }
   }
-  return changed;
+  return count;
 }
 
 }  // namespace
 
 PresolveResult presolve(Model& m, int max_rounds, double tol) {
   PresolveResult out;
+  const int n = m.num_vars();
+  const RowSystem rs(m);
+  std::vector<double> lb(static_cast<size_t>(n));
+  std::vector<double> ub(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    lb[static_cast<size_t>(j)] = m.vars()[static_cast<size_t>(j)].lb;
+    ub[static_cast<size_t>(j)] = m.vars()[static_cast<size_t>(j)].ub;
+  }
+
   for (int round = 0; round < max_rounds; ++round) {
     ++out.rounds;
     int changed = 0;
-    for (const Constraint& cn : m.constrs()) {
-      const int c = tighten_from_row(m, cn, tol);
+    for (int r = 0; r < rs.num_rows(); ++r) {
+      const int c = tighten_row(rs, r, lb, ub, tol, /*integers_only=*/false, nullptr);
       if (c < 0) {
         out.proven_infeasible = true;
         return out;
@@ -84,6 +138,59 @@ PresolveResult presolve(Model& m, int max_rounds, double tol) {
     }
     out.bounds_tightened += changed;
     if (changed == 0) break;
+  }
+
+  for (int j = 0; j < n; ++j) {
+    const VarData& vd = m.vars()[static_cast<size_t>(j)];
+    if (lb[static_cast<size_t>(j)] > vd.lb || ub[static_cast<size_t>(j)] < vd.ub) {
+      m.set_bounds(Var{j}, lb[static_cast<size_t>(j)], ub[static_cast<size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+PropagateResult propagate_bounds(const RowSystem& rs, std::vector<double>& lb,
+                                 std::vector<double>& ub, const std::vector<int>& seed_cols,
+                                 const PropagateOptions& opts) {
+  PropagateResult out;
+  const int rows = rs.num_rows();
+  if (rows == 0) return out;
+
+  std::vector<int> visits(static_cast<size_t>(rows), 0);
+  std::vector<char> queued(static_cast<size_t>(rows), 0);
+  std::deque<int> q;
+  const auto enqueue = [&](int r) {
+    if (queued[static_cast<size_t>(r)] == 0) {
+      queued[static_cast<size_t>(r)] = 1;
+      q.push_back(r);
+    }
+  };
+  if (seed_cols.empty()) {
+    for (int r = 0; r < rows; ++r) enqueue(r);
+  } else {
+    for (int c : seed_cols) {
+      for (int r : rs.var_rows[static_cast<size_t>(c)]) enqueue(r);
+    }
+  }
+
+  std::vector<int> changed;
+  while (!q.empty()) {
+    const int r = q.front();
+    q.pop_front();
+    queued[static_cast<size_t>(r)] = 0;
+    if (visits[static_cast<size_t>(r)] >= opts.max_sweeps) continue;
+    ++visits[static_cast<size_t>(r)];
+
+    changed.clear();
+    const int c = tighten_row(rs, r, lb, ub, opts.tol, opts.integers_only, &changed);
+    if (c < 0) {
+      out.infeasible = true;
+      return out;
+    }
+    out.tightened += c;
+    for (int cc : changed) {
+      for (int rr : rs.var_rows[static_cast<size_t>(cc)]) enqueue(rr);
+    }
   }
   return out;
 }

@@ -150,6 +150,7 @@ void DualSimplex::compute_duals() {
 }
 
 LpResult DualSimplex::solve() {
+  info_ = {};
   reset_costs();
   start_from_slack_basis();
   if (!refactorize()) {
@@ -170,7 +171,13 @@ LpResult DualSimplex::solve_from(const Basis& basis) {
   // when the caller's basis matches (the common branch-and-bound case).
   const bool same_basis = lu_valid_ && basis.basic == basis_.basic;
   install_basis(basis);
-  if (!same_basis && !refactorize()) return solve();  // degenerate fallback
+  if (!same_basis && !refactorize()) {
+    // Clean cold fallback: the inherited basis is numerically unusable.
+    LpResult res = solve();
+    info_.refactor_fallback = true;
+    return res;
+  }
+  info_ = {/*warm=*/true, /*reused_lu=*/same_basis, /*refactor_fallback=*/false};
   recompute_basics();
   compute_duals();
   repair_nonbasic_statuses();
@@ -180,6 +187,7 @@ LpResult DualSimplex::solve_from(const Basis& basis) {
 
 LpResult DualSimplex::resolve() {
   if (!lu_valid_ || basis_.basic.empty()) return solve();
+  info_ = {/*warm=*/true, /*reused_lu=*/true, /*refactor_fallback=*/false};
   reset_costs();
   // Bounds changed under us: re-seat nonbasic columns on their (possibly
   // moved) bounds and repair values/duals; the LU stays valid.
@@ -212,6 +220,8 @@ LpResult DualSimplex::run() {
   int stall = 0;
   double last_inf_sum = kInf;
   bool bland = false;
+  banned_.clear();
+  banned_rows_.clear();
 
   for (int iter = 0; iter < opts_.max_iters; ++iter) {
     if ((iter & 63) == 63 && clock.seconds() > opts_.time_limit_s) {
@@ -226,6 +236,10 @@ LpResult DualSimplex::run() {
       const int col = basis_.basic[static_cast<size_t>(pos)];
       const double v = violation(col, values_[static_cast<size_t>(col)]);
       if (v == 0.0) continue;
+      if (!banned_rows_.empty() &&
+          std::find(banned_rows_.begin(), banned_rows_.end(), pos) != banned_rows_.end()) {
+        continue;
+      }
       inf_sum += std::abs(v);
       if (bland) {
         if (r == -1 || col < basis_.basic[static_cast<size_t>(r)]) {
@@ -276,6 +290,10 @@ LpResult DualSimplex::run() {
       }
       const double alpha = lp_->a().dot_column(j, rho);
       alphas_[static_cast<size_t>(j)] = alpha;
+      if (!banned_.empty() &&
+          std::find(banned_.begin(), banned_.end(), j) != banned_.end()) {
+        continue;
+      }
       const double sa = sigma * alpha;
       const ColStatus st = basis_.status[static_cast<size_t>(j)];
       if (st == ColStatus::kAtLower && sa > opts_.pivot_tol) {
@@ -285,7 +303,34 @@ LpResult DualSimplex::run() {
       }
     }
     const auto& cands = cands_;
-    if (cands.empty()) return finish(LpStatus::kPrimalInfeasible, iter);
+    if (cands.empty()) {
+      if (!banned_.empty()) {
+        // Every candidate for this row was banned for a knife-edge pivot.
+        // With an exact factorization the FTRAN values are trustworthy: the
+        // row's true pivot row is numerically zero against every eligible
+        // column, so its (tiny) violation cannot be repaired by any pivot.
+        // Accept the violation and skip the row from now on — refactorizing
+        // would re-derive the same dead end forever (observed as the
+        // dominant solver cost on degenerate instances). A large violation
+        // means something is genuinely wrong: report numerical trouble so
+        // the caller's escalation path takes over.
+        banned_.clear();
+        if (lu_.num_updates() == 0) {
+          if (std::abs(best_viol) > 16.0 * opts_.feas_tol) {
+            return finish(LpStatus::kNumericalTrouble, iter);
+          }
+          banned_rows_.push_back(r);
+          continue;
+        }
+        // Stale LU updates: the bans may have been spurious; retry from an
+        // exact factorization.
+        if (!refactorize()) return finish(LpStatus::kNumericalTrouble, iter);
+        recompute_basics();
+        compute_duals();
+        continue;
+      }
+      return finish(LpStatus::kPrimalInfeasible, iter);
+    }
 
     int q = -1;
     double best_alpha = 0.0;
@@ -318,8 +363,16 @@ LpResult DualSimplex::run() {
     lu_.ftran(w);
     const double alpha_rq = w[static_cast<size_t>(r)];
     if (std::abs(alpha_rq) < opts_.pivot_tol) {
-      // FTRAN disagrees with BTRAN pricing: numerics degraded; refactorize
-      // and retry the iteration.
+      if (lu_.num_updates() == 0) {
+        // The factorization is exact, so the FTRAN value is trustworthy and
+        // this candidate's pivot is genuinely tiny — the BTRAN-priced alpha
+        // was the knife-edge one. Refactorizing again would reproduce the
+        // same choice forever (the dominant solver cost on degenerate
+        // models); exclude the column from this ratio test instead.
+        banned_.push_back(q);
+        continue;
+      }
+      // Stale LU updates: refactorize and retry the iteration.
       if (!refactorize()) return finish(LpStatus::kNumericalTrouble, iter);
       recompute_basics();
       compute_duals();
@@ -344,6 +397,8 @@ LpResult DualSimplex::run() {
     basis_.basic[static_cast<size_t>(r)] = q;
     in_basis_[static_cast<size_t>(leaving_col)] = 0;
     in_basis_[static_cast<size_t>(q)] = 1;
+    banned_.clear();
+    banned_rows_.clear();
 
     if (lu_.num_updates() >= opts_.refactor_interval || !lu_.update(r, w)) {
       if (!refactorize()) return finish(LpStatus::kNumericalTrouble, iter);

@@ -47,6 +47,14 @@ struct LpResult {
   int iterations = 0;
 };
 
+/// How the most recent solve was started — the MIP layer's warm-start
+/// telemetry reads this after each node LP.
+struct SolveInfo {
+  bool warm = false;               ///< started from a caller-supplied basis
+  bool reused_lu = false;          ///< the cached factorization matched and was kept
+  bool refactor_fallback = false;  ///< warm basis refused to factorize; fell back cold
+};
+
 /// Bounded-variable dual simplex.
 ///
 /// Because every column is bounded (infinities are clamped by StandardLp),
@@ -72,6 +80,14 @@ class DualSimplex {
   /// Adjusts the per-solve wall-clock budget (branch-and-bound sets this to
   /// the remaining global budget before each node).
   void set_time_limit(double seconds) { opts_.time_limit_s = seconds; }
+
+  /// Restores the per-solve pivot budget after a numerical-retry escalation
+  /// inflated it, without discarding the cached factorization the way a
+  /// from-scratch engine rebuild would.
+  void set_iteration_limit(int max_iters) { opts_.max_iters = max_iters; }
+
+  /// Start-mode telemetry for the most recent solve()/solve_from()/resolve().
+  [[nodiscard]] const SolveInfo& last_solve_info() const { return info_; }
 
   /// Solves again after external bound changes, reusing the current basis
   /// AND its factorization (cheapest path for branch-and-bound plunging).
@@ -106,6 +122,7 @@ class DualSimplex {
   std::vector<char> in_basis_;  ///< fast basic-membership flag
   std::vector<double> cost_;    ///< working costs (perturbed while active)
   bool perturbed_ = false;      ///< true while cost_ != exact costs
+  SolveInfo info_;              ///< start mode of the most recent solve
 
   /// Per-iteration scratch (kept as members to avoid reallocation).
   struct RatioCandidate {
@@ -115,6 +132,8 @@ class DualSimplex {
   };
   std::vector<RatioCandidate> cands_;
   std::vector<double> alphas_;  ///< pivot row alpha_j per column
+  std::vector<int> banned_;      ///< columns excluded from the current ratio test
+  std::vector<int> banned_rows_;  ///< rows skipped by leaving selection (knife-edge pivots)
 };
 
 }  // namespace wnet::milp::simplex

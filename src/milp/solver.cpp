@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <vector>
 
+#include "milp/presolve.h"
+#include "milp/tol.h"
 #include "util/stopwatch.h"
 
 namespace wnet::milp {
@@ -33,14 +36,28 @@ struct Node {
   Basis warm_basis;      ///< parent's final basis
   double parent_bound;   ///< LP bound of the parent (child bound >= this)
   int depth = 0;
+  /// Branching that created this node, for pseudocost learning: once the
+  /// node's own LP solves, (LP obj - parent_bound) / branch_frac is one
+  /// observation of the branched variable's per-unit degradation.
+  int branch_col = -1;
+  bool branch_up = false;
+  double branch_frac = 0.0;  ///< fractional distance to the branched bound
+};
+
+/// Per-variable, per-direction objective-degradation history.
+struct Pseudocost {
+  double sum = 0.0;  ///< sum of per-unit degradations
+  long n = 0;        ///< observations
 };
 
 class BranchAndBound {
  public:
   BranchAndBound(const Model& model, const SolveOptions& opts)
       : model_(&model), opts_(opts), lp_(model) {
+    col_to_k_.assign(static_cast<size_t>(model.num_vars()), -1);
     for (int j = 0; j < model.num_vars(); ++j) {
       if (model.vars()[static_cast<size_t>(j)].type != VarType::kContinuous) {
+        col_to_k_[static_cast<size_t>(j)] = static_cast<int>(int_cols_.size());
         int_cols_.push_back(j);
       }
     }
@@ -49,6 +66,11 @@ class BranchAndBound {
     for (int j : int_cols_) {
       root_lb_.push_back(lp_.lb()[static_cast<size_t>(j)]);
       root_ub_.push_back(lp_.ub()[static_cast<size_t>(j)]);
+    }
+    pc_up_.assign(int_cols_.size(), Pseudocost{});
+    pc_down_.assign(int_cols_.size(), Pseudocost{});
+    if (opts_.node_propagation && !int_cols_.empty()) {
+      rows_ = std::make_unique<RowSystem>(model);
     }
   }
 
@@ -59,12 +81,32 @@ class BranchAndBound {
   /// (leaf-most change per column wins).
   void apply_chain(const std::shared_ptr<const BoundChange>& chain);
 
+  /// Activity-based bound propagation at the current node: tightens the
+  /// LP's integer bounds from the rows woken by the chain's columns (the
+  /// whole model when the chain is empty, i.e. at the root). Returns false
+  /// when propagation proves the node infeasible.
+  bool propagate_node(const std::shared_ptr<const BoundChange>& chain);
+
   /// Solves the current LP warm-started from `basis`; falls back to a cold
   /// solve on trouble. Updates stats.
   LpResult solve_lp(const Basis* basis);
 
-  /// Most fractional integer column in `x`, or -1 if integral.
+  /// Branching variable for the LP point `x`, or -1 if integral. Highest
+  /// priority class first; within the class, reliability-blended pseudocost
+  /// score (pure fractionality until any branching history exists), with a
+  /// deterministic lowest-index tie-break.
   [[nodiscard]] int pick_branch_var(const std::vector<double>& x) const;
+
+  /// True when both directions of the variable's pseudocost history meet
+  /// the reliability threshold (branching-mix telemetry).
+  [[nodiscard]] bool pseudocost_reliable(int col) const {
+    const int k = col_to_k_[static_cast<size_t>(col)];
+    return pc_up_[static_cast<size_t>(k)].n >= opts_.pseudocost_reliability &&
+           pc_down_[static_cast<size_t>(k)].n >= opts_.pseudocost_reliability;
+  }
+
+  /// Records one pseudocost observation from a solved child LP.
+  void update_pseudocosts(const Node& node, double child_obj);
 
   /// Tries to accept `x` (column space) as incumbent; rounds integer vars
   /// and verifies against the Model. Returns true if the incumbent improved.
@@ -79,16 +121,18 @@ class BranchAndBound {
   /// pushes past the incumbent can be fixed at its root bound globally.
   void apply_reduced_cost_fixing() {
     if (!have_incumbent_ || root_dj_.empty()) return;
-    const double cutoff = incumbent_obj_ - 1e-9;
+    const double cutoff = incumbent_obj_ - tol::kObjImprove;
     for (size_t k = 0; k < int_cols_.size(); ++k) {
       const int j = int_cols_[k];
       if (root_lb_[k] >= root_ub_[k]) continue;  // already fixed
       const double d = root_dj_[static_cast<size_t>(j)];
       const double v = root_x_[static_cast<size_t>(j)];
-      if (d > 1e-9 && v <= root_lb_[k] + 1e-7 && root_bound_ + d > cutoff) {
+      if (d > tol::kReducedCost && v <= root_lb_[k] + tol::kAtBound &&
+          root_bound_ + d > cutoff) {
         root_ub_[k] = root_lb_[k];
         ++stats_.rc_fixed;
-      } else if (d < -1e-9 && v >= root_ub_[k] - 1e-7 && root_bound_ - d > cutoff) {
+      } else if (d < -tol::kReducedCost && v >= root_ub_[k] - tol::kAtBound &&
+                 root_bound_ - d > cutoff) {
         root_lb_[k] = root_ub_[k];
         ++stats_.rc_fixed;
       }
@@ -98,15 +142,23 @@ class BranchAndBound {
   [[nodiscard]] bool gap_closed(double lower_bound) const {
     if (!have_incumbent_) return false;
     return incumbent_obj_ - lower_bound <=
-           opts_.rel_gap * std::max(1.0, std::abs(incumbent_obj_)) + 1e-12;
+           opts_.rel_gap * std::max(1.0, std::abs(incumbent_obj_)) + tol::kGapSlack;
   }
 
   const Model* model_;
   SolveOptions opts_;
   StandardLp lp_;
   std::vector<int> int_cols_;
+  std::vector<int> col_to_k_;  ///< var id -> position in int_cols_ (-1 if continuous)
   std::vector<double> root_lb_;
   std::vector<double> root_ub_;
+  std::unique_ptr<RowSystem> rows_;  ///< flattened rows + incidence for propagation
+  std::vector<double> prop_lb_, prop_ub_;  ///< per-node propagation scratch
+
+  std::vector<Pseudocost> pc_up_;    ///< by int_cols_ position
+  std::vector<Pseudocost> pc_down_;
+  Pseudocost pc_all_up_;    ///< tree-wide aggregate, fills in unreliable vars
+  Pseudocost pc_all_down_;
 
   bool have_incumbent_ = false;
   double incumbent_obj_ = kInf;
@@ -134,17 +186,60 @@ void BranchAndBound::apply_chain(const std::shared_ptr<const BoundChange>& chain
   }
 }
 
+bool BranchAndBound::propagate_node(const std::shared_ptr<const BoundChange>& chain) {
+  const size_t n = static_cast<size_t>(model_->num_vars());
+  prop_lb_.assign(lp_.lb().begin(), lp_.lb().begin() + n);
+  prop_ub_.assign(lp_.ub().begin(), lp_.ub().begin() + n);
+
+  std::vector<int> seeds;
+  std::vector<char> seen(n, 0);
+  for (const BoundChange* bc = chain.get(); bc != nullptr; bc = bc->parent.get()) {
+    if (seen[static_cast<size_t>(bc->col)] == 0) {
+      seen[static_cast<size_t>(bc->col)] = 1;
+      seeds.push_back(bc->col);
+    }
+  }
+
+  PropagateOptions po;
+  po.max_sweeps = opts_.node_propagation_rounds;
+  po.integers_only = true;
+  const PropagateResult res = propagate_bounds(*rows_, prop_lb_, prop_ub_, seeds, po);
+  if (res.infeasible) return false;
+  if (res.tightened > 0) {
+    stats_.propagation_tightenings += res.tightened;
+    for (int j : int_cols_) {
+      const size_t sj = static_cast<size_t>(j);
+      if (prop_lb_[sj] > lp_.lb()[sj] || prop_ub_[sj] < lp_.ub()[sj]) {
+        lp_.set_bounds(j, prop_lb_[sj], prop_ub_[sj]);
+      }
+    }
+  }
+  return true;
+}
+
 LpResult BranchAndBound::solve_lp(const Basis* basis) {
   if (!engine_) engine_ = std::make_unique<DualSimplex>(lp_, opts_.lp);
   engine_->set_time_limit(std::max(1.0, opts_.time_limit_s - clock_.seconds()));
   // Past the cold-restart threshold, inherited bases are suspect (stale or
   // ill-conditioned factorizations keep tripping the engine): start cold.
-  const bool warm_ok = stats_.numerical_failures < opts_.cold_restart_after_failures;
-  LpResult res = (basis != nullptr && warm_ok) ? engine_->solve_from(*basis) : engine_->solve();
+  const bool warm_ok = opts_.warm_start &&
+                       stats_.numerical_failures < opts_.cold_restart_after_failures;
+  LpResult res;
+  if (basis != nullptr && warm_ok) {
+    ++stats_.warm_attempts;
+    res = engine_->solve_from(*basis);
+    const simplex::SolveInfo& info = engine_->last_solve_info();
+    if (info.reused_lu) ++stats_.warm_lu_reused;
+    if (info.refactor_fallback) ++stats_.warm_fallbacks;
+  } else {
+    ++stats_.cold_solves;
+    res = engine_->solve();
+  }
   stats_.lp_iterations += res.iterations;
   // Escalating cold retries: rebuild the engine from scratch with a 10x
   // larger iteration budget each round rather than abandoning the subtree.
   simplex::LpOptions retry = opts_.lp;
+  bool escalated = false;
   for (int attempt = 0;
        res.status == LpStatus::kIterLimit || res.status == LpStatus::kNumericalTrouble;
        ++attempt) {
@@ -153,31 +248,83 @@ LpResult BranchAndBound::solve_lp(const Basis* basis) {
     retry.max_iters *= 10;
     retry.time_limit_s = std::max(1.0, opts_.time_limit_s - clock_.seconds());
     engine_ = std::make_unique<DualSimplex>(lp_, retry);
+    escalated = true;
     res = engine_->solve();
     stats_.lp_iterations += res.iterations;
+  }
+  if (escalated) {
+    // The escalated engine carries the inflated pivot budget; restore the
+    // configured budget so one bad node doesn't tax every later LP. (The
+    // time limit is already re-armed at the top of each call.)
+    engine_->set_iteration_limit(opts_.lp.max_iters);
   }
   last_basis_ = engine_->basis();
   return res;
 }
 
 int BranchAndBound::pick_branch_var(const std::vector<double>& x) const {
+  // Pseudocost scoring switches on once any branching has been observed;
+  // before that every variable scores by plain fractionality, i.e. the
+  // textbook most-fractional rule.
+  const bool use_pc =
+      opts_.pseudocost_branching && (pc_all_up_.n > 0 || pc_all_down_.n > 0);
+  const double avg_up = pc_all_up_.n > 0 ? pc_all_up_.sum / static_cast<double>(pc_all_up_.n) : 1.0;
+  const double avg_down =
+      pc_all_down_.n > 0 ? pc_all_down_.sum / static_cast<double>(pc_all_down_.n) : 1.0;
+  const int rel = std::max(1, opts_.pseudocost_reliability);
+  // Below the reliability threshold, blend the variable's own average with
+  // the tree-wide one in proportion to how much history it has.
+  const auto blend = [rel](const Pseudocost& pc, double avg) {
+    if (pc.n >= rel) return pc.sum / static_cast<double>(pc.n);
+    return (pc.sum + static_cast<double>(rel - pc.n) * avg) / static_cast<double>(rel);
+  };
+
   int best = -1;
   int best_prio = INT32_MIN;
   double best_score = -1.0;
-  for (int j : int_cols_) {
+  for (size_t k = 0; k < int_cols_.size(); ++k) {
+    const int j = int_cols_[k];
     const double v = x[static_cast<size_t>(j)];
     const double frac = v - std::floor(v);
     const double dist = std::min(frac, 1.0 - frac);
     if (dist <= opts_.int_tol) continue;
-    // Highest priority class first; most-fractional within the class.
     const int prio = model_->vars()[static_cast<size_t>(j)].branch_priority;
-    if (prio > best_prio || (prio == best_prio && dist > best_score)) {
+    double score;
+    if (use_pc) {
+      // Product rule over the estimated up/down degradations: prefers
+      // variables whose BOTH children move the bound.
+      const double down_est = std::max(frac * blend(pc_down_[k], avg_down), 1e-12);
+      const double up_est = std::max((1.0 - frac) * blend(pc_up_[k], avg_up), 1e-12);
+      score = down_est * up_est;
+    } else {
+      score = dist;
+    }
+    // Highest priority class first. Within the class a candidate must beat
+    // the running best by a relative margin — ties (exact or within float
+    // noise) keep the lowest column index, making the branching order
+    // platform-stable.
+    if (prio > best_prio ||
+        (prio == best_prio && score > best_score + tol::kBranchTie * std::max(1.0, best_score))) {
       best_prio = prio;
-      best_score = dist;
+      best_score = score;
       best = j;
     }
   }
   return best;
+}
+
+void BranchAndBound::update_pseudocosts(const Node& node, double child_obj) {
+  if (node.branch_col < 0) return;
+  const int k = col_to_k_[static_cast<size_t>(node.branch_col)];
+  if (k < 0) return;
+  const double frac = std::max(node.branch_frac, 1e-6);
+  const double per_unit = std::max(0.0, child_obj - node.parent_bound) / frac;
+  Pseudocost& pc = node.branch_up ? pc_up_[static_cast<size_t>(k)] : pc_down_[static_cast<size_t>(k)];
+  pc.sum += per_unit;
+  ++pc.n;
+  Pseudocost& all = node.branch_up ? pc_all_up_ : pc_all_down_;
+  all.sum += per_unit;
+  ++all.n;
 }
 
 bool BranchAndBound::try_incumbent(const std::vector<double>& x) {
@@ -191,10 +338,16 @@ bool BranchAndBound::try_incumbent(const std::vector<double>& x) {
     if (!model_->is_feasible(cand, 1e-4)) return false;
   }
   double obj = model_->objective().evaluate(cand);
-  if (!have_incumbent_ || obj < incumbent_obj_ - 1e-12) {
+  // Same epsilon as every bound-pruning test (tol::kObjImprove): a point a
+  // node prune would reject can never churn the incumbent machinery.
+  if (!have_incumbent_ || obj < incumbent_obj_ - tol::kObjImprove) {
     have_incumbent_ = true;
     incumbent_obj_ = obj;
     incumbent_x_ = std::move(cand);
+    ++stats_.incumbents;
+    if (opts_.collect_timeline) {
+      stats_.incumbent_timeline.push_back({clock_.seconds(), stats_.nodes, obj});
+    }
     apply_reduced_cost_fixing();
     if (opts_.verbose) {
       std::fprintf(stderr, "[milp] incumbent %.6g after %ld nodes, %.1fs\n", obj, stats_.nodes,
@@ -250,7 +403,7 @@ void BranchAndBound::dive(const std::shared_ptr<const BoundChange>& chain, const
       if (res.status != LpStatus::kOptimal) return;
     }
     cur = bc;
-    if (have_incumbent_ && res.objective >= incumbent_obj_ - 1e-12) return;
+    if (have_incumbent_ && res.objective >= incumbent_obj_ - tol::kObjImprove) return;
     warm = last_basis_;
     x = res.x;
   }
@@ -259,8 +412,22 @@ void BranchAndBound::dive(const std::shared_ptr<const BoundChange>& chain, const
 MipResult BranchAndBound::run() {
   MipResult out;
 
-  // --- Root LP.
+  // --- Root LP (with one full propagation sweep first: its tightenings go
+  // into the root bound arrays, so every descendant inherits them).
   apply_chain(nullptr);
+  if (opts_.node_propagation && !int_cols_.empty()) {
+    if (!propagate_node(nullptr)) {
+      ++stats_.propagation_prunes;
+      out.status = SolveStatus::kInfeasible;
+      out.stats = stats_;
+      out.stats.time_s = clock_.seconds();
+      return out;
+    }
+    for (size_t k = 0; k < int_cols_.size(); ++k) {
+      root_lb_[k] = lp_.lb()[static_cast<size_t>(int_cols_[k])];
+      root_ub_[k] = lp_.ub()[static_cast<size_t>(int_cols_[k])];
+    }
+  }
   LpResult root = solve_lp(nullptr);
   stats_.root_bound = root.objective;
   if (root.status == LpStatus::kPrimalInfeasible) {
@@ -341,18 +508,29 @@ MipResult BranchAndBound::run() {
     }
 
     apply_chain(node.chain);
+    if (opts_.node_propagation && !propagate_node(node.chain)) {
+      ++stats_.propagation_prunes;
+      continue;  // infeasible before any LP work
+    }
     const LpResult res = solve_lp(&node.warm_basis);
     if (res.status == LpStatus::kPrimalInfeasible) continue;
     if (res.status != LpStatus::kOptimal) continue;  // counted in numerical_failures
-    if (have_incumbent_ && res.objective >= incumbent_obj_ - 1e-9) continue;
+    update_pseudocosts(node, res.objective);
+    if (have_incumbent_ && res.objective >= incumbent_obj_ - tol::kObjImprove) continue;
 
     const int branch = pick_branch_var(res.x);
     if (branch == -1) {
       try_incumbent(res.x);
       continue;
     }
+    if (opts_.pseudocost_branching && pseudocost_reliable(branch)) {
+      ++stats_.pseudocost_branches;
+    } else {
+      ++stats_.fractional_branches;
+    }
 
     const double v = res.x[static_cast<size_t>(branch)];
+    const double frac = v - std::floor(v);
     const double lb = lp_.lb()[static_cast<size_t>(branch)];
     const double ub = lp_.ub()[static_cast<size_t>(branch)];
 
@@ -368,11 +546,11 @@ MipResult BranchAndBound::run() {
     up->ub = ub;
     up->parent = node.chain;
 
-    Node down_node{down, last_basis_, res.objective, node.depth + 1};
-    Node up_node{up, last_basis_, res.objective, node.depth + 1};
+    Node down_node{down, last_basis_, res.objective, node.depth + 1, branch, false, frac};
+    Node up_node{up, last_basis_, res.objective, node.depth + 1, branch, true, 1.0 - frac};
     // Plunge toward the rounding of the fractional value: push the
     // preferred child last so DFS explores it first.
-    if (v - std::floor(v) >= 0.5) {
+    if (frac >= 0.5) {
       stack.push_back(std::move(down_node));
       stack.push_back(std::move(up_node));
     } else {
@@ -417,6 +595,36 @@ const char* to_string(SolveStatus s) {
     case SolveStatus::kNoSolution: return "no-solution";
   }
   return "unknown";
+}
+
+std::string SolveStats::to_json() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{";
+  os << "\"nodes\": " << nodes;
+  os << ", \"lp_iterations\": " << lp_iterations;
+  os << ", \"time_s\": " << time_s;
+  os << ", \"root_bound\": " << root_bound;
+  os << ", \"numerical_failures\": " << numerical_failures;
+  os << ", \"rc_fixed\": " << rc_fixed;
+  os << ", \"warm_attempts\": " << warm_attempts;
+  os << ", \"warm_lu_reused\": " << warm_lu_reused;
+  os << ", \"warm_fallbacks\": " << warm_fallbacks;
+  os << ", \"cold_solves\": " << cold_solves;
+  os << ", \"warm_start_hit_rate\": " << warm_start_hit_rate();
+  os << ", \"propagation_tightenings\": " << propagation_tightenings;
+  os << ", \"propagation_prunes\": " << propagation_prunes;
+  os << ", \"pseudocost_branches\": " << pseudocost_branches;
+  os << ", \"fractional_branches\": " << fractional_branches;
+  os << ", \"incumbents\": " << incumbents;
+  os << ", \"incumbent_timeline\": [";
+  for (size_t i = 0; i < incumbent_timeline.size(); ++i) {
+    const IncumbentEvent& e = incumbent_timeline[i];
+    os << (i == 0 ? "" : ", ") << "{\"time_s\": " << e.time_s << ", \"nodes\": " << e.nodes
+       << ", \"objective\": " << e.objective << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 MipResult solve(const Model& model, const SolveOptions& opts) {

@@ -30,6 +30,32 @@ struct SolveOptions {
   std::vector<double> mip_start;
   simplex::LpOptions lp;
 
+  /// Pseudocost branching: rank fractional variables by the observed
+  /// per-unit objective degradation of past up/down branchings instead of
+  /// raw fractionality. Directions with fewer than
+  /// `pseudocost_reliability` observations blend toward the tree-wide
+  /// average (and, before any branching history exists at all, the rule
+  /// degenerates to most-fractional), so early branchings behave like the
+  /// textbook rule and later ones exploit learned costs.
+  bool pseudocost_branching = true;
+  int pseudocost_reliability = 4;
+
+  /// Node-level bound propagation: before each node LP, run activity-based
+  /// tightening of the integer bounds implied by the node's branching
+  /// chain. Nodes proven infeasible by propagation are pruned without any
+  /// LP work; tightened bounds shrink the dual simplex's repair distance.
+  bool node_propagation = true;
+  int node_propagation_rounds = 2;
+
+  /// Warm-start node LPs from the parent's final basis (dual simplex keeps
+  /// dual feasibility across bound changes). Off = every node starts from
+  /// the all-slack basis; exists mainly for A/B measurement.
+  bool warm_start = true;
+
+  /// Record the incumbent timeline (time / node / objective per accepted
+  /// incumbent) in SolveStats. Cheap; off only for byte-stable comparisons.
+  bool collect_timeline = true;
+
   /// Numerical-failure handling: when a node LP hits its iteration limit or
   /// numerical trouble, re-solve it from scratch (cold dual simplex, fresh
   /// factorization) with a 10x larger iteration budget per escalation —
@@ -40,6 +66,13 @@ struct SolveOptions {
   long cold_restart_after_failures = 25;
 };
 
+/// One accepted incumbent, for the convergence timeline.
+struct IncumbentEvent {
+  double time_s = 0.0;
+  long nodes = 0;
+  double objective = 0.0;
+};
+
 struct SolveStats {
   long nodes = 0;
   long lp_iterations = 0;
@@ -47,6 +80,35 @@ struct SolveStats {
   double root_bound = 0.0;
   long numerical_failures = 0;
   long rc_fixed = 0;  ///< binaries fixed by root reduced-cost fixing
+
+  // Warm-start accounting (node LPs only; the root is always cold).
+  long warm_attempts = 0;    ///< node LPs started from an inherited basis
+  long warm_lu_reused = 0;   ///< warm starts that also reused the cached LU
+  long warm_fallbacks = 0;   ///< warm starts that fell back cold (refactorization failed)
+  long cold_solves = 0;      ///< node LPs deliberately started from scratch
+
+  // Bound propagation.
+  long propagation_tightenings = 0;  ///< integer bounds tightened across all nodes
+  long propagation_prunes = 0;       ///< nodes pruned infeasible before any LP
+
+  // Branching-rule mix.
+  long pseudocost_branches = 0;  ///< branchings where the chosen variable was reliable
+  long fractional_branches = 0;  ///< branchings decided by the fractionality fallback
+
+  long incumbents = 0;  ///< accepted incumbents (improvements only)
+  std::vector<IncumbentEvent> incumbent_timeline;
+
+  /// Fraction of node LPs that reused an inherited basis (0 when no nodes).
+  [[nodiscard]] double warm_start_hit_rate() const {
+    const long total = warm_attempts + cold_solves;
+    return total > 0 ? static_cast<double>(warm_attempts - warm_fallbacks) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+
+  /// Machine-readable telemetry: every counter above plus the incumbent
+  /// timeline, as one JSON object.
+  [[nodiscard]] std::string to_json() const;
 };
 
 struct MipResult {
@@ -62,9 +124,10 @@ struct MipResult {
 };
 
 /// Solves a MILP by LP-based branch-and-bound: dual-simplex warm restarts
-/// down the tree, most-fractional branching with plunge ordering, root
-/// rounding + diving heuristics. Plays the role CPLEX plays in the paper's
-/// toolchain (see DESIGN.md substitutions).
+/// down the tree, reliability-blended pseudocost branching with plunge
+/// ordering, node-level bound propagation, root rounding + diving
+/// heuristics. Plays the role CPLEX plays in the paper's toolchain (see
+/// DESIGN.md substitutions).
 [[nodiscard]] MipResult solve(const Model& model, const SolveOptions& opts = {});
 
 }  // namespace wnet::milp

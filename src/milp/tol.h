@@ -1,0 +1,37 @@
+#pragma once
+
+/// Named numerical tolerances shared by the MILP layer.
+///
+/// Before this header existed, incumbent acceptance, bound pruning and
+/// reduced-cost fixing each carried their own magic epsilon (1e-12 vs 1e-9),
+/// so an "improving" incumbent could be accepted even though every node with
+/// that objective was already being pruned — churning the reduced-cost
+/// fixing pass for no gain. All objective-space comparisons now share one
+/// epsilon; anything that compares two MIP objective values must use these
+/// constants, never a literal.
+namespace wnet::milp::tol {
+
+/// Minimum decrease for a candidate incumbent to count as an improvement,
+/// and the slack used when pruning nodes against the incumbent. Keeping
+/// these identical guarantees accept/prune consistency: a point good enough
+/// to accept could not have been pruned, and vice versa.
+inline constexpr double kObjImprove = 1e-9;
+
+/// Magnitude below which a reduced cost is treated as zero (reduced-cost
+/// fixing, dual-feasibility screening).
+inline constexpr double kReducedCost = 1e-9;
+
+/// Distance within which an LP value counts as resting on its bound.
+inline constexpr double kAtBound = 1e-7;
+
+/// Absolute slack added to the relative-gap termination test so exactly
+/// closed gaps terminate despite roundoff.
+inline constexpr double kGapSlack = 1e-12;
+
+/// Branching-score ties: a candidate must beat the running best by this
+/// relative margin to displace it. Combined with ascending column order
+/// this yields a deterministic lowest-index tie-break that is stable under
+/// last-bit float noise across platforms.
+inline constexpr double kBranchTie = 1e-12;
+
+}  // namespace wnet::milp::tol

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/solver.h"
+#include "milp/tol.h"
+
+namespace wnet::milp {
+namespace {
+
+/// Random mixed-binary minimization model: `nb` binaries, `nc` continuous
+/// variables in [0, 5], `rows` inequality constraints with small integer
+/// coefficients. Deterministic per seed.
+Model random_model(unsigned seed, int nb, int nc, int rows) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> coef(-5, 5);
+  std::uniform_real_distribution<double> obj(-10.0, 10.0);
+  std::uniform_int_distribution<int> sense_pick(0, 2);
+
+  Model m;
+  std::vector<Var> vars;
+  vars.reserve(static_cast<size_t>(nb + nc));
+  for (int i = 0; i < nb; ++i) vars.push_back(m.add_binary("b" + std::to_string(i)));
+  for (int i = 0; i < nc; ++i) vars.push_back(m.add_continuous("c" + std::to_string(i), 0.0, 5.0));
+
+  LinExpr objective;
+  for (const Var& v : vars) objective += obj(rng) * LinExpr(v);
+  m.minimize(std::move(objective));
+
+  for (int r = 0; r < rows; ++r) {
+    LinExpr e;
+    double lo = 0.0;  // row activity range over the box, to pick a sane rhs
+    double hi = 0.0;
+    for (const Var& v : vars) {
+      const int a = coef(rng);
+      if (a == 0) continue;
+      e += static_cast<double>(a) * LinExpr(v);
+      const double cap = m.var(v).ub;
+      lo += a > 0 ? 0.0 : a * cap;
+      hi += a > 0 ? a * cap : 0.0;
+    }
+    // Bias the rhs toward the permissive half of the activity range so most
+    // instances are feasible (a uniform draw leaves ~2/3 of the joint
+    // instances empty); the remainder still exercises the infeasible path.
+    const double mid = 0.5 * (lo + hi);
+    std::uniform_real_distribution<double> le_rhs(mid, hi);
+    std::uniform_real_distribution<double> ge_rhs(lo, mid);
+    const bool is_le = sense_pick(rng) != 1;
+    const double rhs = std::round(is_le ? le_rhs(rng) : ge_rhs(rng));
+    if (is_le) {
+      m.add_le(std::move(e), rhs);
+    } else {
+      m.add_ge(std::move(e), rhs);
+    }
+  }
+  return m;
+}
+
+/// Brute-force oracle: enumerate every binary assignment, fix the binaries
+/// and solve the continuous remainder as an LP (the solver's root LP is
+/// integral once every integer variable is fixed, so no branching logic is
+/// exercised). Returns true and the optimum when some assignment is
+/// feasible.
+bool oracle_optimum(const Model& m, double* best) {
+  std::vector<int> bins;
+  for (int j = 0; j < m.num_vars(); ++j) {
+    if (m.vars()[static_cast<size_t>(j)].type != VarType::kContinuous) bins.push_back(j);
+  }
+  bool found = false;
+  *best = kInf;
+  for (long mask = 0; mask < (1L << bins.size()); ++mask) {
+    Model fixed = m;
+    for (size_t k = 0; k < bins.size(); ++k) {
+      const double v = (mask >> k) & 1 ? 1.0 : 0.0;
+      fixed.set_bounds(Var{bins[k]}, v, v);
+    }
+    SolveOptions lp_only;
+    lp_only.root_dive = false;
+    const MipResult r = solve(fixed, lp_only);
+    if (r.has_solution() && r.objective < *best) {
+      *best = r.objective;
+      found = true;
+    }
+  }
+  return found;
+}
+
+TEST(SolverStress, RandomMixedBinaryVsBruteForce) {
+  int solved = 0;
+  for (unsigned seed = 1; seed <= 34; ++seed) {
+    const int nb = 6 + static_cast<int>(seed % 7);       // 6..12 binaries
+    const int nc = static_cast<int>(seed % 4);           // 0..3 continuous
+    const int rows = 3 + static_cast<int>(seed % 6);     // 3..8 rows
+    const Model m = random_model(seed, nb, nc, rows);
+
+    double expect = 0.0;
+    const bool feasible = oracle_optimum(m, &expect);
+
+    const MipResult r = solve(m);
+    if (!feasible) {
+      EXPECT_EQ(r.status, SolveStatus::kInfeasible) << "seed " << seed;
+      continue;
+    }
+    ASSERT_TRUE(r.has_solution()) << "seed " << seed;
+    EXPECT_NEAR(r.objective, expect, 1e-6 * std::max(1.0, std::abs(expect)))
+        << "seed " << seed;
+    EXPECT_TRUE(m.is_feasible(r.x)) << "seed " << seed;
+    ++solved;
+  }
+  // The generator must not degenerate into all-infeasible instances.
+  EXPECT_GE(solved, 20);
+}
+
+TEST(SolverStress, WarmVsColdSameOptimaFewerIterations) {
+  long warm_iters = 0;
+  long cold_iters = 0;
+  for (unsigned seed = 101; seed <= 112; ++seed) {
+    const Model m = random_model(seed, 10, 2, 6);
+
+    SolveOptions warm;
+    SolveOptions cold;
+    cold.warm_start = false;
+    const MipResult rw = solve(m, warm);
+    const MipResult rc = solve(m, cold);
+
+    ASSERT_EQ(rw.status, rc.status) << "seed " << seed;
+    if (rw.has_solution()) {
+      EXPECT_NEAR(rw.objective, rc.objective, 1e-6 * std::max(1.0, std::abs(rc.objective)))
+          << "seed " << seed;
+    }
+    warm_iters += rw.stats.lp_iterations;
+    cold_iters += rc.stats.lp_iterations;
+    EXPECT_EQ(rc.stats.warm_attempts, 0) << "seed " << seed;
+  }
+  EXPECT_LT(warm_iters, cold_iters);
+}
+
+TEST(SolverStress, DeterministicAcrossRepeatedSolves) {
+  const Model m = random_model(7, 11, 2, 7);
+  const MipResult first = solve(m);
+  for (int rep = 0; rep < 3; ++rep) {
+    const MipResult r = solve(m);
+    ASSERT_EQ(r.status, first.status);
+    EXPECT_EQ(r.stats.nodes, first.stats.nodes);
+    EXPECT_EQ(r.stats.lp_iterations, first.stats.lp_iterations);
+    if (first.has_solution()) {
+      EXPECT_EQ(r.objective, first.objective);
+      EXPECT_EQ(r.x, first.x);
+    }
+  }
+}
+
+TEST(SolverStress, LowestIndexTieBreak) {
+  // The root LP optimum is uniquely (0.5, 0.5, 0.5): maximizing
+  // x1 + 0.6y under x1 <= x2, x1 + x2 <= 1, y <= x2 trades x1 against y
+  // through x2 and peaks at x2 = 0.5. All three variables are fractional
+  // at distance 0.5, so every branching score ties and the solver must
+  // take the lowest index, x1. Its down-child LP (x1 = 0) is integral at
+  // (0, 1, 1) — the optimum — and its up-child is infeasible, so the
+  // lowest-index choice shows up as exactly one branching, one incumbent,
+  // and three nodes. Branching on x2 instead would pass through the
+  // inferior incumbent (0,0,0) first (two incumbents); branching on y
+  // leaves x1, x2 fractional in both children (more nodes).
+  Model m;
+  const Var x1 = m.add_binary("x1");
+  const Var x2 = m.add_binary("x2");
+  const Var y = m.add_binary("y");
+  m.add_le(LinExpr(x1) + LinExpr(x2), 1.0);
+  m.add_le(LinExpr(x1) - LinExpr(x2), 0.0);
+  m.add_le(LinExpr(y) - LinExpr(x2), 0.0);
+  m.minimize(-1.0 * LinExpr(x1) - 0.6 * LinExpr(y));
+  SolveOptions opts;
+  opts.root_dive = false;  // keep the branching decision observable
+  const MipResult r = solve(m, opts);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -0.6, 1e-9);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[2], 1.0, 1e-9);
+  EXPECT_EQ(r.stats.fractional_branches, 1);
+  EXPECT_EQ(r.stats.incumbents, 1);
+  EXPECT_EQ(r.stats.nodes, 3);
+}
+
+TEST(SolverStress, PropagationPrunesWithoutLpWork) {
+  // x + y >= 2 and x + y <= 1 over binaries: activity bounds alone prove
+  // infeasibility, so the root must be pruned before any simplex pivot.
+  Model m;
+  const Var x = m.add_binary("x");
+  const Var y = m.add_binary("y");
+  m.add_ge(LinExpr(x) + LinExpr(y), 2.0);
+  m.add_le(LinExpr(x) + LinExpr(y), 1.0);
+  m.minimize(LinExpr(x) + LinExpr(y));
+  const MipResult r = solve(m);
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+  EXPECT_GE(r.stats.propagation_prunes, 1);
+  EXPECT_EQ(r.stats.lp_iterations, 0);
+}
+
+TEST(SolverStress, PropagationTightensChainImplications) {
+  // Branching on z forces x and y through 2x + 2y <= 4z once z = 0; with
+  // propagation on, some node records tightenings on a model the solver
+  // must still get right.
+  Model m;
+  const Var z = m.add_binary("z");
+  std::vector<Var> xs;
+  for (int i = 0; i < 6; ++i) xs.push_back(m.add_binary("x" + std::to_string(i)));
+  LinExpr link;
+  for (const Var& v : xs) link += LinExpr(v);
+  m.add_le(std::move(link) - 6.0 * LinExpr(z), 0.0);  // sum x_i <= 6 z
+  LinExpr obj = 5.0 * LinExpr(z);
+  for (const Var& v : xs) obj += -2.0 * LinExpr(v);
+  m.minimize(std::move(obj));  // worth opening z: -12 + 5 < 0
+  const MipResult r = solve(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -7.0, 1e-6);
+}
+
+TEST(SolverStress, IncumbentTimelineIsImprovingAndMonotone) {
+  const Model m = random_model(55, 12, 2, 6);
+  const MipResult r = solve(m);
+  if (!r.has_solution()) GTEST_SKIP() << "instance infeasible";
+  const auto& tl = r.stats.incumbent_timeline;
+  ASSERT_EQ(static_cast<long>(tl.size()), r.stats.incumbents);
+  ASSERT_FALSE(tl.empty());
+  for (size_t i = 1; i < tl.size(); ++i) {
+    EXPECT_LT(tl[i].objective, tl[i - 1].objective);
+    EXPECT_GE(tl[i].time_s, tl[i - 1].time_s);
+    EXPECT_GE(tl[i].nodes, tl[i - 1].nodes);
+  }
+  EXPECT_NEAR(tl.back().objective, r.objective, 1e-9);
+}
+
+TEST(SolverStress, TinyIterationBudgetEscalatesAndRecovers) {
+  // A 1-pivot budget forces the escalating retry path on essentially every
+  // node; the fix that restores the budget after each escalation must not
+  // change the final answer.
+  const Model m = random_model(3, 9, 1, 5);
+  SolveOptions normal;
+  const MipResult ref = solve(m, normal);
+
+  SolveOptions strangled = normal;
+  strangled.lp.max_iters = 1;
+  const MipResult r = solve(m, strangled);
+  ASSERT_EQ(r.status, ref.status);
+  if (ref.has_solution()) {
+    EXPECT_NEAR(r.objective, ref.objective, 1e-6 * std::max(1.0, std::abs(ref.objective)));
+  }
+  EXPECT_GE(r.stats.numerical_failures, 1);
+}
+
+TEST(SolverStress, StatsJsonContainsCounters) {
+  const Model m = random_model(9, 8, 0, 4);
+  const MipResult r = solve(m);
+  const std::string js = r.stats.to_json();
+  EXPECT_NE(js.find("\"nodes\""), std::string::npos);
+  EXPECT_NE(js.find("\"lp_iterations\""), std::string::npos);
+  EXPECT_NE(js.find("\"warm_start_hit_rate\""), std::string::npos);
+  EXPECT_NE(js.find("\"incumbent_timeline\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wnet::milp
