@@ -1,0 +1,373 @@
+// A/B harness for the incremental exploration pipeline.
+//
+// Runs the same K* ladder searches and robust repair loops twice — once
+// with fresh per-rung encodes (incremental = false) and once through the
+// IncrementalEncoder session (resumable Yen, delta-extended model, previous
+// incumbent as MIP start, previous objective as primal cutoff) — and checks
+// that both sides agree on chosen_k, objective and deployed architecture
+// while the incremental side actually reuses prior work. Prints per-
+// instance rows plus the geometric-mean wall-clock reduction.
+//
+// Modes:
+//   (default)          Full sweep: equivalence checks + timing table +
+//                      geomean speedups. Exits non-zero on any divergence.
+//   --smoke            Quick subset; checks equivalence, actual reuse
+//                      (reused_candidates > 0, MIP starts accepted) and
+//                      chosen_k/objective against a checked-in baseline.
+//                      Timing is reported but never gated (CI runs this).
+//   --write-baseline   Regenerates the baseline file at --baseline.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/explorer.h"
+#include "core/workloads/scenarios.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace wnet;
+using namespace wnet::archex;
+
+namespace {
+
+struct Case {
+  std::string name;
+  int total_nodes = 0;
+  int end_devices = 0;
+  int route_replicas = 1;
+  /// Paper-style K* selection ladder, sized per instance so every rung
+  /// proves optimality within the per-solve limit (a timed-out rung
+  /// measures incumbent luck, not pipeline work — see solver_profile's TO
+  /// handling).
+  std::vector<int> ladder;
+  bool smoke = true;  ///< included in the --smoke subset
+};
+
+std::vector<Case> build_cases(bool smoke_only) {
+  std::vector<Case> out;
+  out.push_back({"ladder-30x10", 30, 10, 1, {1, 2, 3, 4, 6, 8, 12, 16}, true});
+  out.push_back({"ladder-40x15-r2", 40, 15, 2, {1, 2, 3, 4, 6, 8}, true});
+  out.push_back({"ladder-50x20", 50, 20, 1, {1, 2, 3, 4, 6, 8}, true});
+  if (!smoke_only) {
+    out.push_back({"ladder-45x18", 45, 18, 1, {1, 2, 3, 4, 6, 8}, false});
+    out.push_back({"ladder-50x20-r2", 50, 20, 2, {1, 2, 3, 4, 6}, false});
+    out.push_back({"ladder-60x25-r2", 60, 25, 2, {1, 2, 3, 4, 6}, false});
+  }
+  return out;
+}
+
+/// Stable identity of a deployment: which template nodes are used, which
+/// concrete paths carry each (route, replica), and the deployed cost.
+/// Deliberately blind to the component *labels*: cost-equal components are
+/// interchangeable at a tied optimum, and a warm-started solve may settle a
+/// different (equally optimal) labeling than a cold one.
+std::string architecture_signature(const NetworkArchitecture& a) {
+  std::ostringstream os;
+  std::vector<int> used;
+  used.reserve(a.nodes.size());
+  for (const auto& n : a.nodes) used.push_back(n.node);
+  std::sort(used.begin(), used.end());  // decode order follows the tied labeling
+  for (int n : used) os << n << ";";
+  os << "|";
+  for (const auto& r : a.routes) {
+    os << r.route_index << "." << r.replica << "=";
+    for (int v : r.path.nodes) os << v << ",";
+    os << ";";
+  }
+  char cost[32];
+  std::snprintf(cost, sizeof(cost), "|%.6f", a.total_cost_usd);
+  os << cost;
+  return os.str();
+}
+
+bool objectives_match(double a, double b) {
+  return std::abs(a - b) <= 1e-6 * std::max(1.0, std::max(std::abs(a), std::abs(b)));
+}
+
+struct RunMeasure {
+  Explorer::KStarSearchResult result;
+  double wall_s = 0.0;
+  double encode_s = 0.0;   ///< summed over visited rungs
+  int reused = 0;          ///< summed reused_candidates over visited rungs
+  int mip_starts = 0;      ///< rungs whose solve accepted the MIP start
+};
+
+RunMeasure run_ladder(const workloads::Scenario& sc, const std::vector<int>& ladder,
+                      bool incremental, double time_limit_s) {
+  Explorer::KStarSearchOptions ko;
+  ko.ladder = ladder;
+  ko.incremental = incremental;
+  milp::SolveOptions so;
+  so.time_limit_s = time_limit_s;
+  const Explorer ex(*sc.tmpl, sc.spec);
+  RunMeasure m;
+  util::Stopwatch clock;
+  m.result = ex.search_k_star(ko, {}, so);
+  m.wall_s = clock.seconds();
+  for (const auto& [k, r] : m.result.trace) {
+    m.encode_s += r.encode_stats.encode_time_s;
+    m.reused += r.encode_stats.reused_candidates;
+    m.mip_starts += r.solve_stats.mip_start_used ? 1 : 0;
+  }
+  return m;
+}
+
+struct RobustMeasure {
+  Explorer::RobustExplorationResult result;
+  double wall_s = 0.0;
+};
+
+RobustMeasure run_robust(const workloads::Scenario& sc, bool incremental, double time_limit_s) {
+  Explorer::RobustExploreOptions ro;
+  ro.encoder.k_star = 4;
+  ro.solver.time_limit_s = time_limit_s;
+  ro.faults.seed = 3;
+  ro.faults.max_simultaneous_failures = 1;
+  ro.faults.fading_draws = 16;
+  ro.faults.fading_sigma_db = 2.0;
+  ro.time_budget_s = 10.0 * time_limit_s;
+  ro.max_repair_iterations = 6;
+  ro.incremental = incremental;
+  const Explorer ex(*sc.tmpl, sc.spec);
+  RobustMeasure m;
+  util::Stopwatch clock;
+  m.result = ex.explore_robust(ro);
+  m.wall_s = clock.seconds();
+  return m;
+}
+
+struct BaselineEntry {
+  std::string name;
+  int chosen_k = 0;
+  double objective = 0.0;
+};
+
+std::vector<BaselineEntry> load_baseline(const std::string& path) {
+  std::vector<BaselineEntry> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    char name[128] = {0};
+    BaselineEntry e;
+    if (std::sscanf(line.c_str(), "  {\"name\": \"%127[^\"]\", \"chosen_k\": %d, \"objective\": %lf",
+                    name, &e.chosen_k, &e.objective) == 3) {
+      e.name = name;
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+void write_baseline(const std::string& path, const std::vector<BaselineEntry>& entries) {
+  std::ofstream outf(path);
+  outf << "{\"instances\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  {\"name\": \"%s\", \"chosen_k\": %d, \"objective\": %.9g}%s\n",
+                  entries[i].name.c_str(), entries[i].chosen_k, entries[i].objective,
+                  i + 1 < entries.size() ? "," : "");
+    outf << line;
+  }
+  outf << "]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv,
+                   {{"time-limit", "60"},
+                    {"json", "0"},
+                    {"smoke", "0"},
+                    {"write-baseline", "0"},
+                    {"baseline", "bench/incremental_sweep_baseline.json"}});
+
+  const bool smoke = args.getb("smoke");
+  const bool write = args.getb("write-baseline");
+  const double tl = args.getd("time-limit");
+
+  const auto cases = build_cases(/*smoke_only=*/smoke || write);
+
+  util::Table table({"Instance", "chosen K*", "Obj", "Fresh (s)", "Incr (s)", "Speedup",
+                     "Fresh enc (s)", "Incr enc (s)", "Reused", "MIP starts"});
+  std::vector<BaselineEntry> measured;
+  double log_time_ratio = 0.0;
+  double log_encode_ratio = 0.0;
+  int compared = 0;
+  int encode_compared = 0;
+  int total_reused = 0;
+  int total_mip_starts = 0;
+  bool ok = true;
+
+  for (const auto& c : cases) {
+    workloads::ScalableConfig cfg;
+    cfg.total_nodes = c.total_nodes;
+    cfg.end_devices = c.end_devices;
+    cfg.route_replicas = c.route_replicas;
+    const auto sc = workloads::make_scalable(cfg);
+
+    const RunMeasure fresh = run_ladder(*sc, c.ladder, /*incremental=*/false, tl);
+    const RunMeasure incr = run_ladder(*sc, c.ladder, /*incremental=*/true, tl);
+
+    if (!fresh.result.best.has_solution() || !incr.result.best.has_solution()) {
+      std::fprintf(stderr, "FAIL %s: no solution (fresh %s, incremental %s)\n", c.name.c_str(),
+                   milp::to_string(fresh.result.best.status),
+                   milp::to_string(incr.result.best.status));
+      ok = false;
+      continue;
+    }
+    // Equivalence gate: when every visited rung proved optimality on both
+    // sides, the session must not change WHAT the ladder finds — only how
+    // fast it finds it. A timed-out rung reports incumbent luck rather
+    // than a proven optimum, so those instances only need the incremental
+    // side to be at least as good an anytime search.
+    const auto all_proved = [](const Explorer::KStarSearchResult& r) {
+      for (const auto& [k, er] : r.trace) {
+        if (er.status != milp::SolveStatus::kOptimal) return false;
+      }
+      return true;
+    };
+    const bool proved = all_proved(fresh.result) && all_proved(incr.result);
+    if (proved) {
+      if (incr.result.chosen_k != fresh.result.chosen_k) {
+        std::fprintf(stderr, "FAIL %s: chosen_k %d (incremental) != %d (fresh)\n", c.name.c_str(),
+                     incr.result.chosen_k, fresh.result.chosen_k);
+        ok = false;
+      }
+      if (!objectives_match(incr.result.best.objective, fresh.result.best.objective)) {
+        std::fprintf(stderr, "FAIL %s: objective %.9g (incremental) != %.9g (fresh)\n",
+                     c.name.c_str(), incr.result.best.objective, fresh.result.best.objective);
+        ok = false;
+      }
+      if (architecture_signature(incr.result.best.architecture) !=
+          architecture_signature(fresh.result.best.architecture)) {
+        std::fprintf(stderr, "FAIL %s: architectures diverge\n  fresh: %s\n  incr:  %s\n",
+                     c.name.c_str(), architecture_signature(fresh.result.best.architecture).c_str(),
+                     architecture_signature(incr.result.best.architecture).c_str());
+        ok = false;
+      }
+    } else if (incr.result.best.objective > fresh.result.best.objective +
+                                                1e-6 * std::max(1.0, std::abs(fresh.result.best.objective))) {
+      std::fprintf(stderr, "FAIL %s: timed out with worse incumbent (incremental %.9g vs fresh %.9g)\n",
+                   c.name.c_str(), incr.result.best.objective, fresh.result.best.objective);
+      ok = false;
+    }
+    total_reused += incr.reused;
+    total_mip_starts += incr.mip_starts;
+    if (proved) {
+      // Timed-out instances stay out of the baseline and the geomeans:
+      // their timings measure the limit, not the work.
+      measured.push_back({c.name, incr.result.chosen_k, incr.result.best.objective});
+      log_time_ratio += std::log(std::max(1e-4, fresh.wall_s) / std::max(1e-4, incr.wall_s));
+      log_encode_ratio += std::log(std::max(1e-5, fresh.encode_s) / std::max(1e-5, incr.encode_s));
+      ++compared;
+      ++encode_compared;
+    }
+    table.add_row({c.name, std::to_string(incr.result.chosen_k) + (proved ? "" : " TO"),
+                   util::fmt_double(incr.result.best.objective, 3), util::fmt_double(fresh.wall_s, 3),
+                   util::fmt_double(incr.wall_s, 3),
+                   util::fmt_double(fresh.wall_s / std::max(1e-4, incr.wall_s), 2) + "x",
+                   util::fmt_double(fresh.encode_s, 3), util::fmt_double(incr.encode_s, 3),
+                   std::to_string(incr.reused), std::to_string(incr.mip_starts)});
+    if (args.getb("json")) {
+      std::printf("{\"instance\": \"%s\", \"fresh_s\": %.6f, \"incremental_s\": %.6f, "
+                  "\"reused_candidates\": %d, \"mip_starts\": %d, \"incremental\": %s}\n",
+                  c.name.c_str(), fresh.wall_s, incr.wall_s, incr.reused, incr.mip_starts,
+                  incr.result.best.solver_json().c_str());
+    }
+  }
+
+  // Robust repair loop A/B on the smallest case: kAvoid hardenings append
+  // in place instead of re-encoding, and the trajectory must not change.
+  {
+    workloads::ScalableConfig cfg;
+    cfg.total_nodes = 30;
+    cfg.end_devices = 10;
+    cfg.route_replicas = 1;
+    const auto sc = workloads::make_scalable(cfg);
+    const RobustMeasure fresh = run_robust(*sc, /*incremental=*/false, tl);
+    const RobustMeasure incr = run_robust(*sc, /*incremental=*/true, tl);
+    if (fresh.result.best.has_solution() && incr.result.best.has_solution()) {
+      if (incr.result.robust != fresh.result.robust ||
+          !objectives_match(incr.result.best.objective, fresh.result.best.objective)) {
+        std::fprintf(stderr,
+                     "FAIL repair-30x10: trajectories diverge (robust %d vs %d, obj %.9g vs %.9g)\n",
+                     incr.result.robust, fresh.result.robust, incr.result.best.objective,
+                     fresh.result.best.objective);
+        ok = false;
+      }
+      // The repair row gates equivalence only: its wall clock is dominated
+      // by fault campaigns and hardened solves, which the session cannot
+      // shrink — only the per-iteration re-encode goes away.
+      measured.push_back({"repair-30x10", incr.result.iterations, incr.result.best.objective});
+      table.add_row({"repair-30x10", "-", util::fmt_double(incr.result.best.objective, 3),
+                     util::fmt_double(fresh.wall_s, 3), util::fmt_double(incr.wall_s, 3),
+                     util::fmt_double(fresh.wall_s / std::max(1e-4, incr.wall_s), 2) + "x",
+                     "-", "-", "-", "-"});
+    } else {
+      std::fprintf(stderr, "FAIL repair-30x10: no solution on one side\n");
+      ok = false;
+    }
+  }
+
+  if (total_reused <= 0) {
+    std::fprintf(stderr, "FAIL: incremental runs reused no candidates — sessions degenerated "
+                         "into rebuild-every-rung\n");
+    ok = false;
+  }
+  if (total_mip_starts <= 0) {
+    std::fprintf(stderr, "FAIL: no rung accepted a carried MIP start\n");
+    ok = false;
+  }
+
+  if (write) {
+    write_baseline(args.gets("baseline"), measured);
+    std::printf("baseline written: %s (%zu instances)\n", args.gets("baseline").c_str(),
+                measured.size());
+    return ok ? 0 : 1;
+  }
+  if (smoke) {
+    const auto baseline = load_baseline(args.gets("baseline"));
+    if (baseline.empty()) {
+      std::fprintf(stderr, "FAIL: baseline %s missing or unreadable\n", args.gets("baseline").c_str());
+      return 1;
+    }
+    for (const auto& m : measured) {
+      const BaselineEntry* base = nullptr;
+      for (const auto& b : baseline) {
+        if (b.name == m.name) base = &b;
+      }
+      if (base == nullptr) {
+        std::fprintf(stderr, "FAIL %s: not in baseline\n", m.name.c_str());
+        ok = false;
+        continue;
+      }
+      if (m.chosen_k != base->chosen_k || !objectives_match(m.objective, base->objective)) {
+        std::fprintf(stderr, "FAIL %s: chosen_k/objective %d/%.9g != baseline %d/%.9g\n",
+                     m.name.c_str(), m.chosen_k, m.objective, base->chosen_k, base->objective);
+        ok = false;
+      } else {
+        std::printf("ok %-16s chosen_k %d obj %.6g\n", m.name.c_str(), m.chosen_k, m.objective);
+      }
+    }
+    std::printf(ok ? "smoke: PASS\n" : "smoke: FAIL\n");
+    return ok ? 0 : 1;
+  }
+
+  bench::print_table("Incremental exploration pipeline: fresh vs session re-use", table);
+  if (compared > 0) {
+    std::printf("geomean wall-clock reduction (fresh/incremental), %d ladder runs: %.2fx\n",
+                compared, std::exp(log_time_ratio / compared));
+    std::printf("geomean encode-time reduction, %d ladder runs: %.2fx\n", encode_compared,
+                std::exp(log_encode_ratio / std::max(1, encode_compared)));
+  }
+  std::printf("total reused candidates: %d, accepted MIP starts: %d\n", total_reused,
+              total_mip_starts);
+  return ok ? 0 : 1;
+}

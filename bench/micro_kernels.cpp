@@ -52,6 +52,30 @@ void BM_YenKShortest(benchmark::State& state) {
 }
 BENCHMARK(BM_YenKShortest)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
 
+void BM_YenResume(benchmark::State& state) {
+  // The K* ladder workload: grow the candidate set 5 -> K. The resumable
+  // enumerator derives only the K-5 new paths; compare with BM_YenRestart,
+  // which re-enumerates from scratch like a fresh encode would.
+  const auto g = make_grid(12);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    graph::YenEnumerator en(g, 0, g.num_nodes() - 1);
+    en.next_batch(5);
+    benchmark::DoNotOptimize(en.next_batch(k));
+  }
+}
+BENCHMARK(BM_YenResume)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_YenRestart(benchmark::State& state) {
+  const auto g = make_grid(12);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::yen_k_shortest(g, 0, g.num_nodes() - 1, 5));
+    benchmark::DoNotOptimize(graph::yen_k_shortest(g, 0, g.num_nodes() - 1, k));
+  }
+}
+BENCHMARK(BM_YenRestart)->Arg(10)->Arg(20)->Arg(40);
+
 void BM_MultiWallPathLoss(benchmark::State& state) {
   const auto plan = geom::make_office_floor(80, 45, 8);
   const channel::MultiWallModel model(2.4e9, 2.8, plan);
@@ -83,6 +107,61 @@ void BM_LuFactorize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LuFactorize)->Arg(100)->Arg(500)->Arg(2000);
+
+/// Block-tridiagonal basis (16-row blocks): the dependency chain of a unit
+/// right-hand side stays inside one block, the shape the encoder's
+/// per-node / per-edge rows give the simplex bases. A dense ftran still
+/// sweeps all m positions; the hyper-sparse path only walks the block.
+milp::simplex::BasisLu make_block_lu(int m) {
+  constexpr int kBlock = 16;
+  milp::simplex::SparseMatrix a(m, m);
+  for (int j = 0; j < m; ++j) {
+    std::vector<milp::simplex::Entry> col{{j, 4.0 + (j % 3)}};
+    if (j > 0 && j % kBlock != 0) col.push_back({j - 1, -1.0});
+    if (j + 1 < m && (j + 1) % kBlock != 0) col.push_back({j + 1, -0.5});
+    std::sort(col.begin(), col.end(), [](auto& l, auto& r) { return l.row < r.row; });
+    a.set_column(j, std::move(col));
+  }
+  std::vector<int> basis(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) basis[static_cast<size_t>(i)] = i;
+  milp::simplex::BasisLu lu;
+  lu.factorize(a, basis);
+  return lu;
+}
+
+void BM_FtranDenseUnitRhs(benchmark::State& state) {
+  // Single-nonzero right-hand sides are the common case in dual simplex
+  // (entering columns with one structural coefficient, bound flips). The
+  // dense ftran sweeps all m positions regardless.
+  const int m = static_cast<int>(state.range(0));
+  const auto lu = make_block_lu(m);
+  std::vector<double> x(static_cast<size_t>(m), 0.0);
+  int row = 0;
+  for (auto _ : state) {
+    std::fill(x.begin(), x.end(), 0.0);
+    x[static_cast<size_t>(row)] = 1.25;
+    lu.ftran(x);
+    benchmark::DoNotOptimize(x.data());
+    row = (row + 17) % m;
+  }
+}
+BENCHMARK(BM_FtranDenseUnitRhs)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_FtranUnit(benchmark::State& state) {
+  // The hyper-sparse path: reachability-guided, touches only the nonzero
+  // pattern. Bitwise-identical results (see lu_test.cpp).
+  const int m = static_cast<int>(state.range(0));
+  const auto lu = make_block_lu(m);
+  std::vector<double> x(static_cast<size_t>(m), 0.0);
+  int row = 0;
+  for (auto _ : state) {
+    std::fill(x.begin(), x.end(), 0.0);
+    lu.ftran_unit(x, row, 1.25);
+    benchmark::DoNotOptimize(x.data());
+    row = (row + 17) % m;
+  }
+}
+BENCHMARK(BM_FtranUnit)->Arg(100)->Arg(500)->Arg(2000);
 
 void BM_DualSimplexTransport(benchmark::State& state) {
   // Transportation LP: s suppliers x s consumers.

@@ -17,6 +17,11 @@ struct EncodeStats {
   size_t nonzeros = 0;
   double encode_time_s = 0.0;
   int candidate_paths = 0;  ///< approx mode: total Yen candidates kept
+
+  // Incremental-session telemetry (IncrementalEncoder; zero for fresh
+  // one-shot encodes).
+  int reused_candidates = 0;         ///< candidates carried over from the previous rung
+  double delta_encode_time_s = 0.0;  ///< time spent appending the delta (not rebuilding)
 };
 
 /// One Yen candidate kept by Algorithm 1: a concrete loopless path plus the

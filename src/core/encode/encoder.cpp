@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <tuple>
 #include <stdexcept>
+#include <utility>
 
 #include "channel/link_metrics.h"
 #include "graph/connectivity.h"
@@ -67,6 +69,13 @@ class Build {
       : t_(tmpl), s_(spec), o_(opts), g_(tmpl.build_graph()) {}
 
   EncodedProblem run() {
+    execute();
+    return std::move(p_);
+  }
+
+  /// Full build, leaving the problem (and the resumable bookkeeping) inside
+  /// the builder so an incremental session can delta-extend it later.
+  void execute() {
     util::Stopwatch clock;
     collect_margins();
     determine_scope();
@@ -77,15 +86,68 @@ class Build {
     emit_energy();
     emit_localization();
     emit_objective();
+    encoded_k_ = o_.k_star;
+    refresh_stats();
+    p_.stats.encode_time_s = clock.seconds();
+    p_.stats.reused_candidates = 0;
+    p_.stats.delta_encode_time_s = 0.0;
+  }
+
+  [[nodiscard]] EncodedProblem& problem() { return p_; }
+
+  /// Delta-extends an approximate encoding from the last encoded K* to
+  /// `new_k`, appending only new candidates, variables and rows. Returns
+  /// false when the delta cannot reproduce a fresh encode at `new_k`
+  /// exactly (the caller then rebuilds from scratch):
+  ///  - the disjoint-disconnect step would remove a different path, shifting
+  ///    a later replica's base graph;
+  ///  - a previously-empty (route, replica) group or unsatisfiable kAvoid
+  ///    hardening gains compliant candidates (their explicit-infeasibility
+  ///    zero variables would no longer exist in a fresh encode);
+  ///  - a relay-cover cut's minimum drops to zero (a fresh encode omits the
+  ///    row entirely).
+  /// On success, `new_var_defaults_` holds one all-off default per appended
+  /// variable, in variable-id order.
+  bool extend_to_k(int new_k);
+
+  /// Appends rows for o_.hardening[first..] (all must be kAvoid): same rows
+  /// a fresh encode would emit, over the current candidate set.
+  void append_avoid_hardenings(size_t first);
+
+  /// Extends an assignment for the model as it stood before the last
+  /// successful extend_to_k: appended selectors/mappings/edges go to 0 and
+  /// each appended RSS variable is solved from its own equality row (it may
+  /// reference mapping variables that are active in `prev`). Returns empty
+  /// when `prev` does not match the pre-delta variable count.
+  [[nodiscard]] std::vector<double> extend_assignment(const std::vector<double>& prev) const {
+    if (prev.size() + new_var_defaults_.size() != static_cast<size_t>(p_.model.num_vars())) {
+      return {};
+    }
+    std::vector<double> out = prev;
+    out.insert(out.end(), new_var_defaults_.begin(), new_var_defaults_.end());
+    for (const EdgeKey& key : delta_edges_) {
+      const Var rss = p_.rss.at(key);
+      const auto& cn = p_.model.constrs()[static_cast<size_t>(rss_row_.at(key))];
+      // Row is  sum(gains * m) - rss = rhs  =>  rss = sum - rhs.
+      double sum = 0.0;
+      for (const auto& [v, c] : cn.expr.terms()) {
+        if (v.id == rss.id) continue;
+        sum += c * out[static_cast<size_t>(v.id)];
+      }
+      out[static_cast<size_t>(rss.id)] = sum - cn.rhs;
+    }
+    return out;
+  }
+
+  [[nodiscard]] int encoded_k() const { return encoded_k_; }
+
+ private:
+  void refresh_stats() {
     p_.stats.num_vars = p_.model.num_vars();
     p_.stats.num_constrs = p_.model.num_constrs();
     p_.stats.nonzeros = p_.model.num_nonzeros();
-    p_.stats.encode_time_s = clock.seconds();
     p_.stats.candidate_paths = static_cast<int>(p_.candidates.size());
-    return std::move(p_);
   }
-
- private:
   // ----------------------------------------------------------- hardening
   /// Folds kMargin hardenings into one per-link headroom map (max wins),
   /// consulted by both the LQ prefilter and the LQ implication.
@@ -120,11 +182,15 @@ class Build {
   /// the route's compliant candidate selectors; in full mode an indicator
   /// per replica certifies its x^pi touches nothing forbidden.
   void emit_hardening() {
-    int idx = 0;
-    for (const auto& hc : o_.hardening) {
-      const std::string tag = "harden" + std::to_string(idx++);
-      if (hc.kind != HardeningConstraint::Kind::kAvoid) continue;
-      if (hc.route_index < 0 || hc.route_index >= static_cast<int>(s_.routes.size())) continue;
+    for (size_t hi = 0; hi < o_.hardening.size(); ++hi) emit_one_hardening(hi);
+  }
+
+  void emit_one_hardening(size_t hi) {
+    const auto& hc = o_.hardening[hi];
+    const std::string tag = "harden" + std::to_string(hi);
+    {
+      if (hc.kind != HardeningConstraint::Kind::kAvoid) return;
+      if (hc.route_index < 0 || hc.route_index >= static_cast<int>(s_.routes.size())) return;
 
       if (o_.mode == EncoderOptions::PathMode::kApprox) {
         LinExpr ok;
@@ -143,7 +209,8 @@ class Build {
           p_.model.set_bounds(zero, 0.0, 0.0);
           ok += LinExpr(zero);
         }
-        p_.model.add_ge(std::move(ok), 1.0, tag);
+        const int row = p_.model.add_ge(std::move(ok), 1.0, tag);
+        avoid_rows_.push_back({hi, row, !any});
       } else {
         LinExpr ok;
         for (size_t pi = 0; pi < p_.full_path_edges.size(); ++pi) {
@@ -207,23 +274,72 @@ class Build {
     int replica;
   };
 
+  /// Resumable Yen state for one (route, replica) group: the enumerator
+  /// keeps the accepted list and candidate pool alive across K* rungs, so a
+  /// later extend_to_k only derives the new paths.
+  struct RepState {
+    std::unique_ptr<graph::YenEnumerator> en;
+    size_t consumed = 0;  ///< raw (pre-hop-filter) paths already taken
+    /// Edges disconnected before this replica started, sorted. A delta is
+    /// only valid if replaying the disconnect step over the extended batches
+    /// bans exactly the same edges — otherwise a fresh encode would have run
+    /// this replica's Yen on a different graph.
+    std::vector<graph::EdgeId> banned_before;
+  };
+  struct RouteState {
+    std::vector<RepState> reps;
+    int k_per_rep = 0;
+  };
+
+  /// From the *filtered* batch of one replica group, the edges that
+  /// DisconnectMinDisjointPath removes before the next group (the path
+  /// sharing the most edges with its batch; first max wins).
+  [[nodiscard]] static std::vector<graph::EdgeId> disconnect_edges(
+      const std::vector<Path>& paths) {
+    size_t worst = 0;
+    int worst_shared = -1;
+    for (size_t a = 0; a < paths.size(); ++a) {
+      int shared = 0;
+      for (size_t b = 0; b < paths.size(); ++b) {
+        if (a != b) shared += graph::shared_edges(paths[a], paths[b]);
+      }
+      if (shared > worst_shared) {
+        worst_shared = shared;
+        worst = a;
+      }
+    }
+    return paths[worst].edges;
+  }
+
+  [[nodiscard]] std::vector<Path> hop_filtered(std::vector<Path> paths, int ri) const {
+    const auto& route = s_.routes[static_cast<size_t>(ri)];
+    if (route.max_hops) {
+      std::erase_if(paths, [&](const Path& p) { return p.hops() > *route.max_hops; });
+    }
+    return paths;
+  }
+
   /// Yen batches for one route, on a private copy of the prefiltered graph
   /// (DisconnectMinDisjointPath mutates weights between replica groups).
   /// Pure apart from the copy, so routes can run on any thread.
-  [[nodiscard]] std::vector<PendingCandidate> route_candidates(const Digraph& base,
-                                                               int ri) const {
+  [[nodiscard]] std::pair<std::vector<PendingCandidate>, RouteState> route_candidates(
+      const Digraph& base, int ri) const {
     std::vector<PendingCandidate> out;
+    RouteState st;
     Digraph work = base;
+    std::vector<graph::EdgeId> banned;  // cumulative, sorted
     const auto& route = s_.routes[static_cast<size_t>(ri)];
     const int nrep = std::max(1, route.replicas);
     // BalanceData: split K* into Nrep groups of K with Nrep*K >= K*.
-    const int k_per_rep = std::max(1, (o_.k_star + nrep - 1) / nrep);
+    st.k_per_rep = std::max(1, (o_.k_star + nrep - 1) / nrep);
 
     for (int rep = 0; rep < nrep; ++rep) {
-      auto paths = graph::yen_k_shortest(work, route.source, route.dest, k_per_rep);
-      if (route.max_hops) {
-        std::erase_if(paths, [&](const Path& p) { return p.hops() > *route.max_hops; });
-      }
+      RepState rp;
+      rp.banned_before = banned;
+      rp.en = std::make_unique<graph::YenEnumerator>(work, route.source, route.dest);
+      auto paths = hop_filtered(rp.en->next_batch(st.k_per_rep), ri);
+      rp.consumed = rp.en->accepted().size();
+      st.reps.push_back(std::move(rp));
       for (const Path& p : paths) {
         out.push_back({p, ri, rep});
       }
@@ -231,22 +347,15 @@ class Build {
       if (rep + 1 < nrep && !paths.empty()) {
         // DisconnectMinDisjointPath: remove the path sharing the most
         // edges with its batch so the next group starts fresh.
-        size_t worst = 0;
-        int worst_shared = -1;
-        for (size_t a = 0; a < paths.size(); ++a) {
-          int shared = 0;
-          for (size_t b = 0; b < paths.size(); ++b) {
-            if (a != b) shared += graph::shared_edges(paths[a], paths[b]);
-          }
-          if (shared > worst_shared) {
-            worst_shared = shared;
-            worst = a;
-          }
+        for (graph::EdgeId e : disconnect_edges(paths)) {
+          work.set_weight(e, graph::kInfWeight);
+          banned.push_back(e);
         }
-        for (graph::EdgeId e : paths[worst].edges) work.set_weight(e, graph::kInfWeight);
+        std::sort(banned.begin(), banned.end());
+        banned.erase(std::unique(banned.begin(), banned.end()), banned.end());
       }
     }
-    return out;
+    return {std::move(out), std::move(st)};
   }
 
   void generate_candidates() {
@@ -269,11 +378,12 @@ class Build {
     // back in route order, so the candidate list (and every variable name
     // and constraint downstream) is identical for any thread count.
     const util::ParallelExecutor exec(o_.threads);
-    auto per_route = exec.map<std::vector<PendingCandidate>>(
+    auto per_route = exec.map<std::pair<std::vector<PendingCandidate>, RouteState>>(
         static_cast<int>(s_.routes.size()),
         [&](int ri) { return route_candidates(base, ri); });
-    for (auto& batch : per_route) {
+    for (auto& [batch, st] : per_route) {
       for (auto& pc : batch) pending_candidates_.push_back(std::move(pc));
+      route_states_.push_back(std::move(st));
     }
   }
 
@@ -286,22 +396,24 @@ class Build {
 
   void emit_sizing() {
     p_.node_used.assign(static_cast<size_t>(t_.num_nodes()), Var{});
-    for (int i : node_in_scope_) {
-      const auto& nd = t_.node(i);
-      const Var u = p_.model.add_binary("u_" + nd.name);
-      p_.model.set_branch_priority(u, 1);
-      p_.node_used[static_cast<size_t>(i)] = u;
-      if (nd.kind == NodeKind::kFixed) p_.model.set_bounds(u, 1.0, 1.0);
+    for (int i : node_in_scope_) emit_sizing_node(i);
+  }
 
-      LinExpr sum;
-      for (int c : compatible_components(i)) {
-        const Var m = p_.model.add_binary("m_" + t_.library().at(c).name + "_" + nd.name);
-        p_.mapping[{c, i}] = m;
-        sum += LinExpr(m);
-      }
-      sum -= LinExpr(u);
-      p_.model.add_eq(std::move(sum), 0.0, "sizing_" + nd.name);
+  void emit_sizing_node(int i) {
+    const auto& nd = t_.node(i);
+    const Var u = p_.model.add_binary("u_" + nd.name);
+    p_.model.set_branch_priority(u, 1);
+    p_.node_used[static_cast<size_t>(i)] = u;
+    if (nd.kind == NodeKind::kFixed) p_.model.set_bounds(u, 1.0, 1.0);
+
+    LinExpr sum;
+    for (int c : compatible_components(i)) {
+      const Var m = p_.model.add_binary("m_" + t_.library().at(c).name + "_" + nd.name);
+      p_.mapping[{c, i}] = m;
+      sum += LinExpr(m);
     }
+    sum -= LinExpr(u);
+    p_.model.add_eq(std::move(sum), 0.0, "sizing_" + nd.name);
   }
 
   // ------------------------------------------------------ edges and paths
@@ -362,9 +474,11 @@ class Build {
           const Var zero = p_.model.add_binary("no_candidate");
           p_.model.set_bounds(zero, 0.0, 0.0);
           any += LinExpr(zero);
+          group_unsat_.insert({static_cast<int>(ri), rep});
         }
-        p_.model.add_eq(std::move(any), 1.0,
-                        "route" + std::to_string(ri) + "_rep" + std::to_string(rep));
+        group_row_[{static_cast<int>(ri), rep}] =
+            p_.model.add_eq(std::move(any), 1.0,
+                            "route" + std::to_string(ri) + "_rep" + std::to_string(rep));
       }
     }
 
@@ -387,15 +501,15 @@ class Build {
     }
     for (auto& [key, expr] : group_edge) {
       expr -= LinExpr(p_.edge_active.at({std::get<2>(key), std::get<3>(key)}));
-      p_.model.add_le(std::move(expr), 0.0);  // group path mass <= e
+      group_edge_row_[key] = p_.model.add_le(std::move(expr), 0.0);  // group path mass <= e
     }
     for (auto& [key, expr] : group_node) {
       expr -= LinExpr(p_.node_used[static_cast<size_t>(std::get<2>(key))]);
-      p_.model.add_le(std::move(expr), 0.0);  // group path mass <= u
+      group_node_row_[key] = p_.model.add_le(std::move(expr), 0.0);  // group path mass <= u
     }
     for (auto& [key, expr] : users) {
       expr -= LinExpr(p_.edge_active.at(key));
-      p_.model.add_ge(std::move(expr), 0.0);  // e <= sum of users
+      users_row_[key] = p_.model.add_ge(std::move(expr), 0.0);  // e <= sum of users
     }
 
     // Relay-cover cuts: whichever candidate a group picks, it deploys at
@@ -404,10 +518,9 @@ class Build {
     // but lifts the LP bound (fractional path mass can no longer spread
     // relay usage below the unavoidable minimum).
     {
-      std::map<std::pair<int, int>, std::pair<std::set<int>, int>> cover;  // -> (union, h)
       for (const auto& c : p_.candidates) {
-        auto [it, fresh] = cover.try_emplace({c.route_index, c.replica},
-                                             std::set<int>{}, INT32_MAX);
+        auto [it, fresh] = cover_data_.try_emplace({c.route_index, c.replica},
+                                                   std::set<int>{}, INT32_MAX);
         int relays = 0;
         for (int v : c.path.nodes) {
           if (t_.node(v).kind == NodeKind::kFixed) continue;
@@ -416,12 +529,13 @@ class Build {
         }
         it->second.second = std::min(it->second.second, relays);
       }
-      for (const auto& [key, uc] : cover) {
+      for (const auto& [key, uc] : cover_data_) {
         if (uc.second <= 0 || uc.first.empty()) continue;
         LinExpr sum;
         for (int v : uc.first) sum += LinExpr(p_.node_used[static_cast<size_t>(v)]);
-        p_.model.add_ge(std::move(sum), static_cast<double>(uc.second),
-                        "cover_r" + std::to_string(key.first) + "_" + std::to_string(key.second));
+        cover_row_[key] = p_.model.add_ge(
+            std::move(sum), static_cast<double>(uc.second),
+            "cover_r" + std::to_string(key.first) + "_" + std::to_string(key.second));
       }
     }
 
@@ -542,50 +656,52 @@ class Build {
   void finalize_node_upper_links() {
     for (auto& [i, users] : node_users_) {
       users -= LinExpr(p_.node_used[static_cast<size_t>(i)]);
-      p_.model.add_ge(std::move(users), 0.0, "used_ub_" + t_.node(i).name);
+      used_ub_row_[i] = p_.model.add_ge(std::move(users), 0.0, "used_ub_" + t_.node(i).name);
     }
     node_users_.clear();
   }
 
   // --------------------------------------------------------- link quality
   void emit_link_quality() {
-    const auto rss_floor = s_.min_rss_dbm();
-    for (const auto& [key, e] : p_.edge_active) {
-      const auto [i, j] = key;
-      const double pl = t_.path_loss_db(i, j);
-      // RSS = -PL + sum_c m_ci (tx_c + g_c) + sum_c m_cj g_c  (2a).
-      LinExpr rhs = LinExpr(-pl);
-      double lo = -pl;
-      double hi = -pl;
-      double tx_lo = milp::kInf, tx_hi = -milp::kInf;
-      for (int c : compatible_components(i)) {
-        const Component& comp = t_.library().at(c);
-        const double gain = comp.tx_power_dbm + comp.antenna_gain_dbi;
-        rhs += gain * LinExpr(p_.mapping.at({c, i}));
-        tx_lo = std::min(tx_lo, gain);
-        tx_hi = std::max(tx_hi, gain);
-      }
-      double rx_lo = milp::kInf, rx_hi = -milp::kInf;
-      for (int c : compatible_components(j)) {
-        const double gain = t_.library().at(c).antenna_gain_dbi;
-        rhs += gain * LinExpr(p_.mapping.at({c, j}));
-        rx_lo = std::min(rx_lo, gain);
-        rx_hi = std::max(rx_hi, gain);
-      }
-      lo += std::min(tx_lo, 0.0) + std::min(rx_lo, 0.0);
-      hi += std::max(tx_hi, 0.0) + std::max(rx_hi, 0.0);
+    for (const auto& [key, e] : p_.edge_active) emit_lq_edge(key, e);
+  }
 
-      const Var rss = p_.model.add_continuous(
-          "rss_" + t_.node(i).name + "_" + t_.node(j).name, lo, hi);
-      p_.rss[key] = rss;
-      rhs -= LinExpr(rss);
-      p_.model.add_eq(std::move(rhs), 0.0);
-      // (2b): active link must clear the bound, plus any fading-hardening
-      // headroom the repair loop demanded for this link.
-      if (rss_floor) {
-        milp::imply_ge(p_.model, e, LinExpr(rss), *rss_floor + margin_for(i, j),
-                       "lq_" + t_.node(i).name + "_" + t_.node(j).name);
-      }
+  void emit_lq_edge(const EdgeKey& key, Var e) {
+    const auto rss_floor = s_.min_rss_dbm();
+    const auto [i, j] = key;
+    const double pl = t_.path_loss_db(i, j);
+    // RSS = -PL + sum_c m_ci (tx_c + g_c) + sum_c m_cj g_c  (2a).
+    LinExpr rhs = LinExpr(-pl);
+    double lo = -pl;
+    double hi = -pl;
+    double tx_lo = milp::kInf, tx_hi = -milp::kInf;
+    for (int c : compatible_components(i)) {
+      const Component& comp = t_.library().at(c);
+      const double gain = comp.tx_power_dbm + comp.antenna_gain_dbi;
+      rhs += gain * LinExpr(p_.mapping.at({c, i}));
+      tx_lo = std::min(tx_lo, gain);
+      tx_hi = std::max(tx_hi, gain);
+    }
+    double rx_lo = milp::kInf, rx_hi = -milp::kInf;
+    for (int c : compatible_components(j)) {
+      const double gain = t_.library().at(c).antenna_gain_dbi;
+      rhs += gain * LinExpr(p_.mapping.at({c, j}));
+      rx_lo = std::min(rx_lo, gain);
+      rx_hi = std::max(rx_hi, gain);
+    }
+    lo += std::min(tx_lo, 0.0) + std::min(rx_lo, 0.0);
+    hi += std::max(tx_hi, 0.0) + std::max(rx_hi, 0.0);
+
+    const Var rss = p_.model.add_continuous(
+        "rss_" + t_.node(i).name + "_" + t_.node(j).name, lo, hi);
+    p_.rss[key] = rss;
+    rhs -= LinExpr(rss);
+    rss_row_[key] = p_.model.add_eq(std::move(rhs), 0.0);
+    // (2b): active link must clear the bound, plus any fading-hardening
+    // headroom the repair loop demanded for this link.
+    if (rss_floor) {
+      milp::imply_ge(p_.model, e, LinExpr(rss), *rss_floor + margin_for(i, j),
+                     "lq_" + t_.node(i).name + "_" + t_.node(j).name);
     }
   }
 
@@ -606,14 +722,59 @@ class Build {
     return channel::etx_from_snr(s_.radio.modulation, snr, s_.radio.tdma.packet_bytes);
   }
 
-  void emit_energy() {
-    if (!s_.lifetime && s_.objective.weight_energy == 0.0) return;
-    const radio::TdmaConfig& tdma = s_.radio.tdma;
-    tdma.validate();
+  [[nodiscard]] bool energy_enabled() const {
+    return s_.lifetime || s_.objective.weight_energy != 0.0;
+  }
 
+  [[nodiscard]] double energy_fmax() const {
     int total_paths = 0;
     for (const auto& r : s_.routes) total_paths += std::max(1, r.replicas);
-    const double fmax = std::max(1, total_paths) * 100.0;  // ETX-weighted cap
+    return std::max(1, total_paths) * 100.0;  // ETX-weighted cap
+  }
+
+  /// TX / RX ETX weights one candidate's path induces on node i.
+  [[nodiscard]] std::pair<double, double> candidate_traffic(const Path& path, int i) const {
+    double tx_w = 0.0, rx_w = 0.0;
+    for (size_t k = 0; k + 1 < path.nodes.size(); ++k) {
+      if (path.nodes[k] == i) tx_w += etx_for_edge(i, path.nodes[k + 1]);
+      if (path.nodes[k + 1] == i) rx_w += etx_for_edge(path.nodes[k], i);
+    }
+    return {tx_w, rx_w};
+  }
+
+  /// Creates ftx/frx for node i and ties them to the routing mass in
+  /// tx_expr/rx_expr (equality rows recorded for incremental widening),
+  /// plus the per-component lifetime implications.
+  void emit_energy_node(int i, LinExpr tx_expr, LinExpr rx_expr) {
+    const auto& nd = t_.node(i);
+    const double fmax = energy_fmax();
+    const Var ftx = p_.model.add_continuous("ftx_" + nd.name, 0.0, fmax);
+    const Var frx = p_.model.add_continuous("frx_" + nd.name, 0.0, fmax);
+    tx_expr -= LinExpr(ftx);
+    rx_expr -= LinExpr(frx);
+    const int tx_row = p_.model.add_eq(std::move(tx_expr), 0.0);
+    const int rx_row = p_.model.add_eq(std::move(rx_expr), 0.0);
+    node_traffic_vars_[i] = {ftx, frx};
+    traffic_rows_[i] = {tx_row, rx_row};
+
+    if (s_.lifetime) {
+      // (3a): per admitted component, charge per cycle within budget.
+      const radio::TdmaConfig& tdma = s_.radio.tdma;
+      const double battery_mas = s_.lifetime->battery_mah * 3600.0;
+      const double cap = battery_mas * tdma.report_period_s /
+                         (s_.lifetime->min_years * radio::kSecondsPerYear);
+      for (int c : compatible_components(i)) {
+        const auto cc = charge_coefs(t_.library().at(c), s_.radio);
+        milp::imply_le(p_.model, p_.mapping.at({c, i}),
+                       cc.a_tx * LinExpr(ftx) + cc.b_rx * LinExpr(frx), cap - cc.s0,
+                       "life_" + t_.library().at(c).name + "_" + nd.name);
+      }
+    }
+  }
+
+  void emit_energy() {
+    if (!energy_enabled()) return;
+    s_.radio.tdma.validate();
 
     for (int i : node_in_scope_) {
       const auto& nd = t_.node(i);
@@ -624,11 +785,7 @@ class Build {
       bool touched = false;
       if (o_.mode == EncoderOptions::PathMode::kApprox) {
         for (const auto& c : p_.candidates) {
-          double tx_w = 0.0, rx_w = 0.0;
-          for (size_t k = 0; k + 1 < c.path.nodes.size(); ++k) {
-            if (c.path.nodes[k] == i) tx_w += etx_for_edge(i, c.path.nodes[k + 1]);
-            if (c.path.nodes[k + 1] == i) rx_w += etx_for_edge(c.path.nodes[k], i);
-          }
+          const auto [tx_w, rx_w] = candidate_traffic(c.path, i);
           if (tx_w > 0) tx_expr += tx_w * LinExpr(c.selector);
           if (rx_w > 0) rx_expr += rx_w * LinExpr(c.selector);
           touched = touched || tx_w > 0 || rx_w > 0;
@@ -648,27 +805,7 @@ class Build {
         }
       }
       if (!touched && s_.objective.weight_energy == 0.0) continue;
-
-      const Var ftx = p_.model.add_continuous("ftx_" + nd.name, 0.0, fmax);
-      const Var frx = p_.model.add_continuous("frx_" + nd.name, 0.0, fmax);
-      tx_expr -= LinExpr(ftx);
-      rx_expr -= LinExpr(frx);
-      p_.model.add_eq(std::move(tx_expr), 0.0);
-      p_.model.add_eq(std::move(rx_expr), 0.0);
-      node_traffic_vars_[i] = {ftx, frx};
-
-      if (s_.lifetime) {
-        // (3a): per admitted component, charge per cycle within budget.
-        const double battery_mas = s_.lifetime->battery_mah * 3600.0;
-        const double cap = battery_mas * tdma.report_period_s /
-                           (s_.lifetime->min_years * radio::kSecondsPerYear);
-        for (int c : compatible_components(i)) {
-          const auto cc = charge_coefs(t_.library().at(c), s_.radio);
-          milp::imply_le(p_.model, p_.mapping.at({c, i}),
-                         cc.a_tx * LinExpr(ftx) + cc.b_rx * LinExpr(frx), cap - cc.s0,
-                         "life_" + t_.library().at(c).name + "_" + nd.name);
-        }
-      }
+      emit_energy_node(i, std::move(tx_expr), std::move(rx_expr));
     }
   }
 
@@ -738,7 +875,37 @@ class Build {
   }
 
   // ----------------------------------------------------------- objective
+  /// q_i >= charge-per-cycle of the admitted component; feeds the energy
+  /// objective term. Split from rebuild_objective so a delta pass can add q
+  /// variables for nodes that gained traffic without touching old ones.
+  void emit_energy_objective_var(int i) {
+    const auto& [ftx, frx] = node_traffic_vars_.at(i);
+    double qmax = 0.0;
+    for (int c : compatible_components(i)) {
+      const auto cc = charge_coefs(t_.library().at(c), s_.radio);
+      qmax = std::max(qmax, cc.a_tx * p_.model.var(ftx).ub + cc.b_rx * p_.model.var(frx).ub + cc.s0);
+    }
+    const Var q = p_.model.add_continuous("q_" + t_.node(i).name, 0.0, qmax);
+    for (int c : compatible_components(i)) {
+      const auto cc = charge_coefs(t_.library().at(c), s_.radio);
+      milp::imply_ge(p_.model, p_.mapping.at({c, i}),
+                     LinExpr(q) - cc.a_tx * LinExpr(ftx) - cc.b_rx * LinExpr(frx), cc.s0,
+                     "q_lb_" + t_.node(i).name);
+    }
+    q_var_[i] = q;
+  }
+
   void emit_objective() {
+    if (s_.objective.weight_energy != 0.0) {
+      for (const auto& entry : node_traffic_vars_) emit_energy_objective_var(entry.first);
+    }
+    rebuild_objective();
+  }
+
+  /// Recomputes the whole objective from the decode tables. LinExpr merges
+  /// terms by variable, so rebuilding after a delta yields exactly what a
+  /// fresh encode would produce.
+  void rebuild_objective() {
     LinExpr obj;
     if (s_.objective.weight_cost != 0.0) {
       for (const auto& [key, m] : p_.mapping) {
@@ -747,21 +914,7 @@ class Build {
       }
     }
     if (s_.objective.weight_energy != 0.0) {
-      const radio::TdmaConfig& tdma = s_.radio.tdma;
-      for (const auto& [i, fvars] : node_traffic_vars_) {
-        const auto& [ftx, frx] = fvars;
-        double qmax = 0.0;
-        for (int c : compatible_components(i)) {
-          const auto cc = charge_coefs(t_.library().at(c), s_.radio);
-          qmax = std::max(qmax, cc.a_tx * p_.model.var(ftx).ub + cc.b_rx * p_.model.var(frx).ub + cc.s0);
-        }
-        const Var q = p_.model.add_continuous("q_" + t_.node(i).name, 0.0, qmax);
-        for (int c : compatible_components(i)) {
-          const auto cc = charge_coefs(t_.library().at(c), s_.radio);
-          milp::imply_ge(p_.model, p_.mapping.at({c, i}),
-                         LinExpr(q) - cc.a_tx * LinExpr(ftx) - cc.b_rx * LinExpr(frx), cc.s0,
-                         "q_lb_" + t_.node(i).name);
-        }
+      for (const auto& [i, q] : q_var_) {
         obj += s_.objective.weight_energy * LinExpr(q);
       }
     }
@@ -787,7 +940,334 @@ class Build {
   std::map<int, LinExpr> node_users_;
   std::map<int, std::pair<Var, Var>> node_traffic_vars_;
   std::map<EdgeKey, double> lq_margin_;  ///< undirected (lo,hi) -> headroom dB
+
+  // ------------------------------------------- incremental-session state
+  // Row-index bookkeeping recorded during the fresh build so extend_to_k
+  // can widen existing constraints in place instead of re-emitting them.
+  struct AvoidRow {
+    size_t hardening_index;
+    int row;
+    bool unsat;  ///< row holds a pinned-zero var: no candidate complied
+  };
+  int encoded_k_ = -1;                           ///< K* the model currently encodes
+  std::vector<RouteState> route_states_;         ///< per route, resumable Yen state
+  std::map<std::pair<int, int>, int> group_row_;                 ///< (route, rep) -> eq row
+  std::set<std::pair<int, int>> group_unsat_;                    ///< groups with pinned-zero var
+  std::map<EdgeKey, int> users_row_;                             ///< e <= sum users rows
+  std::map<std::tuple<int, int, int, int>, int> group_edge_row_; ///< (route,rep,i,j) -> LE row
+  std::map<std::tuple<int, int, int>, int> group_node_row_;      ///< (route,rep,node) -> LE row
+  std::map<std::pair<int, int>, std::pair<std::set<int>, int>> cover_data_;  ///< -> (union, h)
+  std::map<std::pair<int, int>, int> cover_row_;                 ///< (route, rep) -> GE row
+  std::map<int, int> used_ub_row_;                               ///< node -> GE row
+  std::map<EdgeKey, int> rss_row_;                               ///< edge -> RSS eq row
+  std::map<int, std::pair<int, int>> traffic_rows_;              ///< node -> (tx eq, rx eq)
+  std::vector<EdgeKey> delta_edges_;  ///< edges appended by the last extend_to_k
+  std::map<int, Var> q_var_;                                     ///< node -> q objective var
+  std::vector<AvoidRow> avoid_rows_;                             ///< kAvoid hardening rows
+  std::vector<double> new_var_defaults_;  ///< per delta-appended var, id order
 };
+
+bool Build::extend_to_k(int new_k) {
+  if (o_.mode != EncoderOptions::PathMode::kApprox) return false;
+  if (new_k < encoded_k_) return false;  // shrinking never deltas
+  if (new_k == encoded_k_) {
+    new_var_defaults_.clear();
+    delta_edges_.clear();
+    return true;
+  }
+  util::Stopwatch clock;
+  const int prev_candidates = static_cast<int>(p_.candidates.size());
+  const int vars_before = p_.model.num_vars();
+
+  // Phase A: advance the resumable Yen enumerators and replay the
+  // disjoint-disconnect step over the extended batches. No model mutation
+  // happens here, so any `false` return leaves the MILP untouched and the
+  // caller simply rebuilds.
+  std::vector<PendingCandidate> fresh;
+  for (size_t ri = 0; ri < route_states_.size(); ++ri) {
+    RouteState& st = route_states_[ri];
+    const auto& route = s_.routes[ri];
+    const int nrep = std::max(1, route.replicas);
+    const int new_kpr = std::max(1, (new_k + nrep - 1) / nrep);
+    if (new_kpr == st.k_per_rep) continue;  // K grew too little to matter here
+    if (new_kpr < st.k_per_rep) return false;
+    std::vector<graph::EdgeId> banned;  // cumulative bans, recomputed
+    for (int rep = 0; rep < nrep; ++rep) {
+      RepState& rp = st.reps[static_cast<size_t>(rep)];
+      if (rp.banned_before != banned) return false;  // disconnect drift
+      const auto& batch = rp.en->next_batch(new_kpr);
+      std::vector<Path> raw_new(batch.begin() + static_cast<std::ptrdiff_t>(rp.consumed),
+                                batch.end());
+      for (Path& p : hop_filtered(std::move(raw_new), static_cast<int>(ri))) {
+        fresh.push_back({std::move(p), static_cast<int>(ri), rep});
+      }
+      rp.consumed = batch.size();
+      if (o_.disjoint_strategy == EncoderOptions::DisjointStrategy::kNone) continue;
+      if (rep + 1 < nrep) {
+        const auto paths = hop_filtered(batch, static_cast<int>(ri));
+        if (!paths.empty()) {
+          for (graph::EdgeId e : disconnect_edges(paths)) banned.push_back(e);
+          std::sort(banned.begin(), banned.end());
+          banned.erase(std::unique(banned.begin(), banned.end()), banned.end());
+        }
+      }
+    }
+    st.k_per_rep = new_kpr;
+  }
+
+  // Phase A2: a delta must reproduce a fresh encode at new_k exactly.
+  // Structures that a fresh encode would *not* emit anymore (pinned-zero
+  // infeasibility markers, collapsed cover cuts) cannot be retracted from
+  // the model, so their appearance forces a rebuild.
+  for (const auto& pc : fresh) {
+    if (group_unsat_.count({pc.route_index, pc.replica})) return false;
+  }
+  for (const auto& ar : avoid_rows_) {
+    if (!ar.unsat) continue;
+    const auto& hc = o_.hardening[ar.hardening_index];
+    for (const auto& pc : fresh) {
+      if (pc.route_index == hc.route_index && path_avoids(pc.path, hc)) return false;
+    }
+  }
+  {
+    std::map<std::pair<int, int>, int> fresh_h;
+    for (const auto& pc : fresh) {
+      int relays = 0;
+      for (int v : pc.path.nodes) {
+        if (t_.node(v).kind != NodeKind::kFixed) ++relays;
+      }
+      auto [it, first] = fresh_h.try_emplace({pc.route_index, pc.replica}, relays);
+      if (!first) it->second = std::min(it->second, relays);
+    }
+    for (const auto& [key, h] : fresh_h) {
+      auto row = cover_row_.find(key);
+      if (row != cover_row_.end() && std::min(cover_data_.at(key).second, h) <= 0) return false;
+    }
+  }
+
+  // Phase B: append-only mutation. Every grown constraint relaxes for the
+  // all-off extension of a previous assignment, so a prior incumbent plus
+  // new_var_defaults_ stays feasible (the MIP-start bridge relies on this).
+  std::set<int> new_nodes;
+  std::set<EdgeKey> new_edges;
+  for (const auto& pc : fresh) {
+    for (size_t k = 0; k + 1 < pc.path.nodes.size(); ++k) {
+      const EdgeKey key{pc.path.nodes[k], pc.path.nodes[k + 1]};
+      if (!scope_edges_.count(key)) new_edges.insert(key);
+    }
+    for (int v : pc.path.nodes) {
+      if (!node_in_scope_.count(v)) new_nodes.insert(v);
+    }
+  }
+  node_in_scope_.insert(new_nodes.begin(), new_nodes.end());
+  scope_edges_.insert(new_edges.begin(), new_edges.end());
+
+  for (int v : new_nodes) emit_sizing_node(v);
+
+  std::map<int, LinExpr> new_users;
+  for (const EdgeKey& key : new_edges) {
+    const Var e = edge_var(key.first, key.second);
+    for (const int endpoint : {key.first, key.second}) {
+      if (t_.node(endpoint).kind == NodeKind::kFixed) continue;
+      auto it = used_ub_row_.find(endpoint);
+      if (it != used_ub_row_.end()) {
+        p_.model.add_terms_to_constr(it->second, LinExpr(e));
+      } else {
+        new_users[endpoint] += LinExpr(e);
+      }
+    }
+  }
+  for (auto& [v, users] : new_users) {
+    users -= LinExpr(p_.node_used[static_cast<size_t>(v)]);
+    used_ub_row_[v] = p_.model.add_ge(std::move(users), 0.0, "used_ub_" + t_.node(v).name);
+  }
+
+  for (const EdgeKey& key : new_edges) emit_lq_edge(key, p_.edge_active.at(key));
+
+  const size_t first_new = p_.candidates.size();
+  for (auto& pc : fresh) {
+    const Var y = p_.model.add_binary("y_r" + std::to_string(pc.route_index) + "_rep" +
+                                      std::to_string(pc.replica) + "_" +
+                                      std::to_string(p_.candidates.size()));
+    p_.model.set_branch_priority(y, 3);
+    p_.candidates.push_back({std::move(pc.path), y, pc.route_index, pc.replica});
+  }
+
+  // Widen the group disjunctions and the edge/node linking rows.
+  std::map<std::pair<int, int>, LinExpr> group_delta;
+  std::map<EdgeKey, LinExpr> users_delta;
+  std::map<std::tuple<int, int, int, int>, LinExpr> ge_delta;
+  std::map<std::tuple<int, int, int>, LinExpr> gn_delta;
+  for (size_t ci = first_new; ci < p_.candidates.size(); ++ci) {
+    const auto& c = p_.candidates[ci];
+    group_delta[{c.route_index, c.replica}] += LinExpr(c.selector);
+    for (size_t k = 0; k + 1 < c.path.nodes.size(); ++k) {
+      const EdgeKey key{c.path.nodes[k], c.path.nodes[k + 1]};
+      users_delta[key] += LinExpr(c.selector);
+      ge_delta[{c.route_index, c.replica, key.first, key.second}] += LinExpr(c.selector);
+    }
+    for (int v : c.path.nodes) {
+      if (t_.node(v).kind == NodeKind::kFixed) continue;
+      gn_delta[{c.route_index, c.replica, v}] += LinExpr(c.selector);
+    }
+  }
+  for (const auto& [key, d] : group_delta) p_.model.add_terms_to_constr(group_row_.at(key), d);
+  for (auto& [key, d] : users_delta) {
+    auto it = users_row_.find(key);
+    if (it != users_row_.end()) {
+      p_.model.add_terms_to_constr(it->second, d);
+    } else {
+      d -= LinExpr(p_.edge_active.at(key));
+      users_row_[key] = p_.model.add_ge(std::move(d), 0.0);
+    }
+  }
+  for (auto& [key, d] : ge_delta) {
+    auto it = group_edge_row_.find(key);
+    if (it != group_edge_row_.end()) {
+      p_.model.add_terms_to_constr(it->second, d);
+    } else {
+      d -= LinExpr(p_.edge_active.at({std::get<2>(key), std::get<3>(key)}));
+      group_edge_row_[key] = p_.model.add_le(std::move(d), 0.0);
+    }
+  }
+  for (auto& [key, d] : gn_delta) {
+    auto it = group_node_row_.find(key);
+    if (it != group_node_row_.end()) {
+      p_.model.add_terms_to_constr(it->second, d);
+    } else {
+      d -= LinExpr(p_.node_used[static_cast<size_t>(std::get<2>(key))]);
+      group_node_row_[key] = p_.model.add_le(std::move(d), 0.0);
+    }
+  }
+
+  // Cover cuts: grow the union, lower the minimum.
+  {
+    std::map<std::pair<int, int>, std::pair<std::set<int>, int>> delta_cover;
+    for (size_t ci = first_new; ci < p_.candidates.size(); ++ci) {
+      const auto& c = p_.candidates[ci];
+      auto [it, was_fresh] = delta_cover.try_emplace({c.route_index, c.replica},
+                                                     std::set<int>{}, INT32_MAX);
+      int relays = 0;
+      for (int v : c.path.nodes) {
+        if (t_.node(v).kind == NodeKind::kFixed) continue;
+        it->second.first.insert(v);
+        ++relays;
+      }
+      it->second.second = std::min(it->second.second, relays);
+    }
+    for (const auto& [key, uc] : delta_cover) {
+      auto& data = cover_data_.at(key);  // group had candidates (unsat checked)
+      auto row = cover_row_.find(key);
+      LinExpr grown;
+      bool any_new_node = false;
+      for (int v : uc.first) {
+        if (data.first.insert(v).second) {
+          grown += LinExpr(p_.node_used[static_cast<size_t>(v)]);
+          any_new_node = true;
+        }
+      }
+      const int h_new = std::min(data.second, uc.second);
+      if (row != cover_row_.end()) {
+        if (any_new_node) p_.model.add_terms_to_constr(row->second, grown);
+        if (h_new != data.second) {
+          p_.model.set_constr_rhs(row->second, static_cast<double>(h_new));
+        }
+      }
+      data.second = h_new;
+    }
+  }
+
+  // Cross-replica disjointness for every pair touching a new candidate.
+  for (size_t a = first_new; a < p_.candidates.size(); ++a) {
+    for (size_t b = 0; b < a; ++b) {
+      const auto& ca = p_.candidates[a];
+      const auto& cb = p_.candidates[b];
+      if (ca.route_index != cb.route_index || ca.replica == cb.replica) continue;
+      if (graph::shared_edges(ca.path, cb.path) > 0) {
+        p_.model.add_le(LinExpr(ca.selector) + LinExpr(cb.selector), 1.0);
+      }
+    }
+  }
+
+  // Satisfiable kAvoid hardenings gain their new compliant selectors.
+  for (const auto& ar : avoid_rows_) {
+    if (ar.unsat) continue;
+    const auto& hc = o_.hardening[ar.hardening_index];
+    LinExpr add;
+    bool any = false;
+    for (size_t ci = first_new; ci < p_.candidates.size(); ++ci) {
+      const auto& c = p_.candidates[ci];
+      if (c.route_index != hc.route_index || !path_avoids(c.path, hc)) continue;
+      add += LinExpr(c.selector);
+      any = true;
+    }
+    if (any) p_.model.add_terms_to_constr(ar.row, add);
+  }
+
+  // Energy: new candidates add routing mass; nodes gaining traffic for the
+  // first time get their flow variables (and q objective vars) now.
+  if (energy_enabled()) {
+    std::map<int, LinExpr> tx_delta;
+    std::map<int, LinExpr> rx_delta;
+    std::set<int> touched;
+    for (size_t ci = first_new; ci < p_.candidates.size(); ++ci) {
+      const auto& c = p_.candidates[ci];
+      for (int v : c.path.nodes) {
+        if (t_.node(v).role == Role::kSink) continue;
+        const auto [tx_w, rx_w] = candidate_traffic(c.path, v);
+        if (tx_w > 0) tx_delta[v] += tx_w * LinExpr(c.selector);
+        if (rx_w > 0) rx_delta[v] += rx_w * LinExpr(c.selector);
+        if (tx_w > 0 || rx_w > 0) touched.insert(v);
+      }
+    }
+    std::vector<int> gained;
+    for (int v : touched) {
+      auto it = traffic_rows_.find(v);
+      if (it != traffic_rows_.end()) {
+        if (tx_delta.count(v)) p_.model.add_terms_to_constr(it->second.first, tx_delta[v]);
+        if (rx_delta.count(v)) p_.model.add_terms_to_constr(it->second.second, rx_delta[v]);
+      } else {
+        emit_energy_node(v, std::move(tx_delta[v]), std::move(rx_delta[v]));
+        gained.push_back(v);
+      }
+    }
+    if (s_.objective.weight_energy != 0.0) {
+      // A fresh encode emits flow vars even for untouched battery nodes
+      // when energy enters the objective.
+      for (int v : new_nodes) {
+        if (t_.node(v).role == Role::kSink || traffic_rows_.count(v)) continue;
+        emit_energy_node(v, LinExpr(), LinExpr());
+        gained.push_back(v);
+      }
+      for (int v : gained) emit_energy_objective_var(v);
+    }
+  }
+
+  rebuild_objective();
+
+  new_var_defaults_.assign(static_cast<size_t>(p_.model.num_vars() - vars_before), 0.0);
+  // Appended RSS values depend on the previous assignment (a new edge may
+  // attach to an already-deployed node whose mapping binaries are 1), so
+  // extend_assignment derives them from the recorded equality rows.
+  delta_edges_.assign(new_edges.begin(), new_edges.end());
+  encoded_k_ = new_k;
+  refresh_stats();
+  p_.stats.reused_candidates = prev_candidates;
+  p_.stats.delta_encode_time_s = clock.seconds();
+  p_.stats.encode_time_s = clock.seconds();
+  return true;
+}
+
+void Build::append_avoid_hardenings(size_t first) {
+  util::Stopwatch clock;
+  new_var_defaults_.clear();
+  delta_edges_.clear();
+  for (size_t hi = first; hi < o_.hardening.size(); ++hi) emit_one_hardening(hi);
+  refresh_stats();
+  p_.stats.reused_candidates = static_cast<int>(p_.candidates.size());
+  p_.stats.delta_encode_time_s = clock.seconds();
+  p_.stats.encode_time_s = clock.seconds();
+}
 
 }  // namespace
 
@@ -804,6 +1284,90 @@ Encoder::Encoder(const NetworkTemplate& tmpl, const Specification& spec, Encoder
 EncodedProblem Encoder::encode() const {
   Build b(*tmpl_, *spec_, opts_);
   return b.run();
+}
+
+struct IncrementalEncoder::Impl {
+  const NetworkTemplate* tmpl = nullptr;
+  const Specification* spec = nullptr;
+  EncoderOptions opts;
+  std::unique_ptr<Build> build;
+  bool dirty = false;
+  bool last_was_delta = false;
+
+  void rebuild() {
+    build = std::make_unique<Build>(*tmpl, *spec, opts);
+    build->execute();
+    dirty = false;
+    last_was_delta = false;
+  }
+};
+
+IncrementalEncoder::IncrementalEncoder(const NetworkTemplate& tmpl, const Specification& spec,
+                                       EncoderOptions base)
+    : impl_(std::make_unique<Impl>()) {
+  for (const auto& r : spec.routes) {
+    if (r.source < 0 || r.source >= tmpl.num_nodes() || r.dest < 0 ||
+        r.dest >= tmpl.num_nodes()) {
+      throw std::out_of_range("IncrementalEncoder: route endpoint outside template");
+    }
+  }
+  impl_->tmpl = &tmpl;
+  impl_->spec = &spec;
+  impl_->opts = std::move(base);
+}
+
+IncrementalEncoder::~IncrementalEncoder() = default;
+
+EncodedProblem& IncrementalEncoder::encode_k(int k) {
+  auto& im = *impl_;
+  im.opts.k_star = k;  // the live Build reads options through this object
+  if (!im.build || im.dirty || im.opts.mode != EncoderOptions::PathMode::kApprox) {
+    im.rebuild();
+  } else if (k != im.build->encoded_k()) {
+    if (im.build->extend_to_k(k)) {
+      im.last_was_delta = true;
+    } else {
+      im.rebuild();
+    }
+  }
+  return im.build->problem();
+}
+
+void IncrementalEncoder::append_hardenings(const std::vector<HardeningConstraint>& fresh) {
+  auto& im = *impl_;
+  const size_t first = im.opts.hardening.size();
+  bool all_avoid = true;
+  for (const auto& hc : fresh) {
+    all_avoid = all_avoid && hc.kind == HardeningConstraint::Kind::kAvoid;
+  }
+  im.opts.hardening.insert(im.opts.hardening.end(), fresh.begin(), fresh.end());
+  im.last_was_delta = false;
+  if (im.build && !im.dirty && all_avoid &&
+      im.opts.mode == EncoderOptions::PathMode::kApprox) {
+    // Pure row appends over the existing candidate set.
+    im.build->append_avoid_hardenings(first);
+  } else {
+    // kMargin retunes the LQ prefilter (and thus the Yen graph): rebuild.
+    im.dirty = true;
+  }
+}
+
+void IncrementalEncoder::invalidate() {
+  impl_->dirty = true;
+  impl_->last_was_delta = false;
+}
+
+EncodedProblem& IncrementalEncoder::problem() {
+  if (!impl_->build) throw std::logic_error("IncrementalEncoder::problem() before encode_k()");
+  return impl_->build->problem();
+}
+
+const EncoderOptions& IncrementalEncoder::options() const { return impl_->opts; }
+
+std::vector<double> IncrementalEncoder::extend_assignment(const std::vector<double>& prev) const {
+  const auto& im = *impl_;
+  if (!im.build || !im.last_was_delta) return {};
+  return im.build->extend_assignment(prev);
 }
 
 EncodeStats Encoder::estimate_full_stats() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -89,6 +90,63 @@ class Encoder {
   const NetworkTemplate* tmpl_;
   const Specification* spec_;
   EncoderOptions opts_;
+};
+
+/// Encoding session that carries state across the closely related solves of
+/// a K* ladder or a robust-repair loop. Where a fresh Encoder re-runs Yen
+/// and rebuilds the whole MILP per rung, the session keeps one resumable
+/// YenEnumerator per (route, replica) and *appends* to the existing model:
+/// new candidate selector binaries, their linking rows, and the widened
+/// group disjunctions when K* grows (`encode_k`), or new hardening rows in
+/// the repair loop (`append_hardenings`).
+///
+/// Determinism contract: the delta-extended model is equivalent to a fresh
+/// encode at the same options — same variable/constraint/nonzero counts and
+/// the same optimum (variable order, and hence names, may differ; tests pin
+/// the equivalence). Whenever a change cannot be expressed as a pure append
+/// (kMargin hardenings retune the LQ prefilter, replica raises change the
+/// spec, the disjoint-disconnect step shifts a replica's base graph), the
+/// session transparently falls back to a full rebuild, so callers never
+/// need to reason about which case they are in.
+class IncrementalEncoder {
+ public:
+  /// The session keeps references to `tmpl` and `spec`: both must outlive
+  /// it, and spec mutations (e.g. replica raises) require invalidate().
+  IncrementalEncoder(const NetworkTemplate& tmpl, const Specification& spec,
+                     EncoderOptions base);
+  ~IncrementalEncoder();
+  IncrementalEncoder(const IncrementalEncoder&) = delete;
+  IncrementalEncoder& operator=(const IncrementalEncoder&) = delete;
+
+  /// Encodes (or delta-extends) to k_star = k and returns the session's
+  /// problem. Same k with no pending changes is a no-op.
+  EncodedProblem& encode_k(int k);
+
+  /// Appends hardening constraints to the session options and, when they
+  /// are all kAvoid, to the existing model in place; kMargin entries mark
+  /// the session for a fresh rebuild on the next encode_k.
+  void append_hardenings(const std::vector<HardeningConstraint>& fresh);
+
+  /// Marks the session dirty after out-of-band changes the session cannot
+  /// see (e.g. the caller mutated the spec's replica counts).
+  void invalidate();
+
+  [[nodiscard]] EncodedProblem& problem();
+  [[nodiscard]] const EncoderOptions& options() const;
+
+  /// Extends an assignment for the model as it stood *before* the last
+  /// encode_k to the current model: variable ids are stable under deltas,
+  /// appended selectors/mappings/edges go to 0, and each appended RSS
+  /// variable is solved from its own equality row (a new edge may attach to
+  /// an already-deployed node whose mapping binaries are active in `prev`).
+  /// The result stays feasible because every grown constraint relaxes for
+  /// the all-off extension. Returns empty when the last encode was a
+  /// rebuild (ids are not comparable).
+  [[nodiscard]] std::vector<double> extend_assignment(const std::vector<double>& prev) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace wnet::archex

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 
@@ -24,7 +25,9 @@ std::string ExplorationResult::solver_json() const {
      << ", \"constrs\": " << encode_stats.num_constrs
      << ", \"nonzeros\": " << encode_stats.nonzeros
      << ", \"candidate_paths\": " << encode_stats.candidate_paths
-     << ", \"encode_time_s\": " << encode_stats.encode_time_s << "}";
+     << ", \"encode_time_s\": " << encode_stats.encode_time_s
+     << ", \"reused_candidates\": " << encode_stats.reused_candidates
+     << ", \"delta_encode_time_s\": " << encode_stats.delta_encode_time_s << "}";
   os << ", \"solver\": " << solve_stats.to_json() << "}";
   return os.str();
 }
@@ -134,12 +137,54 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
     });
   }
 
+  // Serial incremental mode: one encoding session spans the ladder, so a
+  // rung delta-extends the previous model instead of re-running Yen and
+  // rebuilding. Cross-solve reuse rides along: the previous incumbent,
+  // zero-extended over the appended variables, seeds the solve, and its
+  // objective becomes a primal cutoff (sound because a successful delta
+  // grows the feasible set — the optimum can only improve).
+  std::unique_ptr<IncrementalEncoder> session;
+  if (kopts.threads <= 1 && kopts.incremental) {
+    session = std::make_unique<IncrementalEncoder>(*tmpl_, *spec_, eopts);
+  }
+  std::vector<double> carry_x;
+  double carry_obj = milp::kInf;
+  const auto explore_rung = [&](int k) {
+    util::Stopwatch rung_clock;
+    ExplorationResult er;
+    EncodedProblem& ep = session->encode_k(k);
+    er.encode_stats = ep.stats;
+    milp::SolveOptions so = sopts;
+    if (so.mip_start.empty()) {
+      std::vector<double> ext = session->extend_assignment(carry_x);
+      if (!ext.empty()) {
+        so.mip_start = std::move(ext);
+        so.cutoff = carry_obj;
+      } else {
+        so.mip_start = fixed_routing_start(ep, sopts);
+      }
+    }
+    const milp::MipResult res = milp::solve(ep.model, so);
+    er.status = res.status;
+    er.solve_stats = res.stats;
+    if (res.has_solution()) {
+      er.objective = res.objective;
+      er.architecture = decode_solution(ep, *tmpl_, *spec_, res.x);
+      carry_x = res.x;
+      carry_obj = res.objective;
+    }
+    er.total_time_s = rung_clock.seconds();
+    return er;
+  };
+
   double best_obj = milp::kInf;
   for (int i = 0; i < n; ++i) {
     const int k = kopts.ladder[static_cast<size_t>(i)];
     ExplorationResult r;
     if (kopts.threads > 1) {
       r = std::move(evaluated[static_cast<size_t>(i)]);
+    } else if (session) {
+      r = explore_rung(k);
     } else {
       eopts.k_star = k;
       r = explore(eopts, sopts);

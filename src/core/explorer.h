@@ -56,6 +56,15 @@ class Explorer {
     /// trace come out identical to a serial run. The serial path evaluates
     /// rungs lazily and keeps its early exit.
     int threads = 1;
+    /// Serial path only: carry one IncrementalEncoder session across the
+    /// ladder. Each rung delta-extends the previous model (resumable Yen,
+    /// appended selectors/rows) instead of re-encoding, installs the
+    /// previous rung's incumbent as a MIP start, and — because a successful
+    /// delta makes the feasible set a superset of the previous rung's — its
+    /// objective as a primal cutoff. chosen_k and objectives match the
+    /// non-incremental scan; tie-broken architectures may differ. Ignored
+    /// when threads > 1 (speculative rungs are independent by design).
+    bool incremental = true;
   };
   struct KStarSearchResult {
     int chosen_k = 0;
@@ -90,6 +99,12 @@ class Explorer {
     /// inside the encoder. Reports and repair trajectories are identical
     /// for every value; <= 1 is fully serial.
     int threads = 1;
+    /// Carry one IncrementalEncoder session across repair iterations:
+    /// kAvoid hardenings append rows to the standing model in place, while
+    /// kMargin hardenings and replica raises transparently rebuild. No
+    /// primal cutoff is carried — a hardened optimum may legitimately be
+    /// worse than its predecessor.
+    bool incremental = true;
   };
 
   struct RobustExplorationResult {

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -205,6 +206,16 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
   std::set<std::string> seen;
   for (const auto& h : eopts.hardening) seen.insert(hardening_key(h));
 
+  // Incremental mode carries one encoding session across iterations: the
+  // common repair step — fold kAvoid hardenings back in — appends rows to
+  // the standing model instead of re-running Yen and rebuilding. kMargin
+  // hardenings (which retune the LQ prefilter) and replica raises
+  // invalidate the session; it rebuilds transparently on the next encode.
+  std::unique_ptr<IncrementalEncoder> session;
+  if (ropts.incremental && eopts.mode == EncoderOptions::PathMode::kApprox) {
+    session = std::make_unique<IncrementalEncoder>(*tmpl_, spec, eopts);
+  }
+
   // Raises N_rep on every listed route still under the extra-replica cap;
   // returns false when no route can be raised any further.
   const auto raise_replicas = [&](const std::set<int>& routes) {
@@ -217,6 +228,7 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
       out.raised_routes.push_back(ri);
       any = true;
     }
+    if (any && session) session->invalidate();  // spec changed out of band
     return any;
   };
 
@@ -233,8 +245,9 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
     milp::SolveOptions sopts = ropts.solver;
     sopts.time_limit_s = std::min(sopts.time_limit_s, std::max(1.0, remaining));
 
-    const Encoder enc(*tmpl_, spec, eopts);
-    EncodedProblem ep = enc.encode();
+    EncodedProblem fresh_ep;
+    if (!session) fresh_ep = Encoder(*tmpl_, spec, eopts).encode();
+    EncodedProblem& ep = session ? session->encode_k(eopts.k_star) : fresh_ep;
     if (have_prev && sopts.mip_start.empty()) {
       sopts.mip_start = repair_start(ep, prev_arch, eopts.hardening, sopts);
     }
@@ -298,6 +311,7 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
       continue;
     }
     out.hardenings_applied += static_cast<int>(fresh.size());
+    if (session) session->append_hardenings(fresh);  // kAvoid appends in place
     for (auto& h : fresh) eopts.hardening.push_back(std::move(h));
 
     // A route that keeps failing across consecutive iterations is chasing

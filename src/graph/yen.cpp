@@ -1,83 +1,121 @@
 #include "graph/yen.h"
 
 #include <algorithm>
-#include <set>
-#include <stdexcept>
+#include <utility>
 
 #include "graph/dijkstra.h"
 
 namespace wnet::graph {
 
-namespace {
+YenEnumerator::YenEnumerator(const Digraph& g, NodeId src, NodeId dst)
+    : g_(g),
+      src_(src),
+      dst_(dst),
+      banned_edges_(static_cast<size_t>(g.num_edges()), 0),
+      banned_nodes_(static_cast<size_t>(g.num_nodes()), 0) {}
 
-/// Candidate ordering: by cost, ties broken by node sequence so the result
-/// order is deterministic across runs.
-struct CandidateLess {
-  bool operator()(const Path& a, const Path& b) const {
-    if (a.cost != b.cost) return a.cost < b.cost;
-    return a.nodes < b.nodes;
+const std::vector<Path>& YenEnumerator::next_batch(int k) {
+  if (!started_) {
+    started_ = true;
+    auto first = shortest_path(g_, src_, dst_);
+    if (!first) {
+      exhausted_ = true;
+    } else {
+      accepted_keys_.insert(first->nodes);
+      result_.push_back(std::move(*first));
+      deviation_.push_back(0);
+    }
   }
-};
+  while (!exhausted_ && static_cast<int>(result_.size()) < k) {
+    // The newest accepted path is spur-scanned lazily, right before the next
+    // pop: the scan's accepted-set context is then identical whether the
+    // enumeration runs in one batch or resumes across several.
+    if (scanned_ + 1 == result_.size()) {
+      spur_scan(scanned_);
+      ++scanned_;
+    }
+    if (candidates_.empty()) {
+      exhausted_ = true;
+      break;
+    }
+    const auto best = candidates_.begin();
+    accepted_keys_.insert(best->first.nodes);
+    result_.push_back(best->first);
+    deviation_.push_back(best->second);
+    candidates_.erase(best);
+  }
+  return result_;
+}
 
-}  // namespace
+void YenEnumerator::spur_scan(size_t path_index) {
+  const Path& prev = result_[path_index];
+  if (prev.nodes.size() < 2) return;
+
+  // Cumulative root-prefix costs: prefix_cost_[i] = cost of prev.edges[0..i).
+  prefix_cost_.assign(prev.nodes.size(), 0.0);
+  for (size_t j = 0; j + 1 < prev.nodes.size(); ++j) {
+    prefix_cost_[j + 1] = prefix_cost_[j] + g_.edge(prev.edges[j]).weight;
+  }
+
+  // Lawler: spur indices below the deviation point were already scanned by
+  // the path this one deviated from, under the same root prefix.
+  const size_t start = deviation_[path_index];
+  for (size_t j = 0; j < start; ++j) banned_nodes_[static_cast<size_t>(prev.nodes[j])] = 1;
+  for (size_t i = start; i + 1 < prev.nodes.size(); ++i) {
+    const NodeId spur = prev.nodes[i];
+    if (i > start) banned_nodes_[static_cast<size_t>(prev.nodes[i - 1])] = 1;
+
+    // Ban the edges that accepted paths take out of the same root prefix
+    // (prev.nodes[0..i]) and the root nodes themselves.
+    for (const Path& p : result_) {
+      if (p.nodes.size() > i &&
+          std::equal(prev.nodes.begin(), prev.nodes.begin() + static_cast<long>(i) + 1,
+                     p.nodes.begin())) {
+        if (i < p.edges.size()) {
+          const auto e = static_cast<size_t>(p.edges[i]);
+          if (!banned_edges_[e]) {
+            banned_edges_[e] = 1;
+            touched_edges_.push_back(p.edges[i]);
+          }
+        }
+      }
+    }
+    DijkstraOptions opts;
+    opts.banned_edges = &banned_edges_;
+    opts.banned_nodes = &banned_nodes_;
+    auto spur_path = shortest_path(g_, spur, dst_, opts);
+
+    for (const EdgeId e : touched_edges_) banned_edges_[static_cast<size_t>(e)] = 0;
+    touched_edges_.clear();
+
+    if (!spur_path) continue;
+
+    // Total = root + spur.
+    Path total;
+    total.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + static_cast<long>(i));
+    total.nodes.insert(total.nodes.end(), spur_path->nodes.begin(), spur_path->nodes.end());
+    total.edges.assign(prev.edges.begin(), prev.edges.begin() + static_cast<long>(i));
+    total.edges.insert(total.edges.end(), spur_path->edges.begin(), spur_path->edges.end());
+    total.cost = spur_path->cost + prefix_cost_[i];
+
+    // Skip candidates already accepted (the map dedups pending ones, keeping
+    // the smallest deviation index so no spur scan is skipped unsoundly).
+    if (accepted_keys_.find(total.nodes) == accepted_keys_.end()) {
+      auto [it, inserted] = candidates_.try_emplace(std::move(total), i);
+      if (!inserted && i < it->second) it->second = i;
+    }
+  }
+
+  // Root-node bans accumulate across spur indices; clear them all here.
+  for (size_t j = 0; j + 1 < prev.nodes.size(); ++j) {
+    banned_nodes_[static_cast<size_t>(prev.nodes[j])] = 0;
+  }
+}
 
 std::vector<Path> yen_k_shortest(const Digraph& g, NodeId src, NodeId dst, int k) {
   if (k <= 0) return {};
-  std::vector<Path> result;
-  auto first = shortest_path(g, src, dst);
-  if (!first) return {};
-  result.push_back(std::move(*first));
-
-  std::set<Path, CandidateLess> candidates;
-  std::vector<char> banned_edges(static_cast<size_t>(g.num_edges()), 0);
-  std::vector<char> banned_nodes(static_cast<size_t>(g.num_nodes()), 0);
-
-  while (static_cast<int>(result.size()) < k) {
-    const Path& prev = result.back();
-    // For every spur node in the previous path, ban the edges that earlier
-    // accepted paths take out of the same root prefix, ban the root nodes,
-    // and search for a deviation.
-    for (size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
-      const NodeId spur = prev.nodes[i];
-
-      std::fill(banned_edges.begin(), banned_edges.end(), 0);
-      std::fill(banned_nodes.begin(), banned_nodes.end(), 0);
-
-      // Root path: prev.nodes[0..i], prev.edges[0..i-1].
-      for (const Path& p : result) {
-        if (p.nodes.size() > i &&
-            std::equal(prev.nodes.begin(), prev.nodes.begin() + static_cast<long>(i) + 1,
-                       p.nodes.begin())) {
-          if (i < p.edges.size()) banned_edges[static_cast<size_t>(p.edges[i])] = 1;
-        }
-      }
-      for (size_t j = 0; j < i; ++j) banned_nodes[static_cast<size_t>(prev.nodes[j])] = 1;
-
-      DijkstraOptions opts;
-      opts.banned_edges = &banned_edges;
-      opts.banned_nodes = &banned_nodes;
-      auto spur_path = shortest_path(g, spur, dst, opts);
-      if (!spur_path) continue;
-
-      // Total = root + spur.
-      Path total;
-      total.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + static_cast<long>(i));
-      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin(), spur_path->nodes.end());
-      total.edges.assign(prev.edges.begin(), prev.edges.begin() + static_cast<long>(i));
-      total.edges.insert(total.edges.end(), spur_path->edges.begin(), spur_path->edges.end());
-      total.cost = spur_path->cost;
-      for (size_t j = 0; j < i; ++j) total.cost += g.edge(prev.edges[j]).weight;
-
-      // Skip candidates already accepted (set dedups pending ones).
-      if (std::find(result.begin(), result.end(), total) == result.end()) {
-        candidates.insert(std::move(total));
-      }
-    }
-    if (candidates.empty()) break;
-    result.push_back(*candidates.begin());
-    candidates.erase(candidates.begin());
-  }
-  return result;
+  YenEnumerator en(g, src, dst);
+  return en.next_batch(k);
 }
 
 }  // namespace wnet::graph

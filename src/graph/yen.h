@@ -1,18 +1,89 @@
 #pragma once
 
+#include <cstddef>
+#include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/digraph.h"
 
 namespace wnet::graph {
 
-/// Yen's algorithm [Yen 1971]: the K shortest *loopless* paths from `src`
-/// to `dst` in non-decreasing order of cost. Returns fewer than K paths if
-/// the graph does not contain that many distinct loopless paths.
+/// Resumable Yen enumerator [Yen 1971] with Lawler's deviation-index
+/// optimization: enumerates the K shortest *loopless* paths from `src` to
+/// `dst` in non-decreasing (cost, node-sequence) order, and keeps the
+/// accepted-path list and the candidate pool alive between calls so
+/// `next_batch(K')` after `next_batch(K)` derives only the K'-K new paths.
+/// Previously returned paths are never removed or reordered, so the encoder
+/// can widen a route's candidate set across K* ladder rungs and reuse every
+/// path (and every selector variable) it already has.
+class YenEnumerator {
+ public:
+  /// Copies the graph so later mutations of the caller's graph (e.g. the
+  /// disjoint-replica disconnect step) do not perturb resumed batches.
+  YenEnumerator(const Digraph& g, NodeId src, NodeId dst);
+
+  /// Extends the accepted list to min(k, #loopless paths) paths and returns
+  /// it. The first K entries are identical to what any earlier, smaller
+  /// batch returned.
+  const std::vector<Path>& next_batch(int k);
+
+  [[nodiscard]] const std::vector<Path>& accepted() const { return result_; }
+
+  /// True once the graph holds no further loopless src->dst paths.
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+ private:
+  /// Candidate ordering: by cost, ties broken by node sequence so the
+  /// result order is deterministic across runs.
+  struct CandidateLess {
+    bool operator()(const Path& a, const Path& b) const {
+      if (a.cost != b.cost) return a.cost < b.cost;
+      return a.nodes < b.nodes;
+    }
+  };
+
+  struct NodeSeqHash {
+    size_t operator()(const std::vector<NodeId>& v) const {
+      size_t h = 1469598103934665603ull;
+      for (const NodeId n : v) {
+        h ^= static_cast<size_t>(n) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  void spur_scan(size_t path_index);
+
+  Digraph g_;
+  NodeId src_;
+  NodeId dst_;
+  std::vector<Path> result_;
+  /// Parallel to result_: index where each path deviates from the path whose
+  /// spur scan produced it. Lawler: spur scans may start there because
+  /// earlier spur indices were already covered by the parent's scan.
+  std::vector<size_t> deviation_;
+  /// Pending candidates keyed by (cost, nodes); the mapped value is the
+  /// smallest deviation index among the scans that produced the path.
+  std::map<Path, size_t, CandidateLess> candidates_;
+  std::unordered_set<std::vector<NodeId>, NodeSeqHash> accepted_keys_;
+  std::vector<char> banned_edges_;
+  std::vector<char> banned_nodes_;
+  std::vector<EdgeId> touched_edges_;
+  std::vector<double> prefix_cost_;
+  size_t scanned_ = 0;  ///< result_[0..scanned_) have had their spur scans
+  bool started_ = false;
+  bool exhausted_ = false;
+};
+
+/// Yen's algorithm: the K shortest *loopless* paths from `src` to `dst` in
+/// non-decreasing order of cost. Returns fewer than K paths if the graph
+/// does not contain that many distinct loopless paths.
 ///
 /// This is the routine Algorithm 1 of the paper calls "KShortest": the
 /// template edges are weighted by estimated link path loss and the K best
-/// candidates per required route are kept for the symbolic encoding.
+/// candidates per required route are kept for the symbolic encoding. Thin
+/// wrapper over a single-use YenEnumerator.
 [[nodiscard]] std::vector<Path> yen_k_shortest(const Digraph& g, NodeId src, NodeId dst, int k);
 
 }  // namespace wnet::graph

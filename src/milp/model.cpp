@@ -51,6 +51,20 @@ size_t Model::num_nonzeros() const {
   return n;
 }
 
+void Model::add_terms_to_constr(int idx, const LinExpr& delta) {
+  auto& cn = constrs_.at(static_cast<size_t>(idx));
+  for (const auto& [v, c] : delta.terms()) {
+    if (v.id >= num_vars()) throw std::out_of_range("Model::add_terms_to_constr: unknown variable");
+    if (!std::isfinite(c)) throw std::invalid_argument("Model::add_terms_to_constr: non-finite coef");
+    cn.expr.add_term(v, c);
+  }
+  cn.rhs -= delta.constant();
+}
+
+void Model::set_constr_rhs(int idx, double rhs) {
+  constrs_.at(static_cast<size_t>(idx)).rhs = rhs;
+}
+
 void Model::set_bounds(Var v, double lb, double ub) {
   if (lb > ub) throw std::invalid_argument("Model::set_bounds: lb > ub");
   auto& d = vars_.at(static_cast<size_t>(v.id));

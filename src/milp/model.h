@@ -83,6 +83,15 @@ class Model {
   /// Total number of nonzero coefficients across all constraints.
   [[nodiscard]] size_t num_nonzeros() const;
 
+  /// Appends `delta`'s terms to an existing constraint's left-hand side,
+  /// folding its constant into the rhs. Incremental encoders use this to
+  /// widen a row (e.g. a selector disjunction) when new candidates arrive;
+  /// terms on variables already present are merged additively.
+  void add_terms_to_constr(int idx, const LinExpr& delta);
+
+  /// Rewrites a constraint's right-hand side in place.
+  void set_constr_rhs(int idx, double rhs);
+
   /// Tightens a variable's bounds in place (used by presolve and tests).
   void set_bounds(Var v, double lb, double ub);
 

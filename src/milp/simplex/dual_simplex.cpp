@@ -357,10 +357,17 @@ LpResult DualSimplex::run() {
       }
     }
 
-    // --- FTRAN the entering column.
+    // --- FTRAN the entering column. Slack and singleton structural columns
+    // (a large share of the entering columns on these models) take the
+    // hyper-sparse single-nonzero path.
+    const auto& qcol = lp_->a().column(q);
     w.assign(static_cast<size_t>(m), 0.0);
-    for (const Entry& e : lp_->a().column(q)) w[static_cast<size_t>(e.row)] = e.value;
-    lu_.ftran(w);
+    if (qcol.size() == 1) {
+      lu_.ftran_unit(w, qcol[0].row, qcol[0].value);
+    } else {
+      for (const Entry& e : qcol) w[static_cast<size_t>(e.row)] = e.value;
+      lu_.ftran(w);
+    }
     const double alpha_rq = w[static_cast<size_t>(r)];
     if (std::abs(alpha_rq) < opts_.pivot_tol) {
       if (lu_.num_updates() == 0) {

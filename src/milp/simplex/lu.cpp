@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
@@ -132,6 +133,74 @@ void BasisLu::ftran(std::vector<double>& x) const {
   for (int k = 0; k < m_; ++k) x[static_cast<size_t>(q_[static_cast<size_t>(k)])] = y[static_cast<size_t>(k)];
 
   // Apply eta transformations in application order.
+  for (const Eta& e : etas_) {
+    const double xr = x[static_cast<size_t>(e.pos)] / e.pivot;
+    x[static_cast<size_t>(e.pos)] = xr;
+    if (xr == 0.0) continue;
+    for (const Entry& en : e.other) x[static_cast<size_t>(en.row)] -= en.value * xr;
+  }
+}
+
+void BasisLu::ftran_unit(std::vector<double>& x, int row, double value) const {
+  x[static_cast<size_t>(row)] = value;
+  // queued_ is self-cleaning (flags drop on pop), so only (re)size it here.
+  if (queued_.size() != static_cast<size_t>(m_)) queued_.assign(static_cast<size_t>(m_), 0);
+  heap_.clear();
+  touched_.clear();
+
+  // Forward: reach-based L pass. Updates from step t only create nonzeros at
+  // rows pivoted later, so popping the pending steps in increasing order
+  // replays the dense loop's visit order restricted to reachable steps.
+  const auto push_step = [&](int t) {
+    if (!queued_[static_cast<size_t>(t)]) {
+      queued_[static_cast<size_t>(t)] = 1;
+      heap_.push_back(t);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    }
+  };
+  push_step(pinv_[static_cast<size_t>(row)]);
+  int kmax = -1;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const int t = heap_.back();
+    heap_.pop_back();
+    queued_[static_cast<size_t>(t)] = 0;
+    touched_.push_back(t);
+    kmax = t;
+    const double v = x[static_cast<size_t>(p_[static_cast<size_t>(t)])];
+    if (v == 0.0) continue;  // numerically cancelled
+    for (const Entry& le : l_cols_[static_cast<size_t>(t)]) {
+      x[static_cast<size_t>(le.row)] -= le.value * v;
+      push_step(pinv_[static_cast<size_t>(le.row)]);
+    }
+  }
+
+  // Gather into step space: only steps <= kmax can hold nonzeros.
+  std::vector<double>& y = work2_;
+  std::fill(y.begin(), y.begin() + (kmax + 1), 0.0);
+  for (const int t : touched_) {
+    y[static_cast<size_t>(t)] = x[static_cast<size_t>(p_[static_cast<size_t>(t)])];
+    x[static_cast<size_t>(p_[static_cast<size_t>(t)])] = 0.0;  // clear row-space residue
+  }
+
+  // Backward: U substitution scatters strictly upward (step t < k), so
+  // everything above the deepest touched step stays exactly zero.
+  for (int k = kmax; k >= 0; --k) {
+    const double zk = y[static_cast<size_t>(k)] / u_diag_[static_cast<size_t>(k)];
+    y[static_cast<size_t>(k)] = zk;
+    if (zk == 0.0) continue;
+    for (const Entry& ue : u_cols_[static_cast<size_t>(k)]) {
+      y[static_cast<size_t>(ue.row)] -= ue.value * zk;
+    }
+  }
+
+  // Un-permute columns; x above was restored to all-zero, so positions past
+  // kmax already hold their (zero) solution values.
+  for (int k = 0; k <= kmax; ++k) {
+    x[static_cast<size_t>(q_[static_cast<size_t>(k)])] = y[static_cast<size_t>(k)];
+  }
+
+  // Apply eta transformations in application order (same as ftran()).
   for (const Eta& e : etas_) {
     const double xr = x[static_cast<size_t>(e.pos)] / e.pivot;
     x[static_cast<size_t>(e.pos)] = xr;

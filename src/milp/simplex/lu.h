@@ -25,6 +25,17 @@ class BasisLu {
   /// output (indexed by basis position).
   void ftran(std::vector<double>& x) const;
 
+  /// Hyper-sparse FTRAN for a right-hand side with a single nonzero
+  /// (`value` at original row `row`, i.e. a slack or singleton structural
+  /// column). `x` must be all-zero on entry and receives the solution in
+  /// basis-position space. The forward pass walks only the steps actually
+  /// reached from the seed row (topological order via a step heap) and the
+  /// backward pass starts at the deepest touched step, so the cost is
+  /// proportional to the solution's fill instead of O(m). Arithmetic is
+  /// bitwise-identical to ftran() on the equivalent dense input: every
+  /// skipped iteration would have operated on an exact zero.
+  void ftran_unit(std::vector<double>& x, int row, double value) const;
+
   /// Solves B^T y = c. `y` is c on input (indexed by basis position) and
   /// the solution on output (indexed by row).
   void btran(std::vector<double>& y) const;
@@ -62,6 +73,9 @@ class BasisLu {
 
   mutable std::vector<double> work_;   ///< dense scratch, size m
   mutable std::vector<double> work2_;  ///< dense scratch, size m
+  mutable std::vector<int> heap_;      ///< pending-step min-heap (ftran_unit)
+  mutable std::vector<int> touched_;   ///< steps reached by the forward pass
+  mutable std::vector<char> queued_;   ///< step already in heap_, size m
 };
 
 }  // namespace wnet::milp::simplex

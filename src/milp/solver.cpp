@@ -117,11 +117,18 @@ class BranchAndBound {
   void dive(const std::shared_ptr<const BoundChange>& chain, const Basis& basis,
             const std::vector<double>& x0);
 
+  /// Effective primal bound for pruning: the incumbent objective or, before
+  /// one exists, the caller-supplied cutoff (whichever is smaller).
+  [[nodiscard]] double prune_bound() const {
+    return std::min(have_incumbent_ ? incumbent_obj_ : kInf, opts_.cutoff);
+  }
+
   /// Root reduced-cost fixing: a nonbasic binary whose reduced cost alone
-  /// pushes past the incumbent can be fixed at its root bound globally.
+  /// pushes past the incumbent (or the caller's cutoff) can be fixed at its
+  /// root bound globally.
   void apply_reduced_cost_fixing() {
-    if (!have_incumbent_ || root_dj_.empty()) return;
-    const double cutoff = incumbent_obj_ - tol::kObjImprove;
+    if (root_dj_.empty() || prune_bound() >= kInf) return;
+    const double cutoff = prune_bound() - tol::kObjImprove;
     for (size_t k = 0; k < int_cols_.size(); ++k) {
       const int j = int_cols_[k];
       if (root_lb_[k] >= root_ub_[k]) continue;  // already fixed
@@ -403,7 +410,7 @@ void BranchAndBound::dive(const std::shared_ptr<const BoundChange>& chain, const
       if (res.status != LpStatus::kOptimal) return;
     }
     cur = bc;
-    if (have_incumbent_ && res.objective >= incumbent_obj_ - tol::kObjImprove) return;
+    if (res.objective >= prune_bound() - tol::kObjImprove) return;
     warm = last_basis_;
     x = res.x;
   }
@@ -465,7 +472,7 @@ MipResult BranchAndBound::run() {
   root_x_ = root.x;
   root_dj_ = root.reduced_costs;
   if (static_cast<int>(opts_.mip_start.size()) >= model_->num_vars()) {
-    try_incumbent(opts_.mip_start);
+    stats_.mip_start_used = try_incumbent(opts_.mip_start);
   }
   try_incumbent(root.x);
   Basis root_basis = last_basis_;
@@ -502,9 +509,10 @@ MipResult BranchAndBound::run() {
     stack.pop_back();
     ++stats_.nodes;
 
-    if (have_incumbent_ &&
-        node.parent_bound >= incumbent_obj_ - opts_.rel_gap * std::max(1.0, std::abs(incumbent_obj_))) {
-      continue;  // pruned by bound
+    const double pb = prune_bound();
+    if (pb < kInf &&
+        node.parent_bound >= pb - opts_.rel_gap * std::max(1.0, std::abs(pb))) {
+      continue;  // pruned by bound (incumbent or caller-supplied cutoff)
     }
 
     apply_chain(node.chain);
@@ -516,7 +524,7 @@ MipResult BranchAndBound::run() {
     if (res.status == LpStatus::kPrimalInfeasible) continue;
     if (res.status != LpStatus::kOptimal) continue;  // counted in numerical_failures
     update_pseudocosts(node, res.objective);
-    if (have_incumbent_ && res.objective >= incumbent_obj_ - tol::kObjImprove) continue;
+    if (res.objective >= prune_bound() - tol::kObjImprove) continue;
 
     const int branch = pick_branch_var(res.x);
     if (branch == -1) {
@@ -576,6 +584,11 @@ MipResult BranchAndBound::run() {
     out.x = incumbent_x_;
     out.status = (exhausted || gap_closed(out.bound)) ? SolveStatus::kOptimal
                                                       : SolveStatus::kFeasible;
+  } else if (exhausted && opts_.cutoff < kInf) {
+    // The cutoff may have pruned feasible-but-not-better regions unseen, so
+    // exhaustion only proves "nothing beats the cutoff", not infeasibility.
+    out.status = SolveStatus::kNoSolution;
+    out.bound = opts_.cutoff;
   } else {
     out.status = exhausted ? SolveStatus::kInfeasible : SolveStatus::kNoSolution;
   }
@@ -617,6 +630,7 @@ std::string SolveStats::to_json() const {
   os << ", \"pseudocost_branches\": " << pseudocost_branches;
   os << ", \"fractional_branches\": " << fractional_branches;
   os << ", \"incumbents\": " << incumbents;
+  os << ", \"mip_start_used\": " << (mip_start_used ? "true" : "false");
   os << ", \"incumbent_timeline\": [";
   for (size_t i = 0; i < incumbent_timeline.size(); ++i) {
     const IncumbentEvent& e = incumbent_timeline[i];

@@ -28,6 +28,13 @@ struct SolveOptions {
   /// Optional MIP start: values for the model's variables. Accepted as the
   /// initial incumbent if it passes the model's own feasibility check.
   std::vector<double> mip_start;
+  /// Optional primal cutoff: prune any subtree whose LP bound cannot beat
+  /// this objective, even before an incumbent exists. Incremental rungs of
+  /// the K* ladder install the previous rung's optimum here so each solve
+  /// starts with a proven primal bound. When the cutoff (rather than an
+  /// incumbent) exhausts the tree, the result is kNoSolution, not
+  /// kInfeasible — feasible-but-not-better regions were pruned unseen.
+  double cutoff = kInf;
   simplex::LpOptions lp;
 
   /// Pseudocost branching: rank fractional variables by the observed
@@ -96,6 +103,7 @@ struct SolveStats {
   long fractional_branches = 0;  ///< branchings decided by the fractionality fallback
 
   long incumbents = 0;  ///< accepted incumbents (improvements only)
+  bool mip_start_used = false;  ///< the supplied MIP start passed feasibility
   std::vector<IncumbentEvent> incumbent_timeline;
 
   /// Fraction of node LPs that reused an inherited basis (0 when no nodes).

@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "channel/propagation.h"
+#include "core/encode/encoder.h"
 #include "core/explorer.h"
 #include "graph/digraph.h"
+#include "milp/solver.h"
 
 namespace wnet::archex {
 namespace {
@@ -112,6 +114,132 @@ TEST(EncoderDifferential, ApproxMatchesFullWhenKStarCoversAllSimplePaths) {
   EXPECT_GE(compared, 20);
   // And the equality check must actually have run on most of them.
   EXPECT_GE(optimal_pairs, 15);
+}
+
+/// Solves both models and checks they agree on status and optimum.
+void expect_same_optimum(const EncodedProblem& a, const EncodedProblem& b,
+                         const std::string& label) {
+  milp::SolveOptions so;
+  so.time_limit_s = 60.0;
+  const auto ra = milp::solve(a.model, so);
+  const auto rb = milp::solve(b.model, so);
+  EXPECT_EQ(ra.status, rb.status) << label;
+  if (ra.status == milp::SolveStatus::kOptimal && rb.status == milp::SolveStatus::kOptimal) {
+    EXPECT_NEAR(ra.objective, rb.objective, 1e-9 * std::max(1.0, std::abs(rb.objective)))
+        << label;
+  }
+}
+
+void expect_same_shape(const EncodedProblem& inc, const EncodedProblem& fresh,
+                       const std::string& label) {
+  EXPECT_EQ(inc.stats.num_vars, fresh.stats.num_vars) << label;
+  EXPECT_EQ(inc.stats.num_constrs, fresh.stats.num_constrs) << label;
+  EXPECT_EQ(inc.stats.nonzeros, fresh.stats.nonzeros) << label;
+  EXPECT_EQ(inc.candidates.size(), fresh.candidates.size()) << label;
+}
+
+// The IncrementalEncoder contract: delta-extending a session across K*
+// rungs yields a model equivalent to a fresh encode at the same options —
+// same variable/constraint/nonzero counts and the same optimum — while
+// actually reusing candidates, and the all-off extension of a previous
+// rung's incumbent stays feasible (the MIP-start bridge).
+TEST(EncoderDifferential, IncrementalSessionMatchesFreshAcrossLadder) {
+  const std::vector<int> ladder{1, 2, 3, 5, 9};
+  int reused_total = 0;
+  int bridged = 0;
+  for (const uint64_t seed : {3u, 7u, 11u, 19u, 27u}) {
+    Instance in(seed);
+    in.spec.objective = {1.0, 0.02, 0.0};     // exercise the energy delta
+    in.spec.routes[0].replicas = 1 + static_cast<int>(seed % 2);  // disconnect replay
+    const EncoderOptions base;
+    IncrementalEncoder session(in.tmpl, in.spec, base);
+
+    std::vector<double> carry;
+    for (const int k : ladder) {
+      auto& ep = session.encode_k(k);
+      EncoderOptions fopts = base;
+      fopts.k_star = k;
+      const auto fresh = Encoder(in.tmpl, in.spec, fopts).encode();
+      const std::string label =
+          "seed " + std::to_string(seed) + " k=" + std::to_string(k);
+      expect_same_shape(ep, fresh, label);
+
+      const auto ext = session.extend_assignment(carry);
+      milp::SolveOptions so;
+      so.time_limit_s = 60.0;
+      if (!ext.empty()) {
+        EXPECT_TRUE(ep.model.is_feasible(ext)) << label << ": extended start infeasible";
+        so.mip_start = ext;
+        ++bridged;
+      }
+      const auto ri = milp::solve(ep.model, so);
+      const auto rf = milp::solve(fresh.model);
+      EXPECT_EQ(ri.status, rf.status) << label;
+      if (ri.status == milp::SolveStatus::kOptimal &&
+          rf.status == milp::SolveStatus::kOptimal) {
+        EXPECT_NEAR(ri.objective, rf.objective,
+                    1e-9 * std::max(1.0, std::abs(rf.objective)))
+            << label;
+      }
+      if (ri.has_solution()) carry = ri.x;
+      reused_total += ep.stats.reused_candidates;
+    }
+  }
+  // The ladder must have reused prior work and bridged at least one
+  // incumbent across a rung, or the session silently degenerated into
+  // rebuild-every-time.
+  EXPECT_GT(reused_total, 0);
+  EXPECT_GT(bridged, 0);
+}
+
+// The repair-loop path: kAvoid hardenings append in place, a later K* rung
+// widens the appended rows, and a kMargin hardening (which retunes the LQ
+// prefilter) transparently falls back to a rebuild. Every stop along the
+// way must match a fresh encode at identical options.
+TEST(EncoderDifferential, IncrementalHardeningAppendsMatchFresh) {
+  Instance in(5);
+  const EncoderOptions base;
+  IncrementalEncoder session(in.tmpl, in.spec, base);
+  session.encode_k(4);
+
+  HardeningConstraint avoid;
+  avoid.kind = HardeningConstraint::Kind::kAvoid;
+  avoid.route_index = 0;
+  avoid.nodes = {2};  // first relay candidate
+  session.append_hardenings({avoid});
+
+  EncoderOptions fopts = base;
+  fopts.k_star = 4;
+  fopts.hardening = {avoid};
+  {
+    auto& ep = session.encode_k(4);
+    const auto fresh = Encoder(in.tmpl, in.spec, fopts).encode();
+    expect_same_shape(ep, fresh, "after kAvoid append");
+    expect_same_optimum(ep, fresh, "after kAvoid append");
+    EXPECT_GT(ep.stats.reused_candidates, 0) << "hardening append rebuilt the model";
+  }
+
+  {
+    auto& ep = session.encode_k(9);  // widened disjunctions + widened avoid row
+    fopts.k_star = 9;
+    const auto fresh = Encoder(in.tmpl, in.spec, fopts).encode();
+    expect_same_shape(ep, fresh, "k grown after hardening");
+    expect_same_optimum(ep, fresh, "k grown after hardening");
+  }
+
+  HardeningConstraint margin;
+  margin.kind = HardeningConstraint::Kind::kMargin;
+  margin.links = {{0, 2}};
+  margin.margin_db = 3.0;
+  session.append_hardenings({margin});
+  {
+    auto& ep = session.encode_k(9);
+    fopts.hardening.push_back(margin);
+    const auto fresh = Encoder(in.tmpl, in.spec, fopts).encode();
+    expect_same_shape(ep, fresh, "after kMargin rebuild");
+    expect_same_optimum(ep, fresh, "after kMargin rebuild");
+    EXPECT_EQ(ep.stats.reused_candidates, 0) << "kMargin must force a rebuild";
+  }
 }
 
 }  // namespace

@@ -181,5 +181,54 @@ TEST(BasisLu, RandomSparseSystemsProperty) {
   }
 }
 
+TEST(BasisLu, FtranUnitMatchesDenseFtranBitwise) {
+  // The hyper-sparse single-nonzero path must reproduce the dense ftran()
+  // exactly: every iteration it skips operates on an exact zero.
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> u(-3.0, 3.0);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int m = 6 + trial;
+    std::vector<std::vector<double>> dense(static_cast<size_t>(m),
+                                           std::vector<double>(static_cast<size_t>(m), 0.0));
+    for (int i = 0; i < m; ++i) {
+      dense[static_cast<size_t>(i)][static_cast<size_t>(i)] = 4.0 + std::abs(u(rng));
+      for (int k = 0; k < 2; ++k) {
+        const int j = static_cast<int>(rng() % static_cast<unsigned>(m));
+        if (j != i) dense[static_cast<size_t>(i)][static_cast<size_t>(j)] = u(rng);
+      }
+    }
+    const auto a = from_dense(dense);
+    std::vector<int> basis(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) basis[static_cast<size_t>(i)] = i;
+    BasisLu lu;
+    ASSERT_TRUE(lu.factorize(a, basis));
+
+    // A couple of eta updates so the sweep is exercised too.
+    for (int upd = 0; upd < 2; ++upd) {
+      std::vector<double> w(static_cast<size_t>(m), 0.0);
+      w[static_cast<size_t>((upd * 3) % m)] = 1.0;
+      lu.ftran(w);
+      int pos = 0;
+      for (int i = 1; i < m; ++i) {
+        if (std::abs(w[static_cast<size_t>(i)]) > std::abs(w[static_cast<size_t>(pos)])) pos = i;
+      }
+      ASSERT_TRUE(lu.update(pos, w));
+    }
+
+    for (int row = 0; row < m; ++row) {
+      const double value = u(rng);
+      std::vector<double> via_dense(static_cast<size_t>(m), 0.0);
+      via_dense[static_cast<size_t>(row)] = value;
+      lu.ftran(via_dense);
+      std::vector<double> via_unit(static_cast<size_t>(m), 0.0);
+      lu.ftran_unit(via_unit, row, value);
+      for (int i = 0; i < m; ++i) {
+        EXPECT_EQ(via_unit[static_cast<size_t>(i)], via_dense[static_cast<size_t>(i)])
+            << "trial " << trial << " row " << row << " pos " << i;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wnet::milp::simplex
