@@ -28,6 +28,8 @@
 #include "bench_common.h"
 #include "core/explorer.h"
 #include "core/workloads/scenarios.h"
+#include "util/obs/json.h"
+#include "util/obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -166,14 +168,18 @@ std::vector<BaselineEntry> load_baseline(const std::string& path) {
 }
 
 void write_baseline(const std::string& path, const std::vector<BaselineEntry>& entries) {
+  // One entry per line (the loader is line-oriented), each line produced by
+  // the obs writer so the file parses strictly and is locale-immune.
   std::ofstream outf(path);
   outf << "{\"instances\": [\n";
   for (size_t i = 0; i < entries.size(); ++i) {
-    char line[256];
-    std::snprintf(line, sizeof(line), "  {\"name\": \"%s\", \"chosen_k\": %d, \"objective\": %.9g}%s\n",
-                  entries[i].name.c_str(), entries[i].chosen_k, entries[i].objective,
-                  i + 1 < entries.size() ? "," : "");
-    outf << line;
+    wnet::util::obs::JsonWriter w;
+    w.begin_object();
+    w.field("name", entries[i].name);
+    w.field("chosen_k", entries[i].chosen_k);
+    w.field("objective", entries[i].objective);
+    w.end_object();
+    outf << "  " << w.take() << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   outf << "]}\n";
 }
@@ -184,6 +190,7 @@ int main(int argc, char** argv) {
   bench::Args args(argc, argv,
                    {{"time-limit", "60"},
                     {"json", "0"},
+                    {"trace", ""},
                     {"smoke", "0"},
                     {"write-baseline", "0"},
                     {"baseline", "bench/incremental_sweep_baseline.json"}});
@@ -191,6 +198,21 @@ int main(int argc, char** argv) {
   const bool smoke = args.getb("smoke");
   const bool write = args.getb("write-baseline");
   const double tl = args.getd("time-limit");
+
+  // --trace out.json: record per-rung / encode / solver spans across the
+  // ladder searches and dump a Chrome trace (ui.perfetto.dev) on exit.
+  struct TraceDump {
+    std::string path;
+    ~TraceDump() {
+      if (path.empty()) return;
+      if (util::obs::TraceRecorder::global().write_chrome_trace(path)) {
+        std::printf("trace written: %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "FAIL: could not write trace %s\n", path.c_str());
+      }
+    }
+  } trace_dump{args.gets("trace")};
+  if (!trace_dump.path.empty()) util::obs::TraceRecorder::global().set_enabled(true);
 
   const auto cases = build_cases(/*smoke_only=*/smoke || write);
 
@@ -276,10 +298,16 @@ int main(int argc, char** argv) {
                    util::fmt_double(fresh.encode_s, 3), util::fmt_double(incr.encode_s, 3),
                    std::to_string(incr.reused), std::to_string(incr.mip_starts)});
     if (args.getb("json")) {
-      std::printf("{\"instance\": \"%s\", \"fresh_s\": %.6f, \"incremental_s\": %.6f, "
-                  "\"reused_candidates\": %d, \"mip_starts\": %d, \"incremental\": %s}\n",
-                  c.name.c_str(), fresh.wall_s, incr.wall_s, incr.reused, incr.mip_starts,
-                  incr.result.best.solver_json().c_str());
+      util::obs::JsonWriter w;
+      w.begin_object();
+      w.field("instance", c.name);
+      w.number_field("fresh_s", fresh.wall_s);
+      w.number_field("incremental_s", incr.wall_s);
+      w.field("reused_candidates", incr.reused);
+      w.field("mip_starts", incr.mip_starts);
+      w.key("incremental").raw(incr.result.best.solver_json());
+      w.end_object();
+      std::printf("%s\n", w.take().c_str());
     }
   }
 

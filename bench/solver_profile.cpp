@@ -30,6 +30,8 @@
 #include "core/encode/encoder.h"
 #include "core/workloads/scenarios.h"
 #include "milp/solver.h"
+#include "util/obs/json.h"
+#include "util/obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -198,15 +200,19 @@ std::vector<BaselineEntry> load_baseline(const std::string& path) {
 }
 
 void write_baseline(const std::string& path, const std::vector<BaselineEntry>& entries) {
+  // One entry per line (the loader is line-oriented), each line produced by
+  // the obs writer so the file parses strictly and is locale-immune.
   std::ofstream outf(path);
   outf << "{\"instances\": [\n";
   for (size_t i = 0; i < entries.size(); ++i) {
-    char line[256];
-    std::snprintf(line, sizeof(line),
-                  "  {\"name\": \"%s\", \"objective\": %.9g, \"nodes\": %ld, \"lp_iterations\": %ld}%s\n",
-                  entries[i].name.c_str(), entries[i].objective, entries[i].nodes,
-                  entries[i].lp_iterations, i + 1 < entries.size() ? "," : "");
-    outf << line;
+    wnet::util::obs::JsonWriter w;
+    w.begin_object();
+    w.field("name", entries[i].name);
+    w.field("objective", entries[i].objective);
+    w.field("nodes", entries[i].nodes);
+    w.field("lp_iterations", entries[i].lp_iterations);
+    w.end_object();
+    outf << "  " << w.take() << (i + 1 < entries.size() ? "," : "") << "\n";
   }
   outf << "]}\n";
 }
@@ -222,12 +228,28 @@ int main(int argc, char** argv) {
                    {{"time-limit", "120"},
                     {"kstar", "6"},
                     {"json", "0"},
+                    {"trace", ""},
                     {"smoke", "0"},
                     {"write-baseline", "0"},
                     {"baseline", "bench/solver_profile_baseline.json"}});
 
   const bool smoke = args.getb("smoke");
   const bool write = args.getb("write-baseline");
+
+  // --trace out.json: record spans/counters for every solve and dump a
+  // Chrome trace (chrome://tracing, ui.perfetto.dev) on any exit path.
+  struct TraceDump {
+    std::string path;
+    ~TraceDump() {
+      if (path.empty()) return;
+      if (util::obs::TraceRecorder::global().write_chrome_trace(path)) {
+        std::printf("trace written: %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "FAIL: could not write trace %s\n", path.c_str());
+      }
+    }
+  } trace_dump{args.gets("trace")};
+  if (!trace_dump.path.empty()) util::obs::TraceRecorder::global().set_enabled(true);
 
   milp::SolveOptions current;
   current.time_limit_s = args.getd("time-limit");
@@ -261,8 +283,12 @@ int main(int argc, char** argv) {
     }
     measured.push_back({inst.name, cur.objective, cur.stats.nodes, cur.stats.lp_iterations});
     if (args.getb("json")) {
-      std::printf("{\"instance\": \"%s\", \"solver\": %s}\n", inst.name.c_str(),
-                  cur.stats.to_json().c_str());
+      util::obs::JsonWriter w;
+      w.begin_object();
+      w.field("instance", inst.name);
+      w.key("solver").raw(cur.stats.to_json());
+      w.end_object();
+      std::printf("%s\n", w.take().c_str());
     }
 
     if (smoke || write) continue;

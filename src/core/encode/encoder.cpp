@@ -13,6 +13,7 @@
 #include "graph/connectivity.h"
 #include "graph/yen.h"
 #include "milp/linearize.h"
+#include "util/obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -77,6 +78,8 @@ class Build {
   /// the builder so an incremental session can delta-extend it later.
   void execute() {
     util::Stopwatch clock;
+    util::obs::ScopedSpan span("encode/full", "encode");
+    span.arg("k_star", o_.k_star);
     collect_margins();
     determine_scope();
     emit_sizing();
@@ -91,6 +94,9 @@ class Build {
     p_.stats.encode_time_s = clock.seconds();
     p_.stats.reused_candidates = 0;
     p_.stats.delta_encode_time_s = 0.0;
+    span.arg("vars", p_.stats.num_vars);
+    span.arg("constrs", p_.stats.num_constrs);
+    span.arg("candidates", p_.stats.candidate_paths);
   }
 
   [[nodiscard]] EncodedProblem& problem() { return p_; }
@@ -330,6 +336,10 @@ class Build {
     std::vector<graph::EdgeId> banned;  // cumulative, sorted
     const auto& route = s_.routes[static_cast<size_t>(ri)];
     const int nrep = std::max(1, route.replicas);
+    // Runs on encoder worker threads, so traces show the Yen fan-out lanes.
+    util::obs::ScopedSpan span("encode/yen_route", "encode");
+    span.arg("route", ri);
+    span.arg("replicas", nrep);
     // BalanceData: split K* into Nrep groups of K with Nrep*K >= K*.
     st.k_per_rep = std::max(1, (o_.k_star + nrep - 1) / nrep);
 
@@ -355,6 +365,7 @@ class Build {
         banned.erase(std::unique(banned.begin(), banned.end()), banned.end());
       }
     }
+    span.arg("candidates", static_cast<double>(out.size()));
     return {std::move(out), std::move(st)};
   }
 
@@ -976,6 +987,11 @@ bool Build::extend_to_k(int new_k) {
     return true;
   }
   util::Stopwatch clock;
+  // Failed deltas record a span without the trailing "reused" arg — the
+  // caller rebuilds, and the rebuild shows up as its own encode/full span.
+  util::obs::ScopedSpan span("encode/delta", "encode");
+  span.arg("from_k", encoded_k_);
+  span.arg("to_k", new_k);
   const int prev_candidates = static_cast<int>(p_.candidates.size());
   const int vars_before = p_.model.num_vars();
 
@@ -1255,6 +1271,8 @@ bool Build::extend_to_k(int new_k) {
   p_.stats.reused_candidates = prev_candidates;
   p_.stats.delta_encode_time_s = clock.seconds();
   p_.stats.encode_time_s = clock.seconds();
+  span.arg("reused", prev_candidates);
+  util::obs::TraceRecorder::global().counter_add("encode.reused_candidates", prev_candidates);
   return true;
 }
 

@@ -4,9 +4,10 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <sstream>
 
 #include "graph/digraph.h"
+#include "util/obs/json.h"
+#include "util/obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -16,20 +17,26 @@ Explorer::Explorer(const NetworkTemplate& tmpl, const Specification& spec)
     : tmpl_(&tmpl), spec_(&spec) {}
 
 std::string ExplorationResult::solver_json() const {
-  std::ostringstream os;
-  os.precision(12);
-  os << "{\"status\": \"" << milp::to_string(status) << "\"";
-  os << ", \"objective\": " << objective;
-  os << ", \"total_time_s\": " << total_time_s;
-  os << ", \"encode\": {\"vars\": " << encode_stats.num_vars
-     << ", \"constrs\": " << encode_stats.num_constrs
-     << ", \"nonzeros\": " << encode_stats.nonzeros
-     << ", \"candidate_paths\": " << encode_stats.candidate_paths
-     << ", \"encode_time_s\": " << encode_stats.encode_time_s
-     << ", \"reused_candidates\": " << encode_stats.reused_candidates
-     << ", \"delta_encode_time_s\": " << encode_stats.delta_encode_time_s << "}";
-  os << ", \"solver\": " << solve_stats.to_json() << "}";
-  return os.str();
+  // The objective is non-finite on infeasible/unbounded runs; the obs
+  // writer turns it into null + an "objective_finite": false sidecar
+  // instead of emitting invalid bare inf/nan.
+  util::obs::JsonWriter w;
+  w.begin_object();
+  w.field("status", milp::to_string(status));
+  w.number_field("objective", objective);
+  w.number_field("total_time_s", total_time_s);
+  w.key("encode").begin_object();
+  w.field("vars", encode_stats.num_vars);
+  w.field("constrs", encode_stats.num_constrs);
+  w.field("nonzeros", encode_stats.nonzeros);
+  w.field("candidate_paths", encode_stats.candidate_paths);
+  w.number_field("encode_time_s", encode_stats.encode_time_s);
+  w.field("reused_candidates", encode_stats.reused_candidates);
+  w.number_field("delta_encode_time_s", encode_stats.delta_encode_time_s);
+  w.end_object();
+  w.key("solver").raw(solve_stats.to_json());
+  w.end_object();
+  return w.take();
 }
 
 namespace {
@@ -133,6 +140,8 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
     evaluated = exec.map<ExplorationResult>(n, [&](int i) {
       EncoderOptions eo = eopts;
       eo.k_star = kopts.ladder[static_cast<size_t>(i)];
+      util::obs::ScopedSpan rung_span("kstar/rung", "explore");
+      rung_span.arg("k", eo.k_star);
       return explore(eo, sopts);
     });
   }
@@ -151,6 +160,8 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
   double carry_obj = milp::kInf;
   const auto explore_rung = [&](int k) {
     util::Stopwatch rung_clock;
+    util::obs::ScopedSpan rung_span("kstar/rung", "explore");
+    rung_span.arg("k", k);
     ExplorationResult er;
     EncodedProblem& ep = session->encode_k(k);
     er.encode_stats = ep.stats;
@@ -187,6 +198,8 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
       r = explore_rung(k);
     } else {
       eopts.k_star = k;
+      util::obs::ScopedSpan rung_span("kstar/rung", "explore");
+      rung_span.arg("k", k);
       r = explore(eopts, sopts);
     }
     out.trace.emplace_back(k, r);

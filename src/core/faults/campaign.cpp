@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <sstream>
 
 #include "channel/propagation.h"
 #include "graph/connectivity.h"
+#include "util/obs/json.h"
+#include "util/obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace wnet::archex::faults {
@@ -154,14 +155,13 @@ std::string CampaignReport::to_json() const {
     for (int ri : o.broken_routes) num_routes = std::max(num_routes, ri + 1);
   }
 
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"total\": " << total() << ",\n";
-  os << "  \"passed\": " << passed() << ",\n";
-  os << "  \"failed\": " << failed() << ",\n";
+  util::obs::JsonWriter w;
+  w.begin_object();
+  w.field("total", total());
+  w.field("passed", passed());
+  w.field("failed", failed());
 
-  os << "  \"by_kind\": {";
-  bool first_kind = true;
+  w.key("by_kind").begin_object();
   for (FaultKind k : {FaultKind::kNodeFailure, FaultKind::kLinkCut, FaultKind::kFading}) {
     int tot = 0, pass = 0;
     for (const auto& o : outcomes) {
@@ -170,53 +170,47 @@ std::string CampaignReport::to_json() const {
       pass += o.passed ? 1 : 0;
     }
     if (tot == 0) continue;
-    os << (first_kind ? "" : ", ") << "\"" << to_string(k) << "\": {\"total\": " << tot
-       << ", \"passed\": " << pass << "}";
-    first_kind = false;
+    w.key(to_string(k)).begin_object();
+    w.field("total", tot);
+    w.field("passed", pass);
+    w.end_object();
   }
-  os << "},\n";
+  w.end_object();
 
-  const auto per_route = broken_per_route(num_routes);
-  os << "  \"broken_per_route\": [";
-  for (size_t i = 0; i < per_route.size(); ++i) {
-    os << (i == 0 ? "" : ", ") << per_route[i];
-  }
-  os << "],\n";
+  w.key("broken_per_route").begin_array();
+  for (int count : broken_per_route(num_routes)) w.value(count);
+  w.end_array();
 
-  os << "  \"failures\": [";
-  bool first_fail = true;
+  w.key("failures").begin_array();
   for (const auto& o : outcomes) {
     if (o.passed) continue;
-    os << (first_fail ? "\n" : ",\n") << "    {\"id\": " << o.scenario.id << ", \"kind\": \""
-       << to_string(o.scenario.kind) << "\"";
+    w.begin_object();
+    w.field("id", o.scenario.id);
+    w.field("kind", to_string(o.scenario.kind));
     if (!o.scenario.failed_nodes.empty()) {
-      os << ", \"nodes\": [";
-      for (size_t i = 0; i < o.scenario.failed_nodes.size(); ++i) {
-        os << (i == 0 ? "" : ", ") << o.scenario.failed_nodes[i];
-      }
-      os << "]";
+      w.key("nodes").begin_array();
+      for (int v : o.scenario.failed_nodes) w.value(v);
+      w.end_array();
     }
     if (!o.scenario.cut_links.empty()) {
-      os << ", \"links\": [";
-      for (size_t i = 0; i < o.scenario.cut_links.size(); ++i) {
-        os << (i == 0 ? "" : ", ") << "[" << o.scenario.cut_links[i].first << ", "
-           << o.scenario.cut_links[i].second << "]";
+      w.key("links").begin_array();
+      for (const auto& [a, b] : o.scenario.cut_links) {
+        w.begin_array().value(a).value(b).end_array();
       }
-      os << "]";
+      w.end_array();
     }
     if (o.scenario.kind == FaultKind::kFading) {
-      os << ", \"fading_seed\": " << o.scenario.fading_seed << ", \"worst_shortfall_db\": "
-         << o.worst_shortfall_db;
+      w.field("fading_seed", o.scenario.fading_seed);
+      w.number_field("worst_shortfall_db", o.worst_shortfall_db);
     }
-    os << ", \"broken_routes\": [";
-    for (size_t i = 0; i < o.broken_routes.size(); ++i) {
-      os << (i == 0 ? "" : ", ") << o.broken_routes[i];
-    }
-    os << "]}";
-    first_fail = false;
+    w.key("broken_routes").begin_array();
+    for (int ri : o.broken_routes) w.value(ri);
+    w.end_array();
+    w.end_object();
   }
-  os << (first_fail ? "]" : "\n  ]") << "\n}\n";
-  return os.str();
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 CampaignRunner::CampaignRunner(const NetworkTemplate& tmpl, const Specification& spec,
@@ -226,6 +220,8 @@ CampaignRunner::CampaignRunner(const NetworkTemplate& tmpl, const Specification&
 CampaignReport CampaignRunner::run(const NetworkArchitecture& arch,
                                    const std::vector<FaultScenario>& scenarios) const {
   CampaignReport rep;
+  util::obs::ScopedSpan span("faults/campaign", "faults");
+  span.arg("scenarios", static_cast<double>(scenarios.size()));
   const util::ParallelExecutor exec(opts_.threads);
   rep.outcomes = exec.map<ScenarioOutcome>(
       static_cast<int>(scenarios.size()), [&](int i) {

@@ -29,6 +29,7 @@
 #include "core/faults/fault_model.h"
 #include "graph/connectivity.h"
 #include "graph/digraph.h"
+#include "util/obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace wnet::archex {
@@ -241,6 +242,9 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
     const double remaining = ropts.time_budget_s - clock.seconds();
     if (iter > 0 && remaining <= 0.0) break;
     out.iterations = iter + 1;
+    util::obs::ScopedSpan iter_span("robust/iteration", "robust");
+    iter_span.arg("iter", iter);
+    iter_span.arg("hardenings", static_cast<double>(eopts.hardening.size()));
 
     milp::SolveOptions sopts = ropts.solver;
     sopts.time_limit_s = std::min(sopts.time_limit_s, std::max(1.0, remaining));

@@ -10,6 +10,8 @@
 
 #include "milp/presolve.h"
 #include "milp/tol.h"
+#include "util/obs/json.h"
+#include "util/obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace wnet::milp {
@@ -355,6 +357,9 @@ bool BranchAndBound::try_incumbent(const std::vector<double>& x) {
     if (opts_.collect_timeline) {
       stats_.incumbent_timeline.push_back({clock_.seconds(), stats_.nodes, obj});
     }
+    if (util::obs::TraceRecorder::global().enabled()) {
+      util::obs::TraceRecorder::global().record_counter("milp/incumbent_objective", obj);
+    }
     apply_reduced_cost_fixing();
     if (opts_.verbose) {
       std::fprintf(stderr, "[milp] incumbent %.6g after %ld nodes, %.1fs\n", obj, stats_.nodes,
@@ -418,11 +423,15 @@ void BranchAndBound::dive(const std::shared_ptr<const BoundChange>& chain, const
 
 MipResult BranchAndBound::run() {
   MipResult out;
+  util::obs::ScopedSpan solve_span("milp/solve", "milp");
+  solve_span.arg("vars", model_->num_vars());
+  solve_span.arg("int_vars", static_cast<double>(int_cols_.size()));
 
   // --- Root LP (with one full propagation sweep first: its tightenings go
   // into the root bound arrays, so every descendant inherits them).
   apply_chain(nullptr);
   if (opts_.node_propagation && !int_cols_.empty()) {
+    const util::obs::ScopedSpan prop_span("milp/root_propagate", "milp");
     if (!propagate_node(nullptr)) {
       ++stats_.propagation_prunes;
       out.status = SolveStatus::kInfeasible;
@@ -435,7 +444,12 @@ MipResult BranchAndBound::run() {
       root_ub_[k] = lp_.ub()[static_cast<size_t>(int_cols_[k])];
     }
   }
-  LpResult root = solve_lp(nullptr);
+  LpResult root = [&] {
+    util::obs::ScopedSpan root_span("milp/root_lp", "milp");
+    LpResult res = solve_lp(nullptr);
+    root_span.arg("iterations", static_cast<double>(res.iterations));
+    return res;
+  }();
   stats_.root_bound = root.objective;
   if (root.status == LpStatus::kPrimalInfeasible) {
     out.status = SolveStatus::kInfeasible;
@@ -515,12 +529,30 @@ MipResult BranchAndBound::run() {
       continue;  // pruned by bound (incumbent or caller-supplied cutoff)
     }
 
+    // Sampled node telemetry: every 64th node gets an LP span plus counter
+    // samples of the open-node count and propagation totals, so a Perfetto
+    // view shows tree progress without per-node recording overhead.
+    const bool sampled =
+        util::obs::TraceRecorder::global().enabled() && stats_.nodes % 64 == 1;
+    if (sampled) {
+      util::obs::TraceRecorder::global().record_counter(
+          "milp/open_nodes", static_cast<double>(stack.size() + 1));
+      util::obs::TraceRecorder::global().record_counter(
+          "milp/propagation_tightenings", static_cast<double>(stats_.propagation_tightenings));
+    }
+
     apply_chain(node.chain);
     if (opts_.node_propagation && !propagate_node(node.chain)) {
       ++stats_.propagation_prunes;
       continue;  // infeasible before any LP work
     }
-    const LpResult res = solve_lp(&node.warm_basis);
+    const LpResult res = [&] {
+      if (!sampled) return solve_lp(&node.warm_basis);
+      util::obs::ScopedSpan node_span("milp/node_lp", "milp");
+      node_span.arg("node", static_cast<double>(stats_.nodes));
+      node_span.arg("depth", node.depth);
+      return solve_lp(&node.warm_basis);
+    }();
     if (res.status == LpStatus::kPrimalInfeasible) continue;
     if (res.status != LpStatus::kOptimal) continue;  // counted in numerical_failures
     update_pseudocosts(node, res.objective);
@@ -594,6 +626,8 @@ MipResult BranchAndBound::run() {
   }
   out.stats = stats_;
   out.stats.time_s = clock_.seconds();
+  solve_span.arg("nodes", static_cast<double>(stats_.nodes));
+  solve_span.arg("lp_iterations", static_cast<double>(stats_.lp_iterations));
   return out;
 }
 
@@ -611,34 +645,41 @@ const char* to_string(SolveStatus s) {
 }
 
 std::string SolveStats::to_json() const {
-  std::ostringstream os;
-  os.precision(12);
-  os << "{";
-  os << "\"nodes\": " << nodes;
-  os << ", \"lp_iterations\": " << lp_iterations;
-  os << ", \"time_s\": " << time_s;
-  os << ", \"root_bound\": " << root_bound;
-  os << ", \"numerical_failures\": " << numerical_failures;
-  os << ", \"rc_fixed\": " << rc_fixed;
-  os << ", \"warm_attempts\": " << warm_attempts;
-  os << ", \"warm_lu_reused\": " << warm_lu_reused;
-  os << ", \"warm_fallbacks\": " << warm_fallbacks;
-  os << ", \"cold_solves\": " << cold_solves;
-  os << ", \"warm_start_hit_rate\": " << warm_start_hit_rate();
-  os << ", \"propagation_tightenings\": " << propagation_tightenings;
-  os << ", \"propagation_prunes\": " << propagation_prunes;
-  os << ", \"pseudocost_branches\": " << pseudocost_branches;
-  os << ", \"fractional_branches\": " << fractional_branches;
-  os << ", \"incumbents\": " << incumbents;
-  os << ", \"mip_start_used\": " << (mip_start_used ? "true" : "false");
-  os << ", \"incumbent_timeline\": [";
-  for (size_t i = 0; i < incumbent_timeline.size(); ++i) {
-    const IncumbentEvent& e = incumbent_timeline[i];
-    os << (i == 0 ? "" : ", ") << "{\"time_s\": " << e.time_s << ", \"nodes\": " << e.nodes
-       << ", \"objective\": " << e.objective << "}";
+  // All numeric output goes through the obs writer: non-finite doubles
+  // (root_bound on infeasible/unbounded solves, nan timeline objectives)
+  // become null with a "<field>_finite": false sidecar instead of the bare
+  // inf/nan an ostringstream would print, and formatting is
+  // locale-independent by construction.
+  util::obs::JsonWriter w;
+  w.begin_object();
+  w.field("nodes", nodes);
+  w.field("lp_iterations", lp_iterations);
+  w.number_field("time_s", time_s);
+  w.number_field("root_bound", root_bound);
+  w.field("numerical_failures", numerical_failures);
+  w.field("rc_fixed", rc_fixed);
+  w.field("warm_attempts", warm_attempts);
+  w.field("warm_lu_reused", warm_lu_reused);
+  w.field("warm_fallbacks", warm_fallbacks);
+  w.field("cold_solves", cold_solves);
+  w.number_field("warm_start_hit_rate", warm_start_hit_rate());
+  w.field("propagation_tightenings", propagation_tightenings);
+  w.field("propagation_prunes", propagation_prunes);
+  w.field("pseudocost_branches", pseudocost_branches);
+  w.field("fractional_branches", fractional_branches);
+  w.field("incumbents", incumbents);
+  w.field("mip_start_used", mip_start_used);
+  w.key("incumbent_timeline").begin_array();
+  for (const IncumbentEvent& e : incumbent_timeline) {
+    w.begin_object();
+    w.number_field("time_s", e.time_s);
+    w.field("nodes", e.nodes);
+    w.number_field("objective", e.objective);
+    w.end_object();
   }
-  os << "]}";
-  return os.str();
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 MipResult solve(const Model& model, const SolveOptions& opts) {

@@ -1,0 +1,333 @@
+#include "util/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace wnet::util::obs {
+
+// --------------------------------------------------------------- JsonWriter
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back({/*is_object=*/true, false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || !stack_.back().is_object || stack_.back().key_pending) {
+    throw std::logic_error("JsonWriter: end_object outside an object or after a dangling key");
+  }
+  stack_.pop_back();
+  out_ += '}';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back({/*is_object=*/false, false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().is_object) {
+    throw std::logic_error("JsonWriter: end_array outside an array");
+  }
+  stack_.pop_back();
+  out_ += ']';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || !stack_.back().is_object || stack_.back().key_pending) {
+    throw std::logic_error("JsonWriter: key() outside an object or twice in a row");
+  }
+  if (stack_.back().has_items) out_ += ", ";
+  stack_.back().has_items = true;
+  stack_.back().key_pending = true;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  return *this;
+}
+
+void JsonWriter::pre_value() {
+  if (stack_.empty()) {
+    if (done_) throw std::logic_error("JsonWriter: second top-level value");
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    if (!top.key_pending) throw std::logic_error("JsonWriter: value in object without key()");
+    top.key_pending = false;
+    return;
+  }
+  if (top.has_items) out_ += ", ";
+  top.has_items = true;
+}
+
+void JsonWriter::scalar(std::string_view literal) {
+  pre_value();
+  out_ += literal;
+  if (stack_.empty()) done_ = true;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  pre_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  scalar(b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  scalar(format_double(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  scalar("null");
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  scalar(json);
+  return *this;
+}
+
+JsonWriter& JsonWriter::number_field(std::string_view k, double v) {
+  key(k);
+  value(v);
+  if (!std::isfinite(v)) {
+    key(std::string(k) + "_finite");
+    value(false);
+  }
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  if (!stack_.empty()) throw std::logic_error("JsonWriter: take() with open scopes");
+  if (!done_) throw std::logic_error("JsonWriter: take() before any value");
+  return std::move(out_);
+}
+
+std::string JsonWriter::format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  // std::to_chars is locale-independent and prints the shortest string that
+  // round-trips; "-0" is normalized so byte-stability doesn't depend on the
+  // sign of a zero that compares equal.
+  if (v == 0.0) return "0";
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, static_cast<size_t>(r.ptr - buf));
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  static const char* hex = "0123456789abcdef";
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += hex[u >> 4];
+          out += hex[u & 0xF];
+        } else {
+          out += c;  // UTF-8 bytes pass through unmodified
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------- strict RFC 8259 parse
+
+namespace {
+
+/// Recursive-descent validator over the raw bytes; no value tree is built.
+class Checker {
+ public:
+  explicit Checker(std::string_view s) : s_(s) {}
+
+  std::optional<std::string> run() {
+    skip_ws();
+    if (auto e = parse_value(0)) return e;
+    skip_ws();
+    if (pos_ != s_.size()) return err("trailing garbage after top-level value");
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  std::optional<std::string> err(const std::string& what) const {
+    return what + " at byte " + std::to_string(pos_);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) ++pos_;
+  }
+
+  bool consume(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<std::string> parse_value(int depth) {
+    if (depth > kMaxDepth) return err("nesting too deep");
+    if (eof()) return err("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return parse_string();
+      case 't': return consume("true") ? std::nullopt : err("invalid literal");
+      case 'f': return consume("false") ? std::nullopt : err("invalid literal");
+      case 'n': return consume("null") ? std::nullopt : err("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  std::optional<std::string> parse_object(int depth) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return std::nullopt;
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') return err("expected object key string");
+      if (auto e = parse_string()) return e;
+      skip_ws();
+      if (eof() || peek() != ':') return err("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      if (auto e = parse_value(depth + 1)) return e;
+      skip_ws();
+      if (eof()) return err("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return std::nullopt;
+      }
+      return err("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<std::string> parse_array(int depth) {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return std::nullopt;
+    }
+    for (;;) {
+      skip_ws();
+      if (auto e = parse_value(depth + 1)) return e;
+      skip_ws();
+      if (eof()) return err("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return std::nullopt;
+      }
+      return err("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    ++pos_;  // '"'
+    while (!eof()) {
+      const auto u = static_cast<unsigned char>(peek());
+      if (u < 0x20) return err("unescaped control character in string");
+      if (peek() == '"') {
+        ++pos_;
+        return std::nullopt;
+      }
+      if (peek() == '\\') {
+        ++pos_;
+        if (eof()) return err("truncated escape");
+        const char e = peek();
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              return err("invalid \\u escape");
+            }
+          }
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' && e != 'r' &&
+            e != 't') {
+          return err("invalid escape character");
+        }
+      }
+      ++pos_;
+    }
+    return err("unterminated string");
+  }
+
+  std::optional<std::string> parse_number() {
+    // number = [-] int [frac] [exp]; leading zeros, '+', bare '.', and the
+    // inf/nan spellings are all rejected here.
+    const auto digit = [this] { return !eof() && peek() >= '0' && peek() <= '9'; };
+    if (!eof() && peek() == '-') ++pos_;
+    if (!digit()) return err("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digit()) return err("digits required after decimal point");
+      while (digit()) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digit()) return err("digits required in exponent");
+      while (digit()) ++pos_;
+    }
+    return std::nullopt;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::string> json_error(std::string_view text) { return Checker(text).run(); }
+
+}  // namespace wnet::util::obs

@@ -1,0 +1,119 @@
+#pragma once
+
+// Correct-by-construction JSON emission and strict validation.
+//
+// Every machine-readable report in the repo (SolveStats telemetry, explorer
+// runs, fault campaigns, bench --json gates, Chrome traces) goes through
+// JsonWriter instead of hand-rolled ostringstream concatenation, which fixes
+// two real bug classes at the root:
+//   - non-finite doubles: `operator<<` prints bare `inf` / `nan`, which is
+//     not JSON. The writer emits `null` instead, and number_field() adds a
+//     sidecar `"<key>_finite": false` so consumers can tell "missing" from
+//     "was infinite".
+//   - locale fragility: iostream/printf numeric formatting follows the
+//     process locale (a comma decimal point under de_DE breaks every parser
+//     downstream). The writer formats through std::to_chars, which is
+//     locale-independent by specification and round-trips exactly.
+//
+// Output style is compact-with-spaces — `{"a": 1, "b": [1, 2]}` — matching
+// the repo's existing emitters and the sscanf-based baseline loaders.
+//
+// json_error() is the matching strict RFC 8259 validator used by tests and
+// fuzz harnesses; it accepts exactly what python -m json.tool accepts.
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace wnet::util::obs {
+
+/// Streaming JSON writer with structural checking: mismatched begin/end,
+/// values without keys inside objects, or multiple top-level values throw
+/// std::logic_error (programmer error, never data-dependent).
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a member inside the current object; the next value() call (or
+  /// begin_object/begin_array) supplies its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  /// Non-finite doubles become null (see number_field for the sidecar).
+  JsonWriter& value(double v);
+  template <class T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    char buf[32];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    scalar(std::string_view(buf, static_cast<size_t>(r.ptr - buf)));
+    return *this;
+  }
+  JsonWriter& null_value();
+
+  /// Embeds a pre-serialized JSON value verbatim (e.g. a nested report that
+  /// was itself produced by a JsonWriter).
+  JsonWriter& raw(std::string_view json);
+
+  /// key + value in one call, for any value() overload.
+  template <class T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Numeric member that survives non-finite inputs: finite doubles emit
+  /// normally; inf/nan emit `"k": null, "k_finite": false` so strict parsers
+  /// stay happy and consumers can still detect the condition.
+  JsonWriter& number_field(std::string_view k, double v);
+
+  /// Finishes the document and returns it. Throws if any scope is open or
+  /// nothing was written.
+  [[nodiscard]] std::string take();
+
+  /// Locale-independent shortest-round-trip formatting ("null" when
+  /// non-finite). Exposed for callers that format numbers outside a
+  /// document (e.g. table cells that must stay byte-stable under locales).
+  [[nodiscard]] static std::string format_double(double v);
+
+  /// JSON string escaping (quotes, backslash, control characters; UTF-8
+  /// bytes pass through). Returns the body without surrounding quotes.
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool has_items = false;
+    bool key_pending = false;
+  };
+
+  void pre_value();              ///< comma/key bookkeeping before any value
+  void scalar(std::string_view literal);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool done_ = false;  ///< a complete top-level value has been written
+};
+
+/// Strict RFC 8259 validation: returns std::nullopt when `text` is exactly
+/// one valid JSON value (plus surrounding whitespace), or a human-readable
+/// error with byte offset otherwise. Rejects everything Python's json.tool
+/// rejects: bare inf/nan, trailing commas, single quotes, leading zeros,
+/// unescaped control characters, trailing garbage.
+[[nodiscard]] std::optional<std::string> json_error(std::string_view text);
+
+[[nodiscard]] inline bool json_valid(std::string_view text) {
+  return !json_error(text).has_value();
+}
+
+}  // namespace wnet::util::obs

@@ -1,0 +1,162 @@
+#include "util/obs/trace.h"
+
+#include <fstream>
+
+#include "util/obs/json.h"
+
+namespace wnet::util::obs {
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  totals_.clear();
+  tids_.clear();
+  next_seq_ = 0;
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int TraceRecorder::tid_locked(std::thread::id id) {
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int dense = static_cast<int>(tids_.size());
+  tids_.emplace(id, dense);
+  return dense;
+}
+
+void TraceRecorder::record_complete(std::string name, std::string cat, double start_us,
+                                    double dur_us,
+                                    std::vector<std::pair<std::string, double>> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ts_us = start_us;
+  e.dur_us = dur_us;
+  e.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(mu_);
+  e.tid = tid_locked(std::this_thread::get_id());
+  e.seq = next_seq_++;
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::record_counter(std::string name, double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.name = std::move(name);
+  e.ts_us = now_us();
+  e.counter_value = value;
+  const std::lock_guard<std::mutex> lock(mu_);
+  e.tid = tid_locked(std::this_thread::get_id());
+  e.seq = next_seq_++;
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::counter_add(const std::string& name, double delta) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  totals_[name] += delta;
+}
+
+double TraceRecorder::counter_total(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = totals_.find(name);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> TraceRecorder::counter_totals() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+size_t TraceRecorder::num_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;  // already in seq order: appends happen under the mutex
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  std::vector<TraceEvent> events;
+  std::map<std::string, double> totals;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    totals = totals_;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.field("name", e.name);
+    if (!e.cat.empty()) w.field("cat", e.cat);
+    w.field("ph", e.phase == TraceEvent::Phase::kComplete ? "X" : "C");
+    w.number_field("ts", e.ts_us);
+    if (e.phase == TraceEvent::Phase::kComplete) w.number_field("dur", e.dur_us);
+    w.field("pid", 1);
+    w.field("tid", e.tid);
+    w.key("args").begin_object();
+    if (e.phase == TraceEvent::Phase::kCounter) {
+      w.number_field("value", e.counter_value);
+    }
+    for (const auto& [k, v] : e.args) w.number_field(k, v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.key("otherData").begin_object();
+  w.key("counter_totals").begin_object();
+  for (const auto& [k, v] : totals) w.number_field(k, v);
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view cat)
+    : active_(TraceRecorder::global().enabled()) {
+  if (!active_) return;
+  name_ = name;
+  cat_ = cat;
+  start_us_ = TraceRecorder::global().now_us();
+}
+
+void ScopedSpan::arg(std::string_view key, double v) {
+  if (active_) args_.emplace_back(std::string(key), v);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.record_complete(std::move(name_), std::move(cat_), start_us_,
+                      rec.now_us() - start_us_, std::move(args_));
+}
+
+}  // namespace wnet::util::obs

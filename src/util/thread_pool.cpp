@@ -5,6 +5,8 @@
 #include <exception>
 #include <stdexcept>
 
+#include "util/obs/trace.h"
+
 namespace wnet::util {
 
 int resolve_threads(int requested) {
@@ -102,6 +104,21 @@ void ParallelExecutor::for_each(int n, const std::function<void(int)>& fn) const
 
   std::unique_lock<std::mutex> lock(join->mu);
   join->cv.wait(lock, [&] { return join->done.load(std::memory_order_acquire) == n; });
+
+  // Rethrow contract: every index runs to completion (a throwing index
+  // never aborts its siblings — their slot-owned results survive intact),
+  // and the LOWEST-index exception is rethrown, i.e. the same one a serial
+  // loop would have surfaced first. Additional exceptions are necessarily
+  // dropped — C++ can only propagate one — but never silently: their count
+  // is recorded in the observability layer before the rethrow.
+  long failed = 0;
+  for (const std::exception_ptr& e : join->errors) {
+    if (e) ++failed;
+  }
+  if (failed > 1) {
+    obs::TraceRecorder::global().counter_add("thread_pool.suppressed_exceptions",
+                                             static_cast<double>(failed - 1));
+  }
   for (const std::exception_ptr& e : join->errors) {
     if (e) std::rethrow_exception(e);
   }

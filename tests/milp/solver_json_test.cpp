@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <string>
+
+#include "core/explorer.h"
+#include "milp/model.h"
+#include "milp/solver.h"
+#include "util/obs/json.h"
+
+namespace wnet::milp {
+namespace {
+
+using util::obs::json_error;
+using util::obs::json_valid;
+
+/// Regression for the bare-inf/nan telemetry bug: to_json() used to print
+/// `"root_bound": inf` (via operator<<), which no JSON parser accepts. Every
+/// reachable SolveStatus must now produce strictly valid JSON, both from
+/// SolveStats directly and through ExplorationResult::solver_json().
+void expect_valid_telemetry(const MipResult& res, SolveStatus want) {
+  ASSERT_EQ(res.status, want) << to_string(res.status);
+
+  const std::string stats = res.stats.to_json();
+  EXPECT_TRUE(json_valid(stats)) << to_string(want) << ": "
+                                 << json_error(stats).value_or("") << "\n" << stats;
+
+  archex::ExplorationResult er;
+  er.status = res.status;
+  er.objective = res.objective;
+  er.solve_stats = res.stats;
+  er.total_time_s = res.stats.time_s;
+  const std::string doc = er.solver_json();
+  EXPECT_TRUE(json_valid(doc)) << to_string(want) << ": "
+                               << json_error(doc).value_or("") << "\n" << doc;
+  EXPECT_NE(doc.find(to_string(want)), std::string::npos) << doc;
+}
+
+TEST(SolverJson, OptimalSolveSerializesValid) {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  m.add_le(LinExpr(a) + LinExpr(b), 1.0);
+  m.minimize(-2.0 * LinExpr(a) - LinExpr(b));
+  expect_valid_telemetry(solve(m), SolveStatus::kOptimal);
+}
+
+TEST(SolverJson, InfeasibleSolveSerializesValid) {
+  // Infeasible runs are exactly where root_bound stays at its +/-inf
+  // sentinel — the historical bare-`inf` emitter.
+  Model m;
+  const Var x = m.add_integer("x", 0, 10);
+  m.add_eq(2.0 * LinExpr(x), 3.0);
+  m.minimize(LinExpr(x));
+  const auto res = solve(m);
+  expect_valid_telemetry(res, SolveStatus::kInfeasible);
+  EXPECT_NE(res.stats.to_json().find("\"root_bound\""), std::string::npos);
+}
+
+TEST(SolverJson, UnboundedSolveSerializesValid) {
+  Model m;
+  const Var x = m.add_continuous("x", 0.0, kInf);
+  m.minimize(-1.0 * LinExpr(x));
+  expect_valid_telemetry(solve(m), SolveStatus::kUnbounded);
+}
+
+TEST(SolverJson, FeasibleViaNodeLimitSerializesValid) {
+  // A 30-item knapsack big enough that one node cannot close the gap: the
+  // root dive's incumbent survives the node-limit stop -> kFeasible.
+  Model m;
+  std::mt19937 rng(5);
+  LinExpr weight, obj;
+  for (int i = 0; i < 30; ++i) {
+    const Var v = m.add_binary("b" + std::to_string(i));
+    weight += (1.0 + static_cast<double>(rng() % 7)) * LinExpr(v);
+    obj += -(1.0 + static_cast<double>(rng() % 9)) * LinExpr(v);
+  }
+  m.add_le(weight, 40.0);
+  m.minimize(obj);
+  SolveOptions opts;
+  opts.node_limit = 1;
+  expect_valid_telemetry(solve(m, opts), SolveStatus::kFeasible);
+}
+
+TEST(SolverJson, NoSolutionViaCutoffSerializesValid) {
+  // Cutoff below the true optimum with a fractional root (so neither the
+  // rounded nor the raw LP point becomes an incumbent) prunes everything
+  // unseen: the tree exhausts with no incumbent -> kNoSolution.
+  Model m;
+  const Var x1 = m.add_binary("x1");
+  const Var x2 = m.add_binary("x2");
+  const Var x3 = m.add_binary("x3");
+  m.add_le(2.0 * LinExpr(x1) + 3.0 * LinExpr(x2) + LinExpr(x3), 5.0);
+  m.minimize(-5.0 * LinExpr(x1) - 4.0 * LinExpr(x2) - 3.0 * LinExpr(x3));
+  SolveOptions opts;
+  opts.cutoff = -100.0;
+  opts.root_dive = false;
+  expect_valid_telemetry(solve(m, opts), SolveStatus::kNoSolution);
+}
+
+TEST(SolverJson, NonFiniteRootBoundSerializesAsNullWithSidecar) {
+  SolveStats s;
+  s.root_bound = std::numeric_limits<double>::infinity();
+  s.time_s = std::numeric_limits<double>::quiet_NaN();
+  s.incumbent_timeline.push_back({std::numeric_limits<double>::quiet_NaN(), 5,
+                                  -std::numeric_limits<double>::infinity()});
+  const std::string doc = s.to_json();
+  EXPECT_TRUE(json_valid(doc)) << json_error(doc).value_or("") << "\n" << doc;
+  EXPECT_NE(doc.find("\"root_bound\": null, \"root_bound_finite\": false"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"time_s\": null, \"time_s_finite\": false"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"objective\": null, \"objective_finite\": false"), std::string::npos)
+      << doc;
+  // No bare inf/nan token anywhere — the original bug.
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+}
+
+TEST(SolverJson, ExplorationResultCarriesEncodeBlock) {
+  archex::ExplorationResult er;
+  er.status = SolveStatus::kOptimal;
+  er.objective = -12.5;
+  er.encode_stats.num_vars = 10;
+  er.encode_stats.num_constrs = 20;
+  er.encode_stats.candidate_paths = 6;
+  er.encode_stats.encode_time_s = std::numeric_limits<double>::infinity();
+  const std::string doc = er.solver_json();
+  EXPECT_TRUE(json_valid(doc)) << json_error(doc).value_or("") << "\n" << doc;
+  EXPECT_NE(doc.find("\"encode\": {"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"encode_time_s\": null, \"encode_time_s_finite\": false"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"solver\": {"), std::string::npos) << doc;
+}
+
+}  // namespace
+}  // namespace wnet::milp

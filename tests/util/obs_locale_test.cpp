@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <limits>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "core/faults/campaign.h"
+#include "milp/solver.h"
+#include "util/obs/json.h"
+#include "util/obs/trace.h"
+
+namespace wnet::util::obs {
+namespace {
+
+/// A numpunct facet with a comma decimal point and dot thousands grouping —
+/// the de_DE shape that broke iostream/printf-based emitters. Installing it
+/// as the GLOBAL C++ locale (plus setlocale for the C library, when the
+/// system ships such a locale) is the worst case a long-running host app can
+/// inflict on us.
+class CommaDecimal : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// RAII: swaps in the hostile locale for one scope, always restores.
+class HostileLocaleScope {
+ public:
+  HostileLocaleScope()
+      : saved_cpp_(std::locale()), saved_c_(std::setlocale(LC_ALL, nullptr)) {
+    std::locale::global(std::locale(std::locale::classic(), new CommaDecimal));
+    // Best effort only — minimal containers usually lack de_DE; the facet
+    // above covers the C++ side either way.
+    c_locale_applied_ = std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr;
+    if (!c_locale_applied_) std::setlocale(LC_ALL, saved_c_.c_str());
+  }
+  ~HostileLocaleScope() {
+    std::locale::global(saved_cpp_);
+    std::setlocale(LC_ALL, saved_c_.c_str());
+  }
+  [[nodiscard]] bool c_locale_applied() const { return c_locale_applied_; }
+
+ private:
+  std::locale saved_cpp_;
+  std::string saved_c_;
+  bool c_locale_applied_ = false;
+};
+
+milp::SolveStats reference_stats() {
+  milp::SolveStats s;
+  s.nodes = 1234;
+  s.lp_iterations = 56789;
+  s.time_s = 1234.5625;           // exact in binary: byte-stable everywhere
+  s.root_bound = -std::numeric_limits<double>::infinity();
+  s.warm_attempts = 100;
+  s.warm_fallbacks = 3;
+  s.cold_solves = 17;
+  s.incumbents = 2;
+  s.incumbent_timeline.push_back({0.125, 10, -1546.75});
+  s.incumbent_timeline.push_back({0.5, 200, -1700.0625});
+  return s;
+}
+
+archex::faults::CampaignReport reference_report() {
+  using archex::faults::FaultKind;
+  archex::faults::ScenarioOutcome bad;
+  bad.scenario.id = 7;
+  bad.scenario.kind = FaultKind::kFading;
+  bad.scenario.fading_seed = 42;
+  bad.passed = false;
+  bad.broken_routes = {0, 2};
+  bad.worst_shortfall_db = 3.25;
+  archex::faults::CampaignReport rep;
+  rep.outcomes.push_back({});
+  rep.outcomes.push_back(bad);
+  return rep;
+}
+
+TEST(LocaleImmunity, SanityTheFacetReallyBreaksIostreams) {
+  const HostileLocaleScope hostile;
+  std::ostringstream oss;
+  oss.imbue(std::locale());  // the now-global comma locale
+  oss << 1234.5;
+  // This is the bug class the writer exists to fix: "1.234,5" is not JSON.
+  EXPECT_EQ(oss.str(), "1.234,5");
+}
+
+TEST(LocaleImmunity, SolveStatsJsonIsByteIdenticalUnderCommaLocale) {
+  const milp::SolveStats s = reference_stats();
+  const std::string classic = s.to_json();
+  ASSERT_TRUE(json_valid(classic)) << json_error(classic).value_or("");
+  EXPECT_NE(classic.find("\"time_s\": 1234.5625"), std::string::npos) << classic;
+  EXPECT_NE(classic.find("\"root_bound\": null, \"root_bound_finite\": false"),
+            std::string::npos)
+      << classic;
+
+  const HostileLocaleScope hostile;
+  EXPECT_EQ(s.to_json(), classic);
+}
+
+TEST(LocaleImmunity, CampaignReportJsonIsByteIdenticalUnderCommaLocale) {
+  const archex::faults::CampaignReport rep = reference_report();
+  const std::string classic = rep.to_json();
+  ASSERT_TRUE(json_valid(classic)) << json_error(classic).value_or("");
+  EXPECT_NE(classic.find("\"worst_shortfall_db\": 3.25"), std::string::npos) << classic;
+
+  const HostileLocaleScope hostile;
+  EXPECT_EQ(rep.to_json(), classic);
+}
+
+TEST(LocaleImmunity, TraceExportIsByteIdenticalUnderCommaLocale) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+  rec.record_complete("milp/solve", "milp", 1.5, 2048.25, {{"nodes", 1234.5}});
+  rec.record_counter("milp/open_nodes", 17.75);
+  rec.counter_add("encode.reused_candidates", 1000.5);
+  rec.set_enabled(false);
+
+  const std::string classic = rec.chrome_trace_json();
+  ASSERT_TRUE(json_valid(classic)) << json_error(classic).value_or("");
+
+  {
+    const HostileLocaleScope hostile;
+    EXPECT_EQ(rec.chrome_trace_json(), classic);
+  }
+  rec.clear();
+}
+
+TEST(LocaleImmunity, WriterRoundTripsUnderCommaLocale) {
+  const HostileLocaleScope hostile;
+  JsonWriter w;
+  w.begin_object();
+  w.number_field("v", 0.1);
+  w.field("big", 1234567.875);
+  w.end_object();
+  const std::string doc = w.take();
+  EXPECT_EQ(doc, "{\"v\": 0.1, \"big\": 1234567.875}");
+  EXPECT_TRUE(json_valid(doc));
+}
+
+}  // namespace
+}  // namespace wnet::util::obs

@@ -1,0 +1,155 @@
+#include "util/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/obs/json.h"
+#include "util/thread_pool.h"
+
+namespace wnet::util::obs {
+namespace {
+
+/// Every test drives the process-global recorder, so each one starts from a
+/// clean, disabled slate and leaves it that way (other tests — solver,
+/// explorer — must see a disabled recorder).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::global().clear();
+    TraceRecorder::global().set_enabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::global().set_enabled(false);
+    TraceRecorder::global().clear();
+  }
+};
+
+TEST_F(TraceTest, ScopedSpanRecordsOneCompleteEventWithArgs) {
+  {
+    ScopedSpan span("encode/full", "encode");
+    span.arg("k_star", 5.0);
+    span.arg("vars", 120.0);
+  }
+  const auto events = TraceRecorder::global().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& e = events[0];
+  EXPECT_EQ(e.phase, TraceEvent::Phase::kComplete);
+  EXPECT_EQ(e.name, "encode/full");
+  EXPECT_EQ(e.cat, "encode");
+  EXPECT_GE(e.dur_us, 0.0);
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[0].first, "k_star");
+  EXPECT_EQ(e.args[0].second, 5.0);
+  EXPECT_EQ(e.args[1].first, "vars");
+}
+
+TEST_F(TraceTest, DisabledRecorderRecordsNothingAndSpansAreInactive) {
+  TraceRecorder::global().set_enabled(false);
+  {
+    ScopedSpan span("milp/solve", "milp");
+    EXPECT_FALSE(span.active());
+    span.arg("nodes", 1.0);
+  }
+  TraceRecorder::global().record_counter("c", 1.0);
+  TraceRecorder::global().counter_add("t", 1.0);
+  EXPECT_EQ(TraceRecorder::global().num_events(), 0u);
+  EXPECT_EQ(TraceRecorder::global().counter_total("t"), 0.0);
+}
+
+TEST_F(TraceTest, CountersAccumulateAndExportInFooter) {
+  TraceRecorder::global().counter_add("encode.reused_candidates", 40.0);
+  TraceRecorder::global().counter_add("encode.reused_candidates", 2.0);
+  TraceRecorder::global().record_counter("milp/open_nodes", 7.0);
+  EXPECT_EQ(TraceRecorder::global().counter_total("encode.reused_candidates"), 42.0);
+
+  const std::string doc = TraceRecorder::global().chrome_trace_json();
+  ASSERT_TRUE(json_valid(doc)) << json_error(doc).value_or("") << "\n" << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(doc.find("\"encode.reused_candidates\": 42"), std::string::npos);
+}
+
+TEST_F(TraceTest, EventsExportInRecordingOrder) {
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("kstar/rung", "explore");
+    span.arg("k", static_cast<double>(i));
+  }
+  const auto events = TraceRecorder::global().snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<long>(i));
+    EXPECT_EQ(events[i].args[0].second, static_cast<double>(i));
+  }
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsStrictlyValidWithHostileNames) {
+  {
+    ScopedSpan span("weird \"name\"\nwith\tcontrol", "cat\\slash");
+    span.arg("µ-arg", 1.0);
+  }
+  const std::string doc = TraceRecorder::global().chrome_trace_json();
+  EXPECT_TRUE(json_valid(doc)) << json_error(doc).value_or("") << "\n" << doc;
+}
+
+TEST_F(TraceTest, ConcurrentSpansAndCountersAreAllRecorded) {
+  const ParallelExecutor exec(4);
+  const int n = 200;
+  exec.for_each(n, [](int i) {
+    ScopedSpan span("encode/yen_route", "encode");
+    span.arg("route", static_cast<double>(i));
+    TraceRecorder::global().counter_add("test.total", 1.0);
+  });
+  EXPECT_EQ(TraceRecorder::global().num_events(), static_cast<size_t>(n));
+  EXPECT_EQ(TraceRecorder::global().counter_total("test.total"), static_cast<double>(n));
+
+  // Every index appears exactly once, and seq numbers are a permutation-free
+  // 0..n-1 run regardless of which worker recorded which event.
+  std::vector<int> seen(static_cast<size_t>(n), 0);
+  const auto events = TraceRecorder::global().snapshot();
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<long>(i));
+    seen[static_cast<size_t>(events[i].args[0].second)]++;
+  }
+  for (int i = 0; i < n; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], 1) << i;
+
+  const std::string doc = TraceRecorder::global().chrome_trace_json();
+  EXPECT_TRUE(json_valid(doc)) << json_error(doc).value_or("");
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTripsThroughAFile) {
+  {
+    ScopedSpan span("faults/campaign", "faults");
+    span.arg("scenarios", 12.0);
+  }
+  const std::string path = ::testing::TempDir() + "wnet_trace_test.json";
+  ASSERT_TRUE(TraceRecorder::global().write_chrome_trace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_TRUE(json_valid(doc)) << json_error(doc).value_or("");
+  EXPECT_NE(doc.find("faults/campaign"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, WriteChromeTraceFailsCleanlyOnBadPath) {
+  EXPECT_FALSE(TraceRecorder::global().write_chrome_trace("/nonexistent-dir/x/trace.json"));
+}
+
+TEST_F(TraceTest, ClearDropsEventsAndTotals) {
+  { ScopedSpan span("milp/root_lp", "milp"); }
+  TraceRecorder::global().counter_add("x", 3.0);
+  TraceRecorder::global().clear();
+  EXPECT_EQ(TraceRecorder::global().num_events(), 0u);
+  EXPECT_EQ(TraceRecorder::global().counter_total("x"), 0.0);
+  EXPECT_TRUE(TraceRecorder::global().counter_totals().empty());
+}
+
+}  // namespace
+}  // namespace wnet::util::obs

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/obs/trace.h"
+
 namespace wnet::util {
 namespace {
 
@@ -99,6 +101,77 @@ TEST(ParallelExecutor, LowestIndexExceptionWins) {
       EXPECT_STREQ(e.what(), "boom 3") << "threads=" << threads;
     }
   }
+}
+
+TEST(ParallelExecutor, MultipleThrowersStillRethrowLowestAndRunEveryOtherIndex) {
+  // Audit of the catch(...) in for_each: a throwing index must never abort
+  // its siblings, and with several throwers the rethrown exception is still
+  // the lowest-index one — the same one a serial loop would surface first.
+  // (threads=1 has no pool, so plain serial throw-on-first semantics apply
+  // there; the run-everything guarantee is the pooled path's contract.)
+  for (int threads : {2, 4, 8}) {
+    const int n = 16;
+    std::vector<std::atomic<int>> ran(n);
+    const ParallelExecutor exec(threads);
+    try {
+      exec.for_each(n, [&ran](int i) {
+        ran[static_cast<size_t>(i)].fetch_add(1);
+        if (i == 3 || i == 7 || i == 11) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "3") << "threads=" << threads;
+    }
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(ran[static_cast<size_t>(i)].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelExecutor, SuppressedExceptionsAreCountedAndSurvivorWorkIsKept) {
+  // C++ can only propagate one of the three exceptions; the other two must
+  // not vanish silently. With the recorder on, for_each reports them to the
+  // observability layer, and counters recorded by non-throwing tasks before
+  // the rethrow are all retained.
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+
+  const ParallelExecutor exec(4);
+  const int n = 12;
+  try {
+    exec.for_each(n, [&rec](int i) {
+      if (i == 3 || i == 7 || i == 11) throw std::runtime_error(std::to_string(i));
+      rec.counter_add("test.task." + std::to_string(i), 1.0);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "3");
+  }
+
+  // 3 throwers, 1 rethrown => 2 suppressed.
+  EXPECT_EQ(rec.counter_total("thread_pool.suppressed_exceptions"), 2.0);
+  for (int i = 0; i < n; ++i) {
+    if (i == 3 || i == 7 || i == 11) continue;
+    EXPECT_EQ(rec.counter_total("test.task." + std::to_string(i)), 1.0) << "i=" << i;
+  }
+
+  rec.set_enabled(false);
+  rec.clear();
+}
+
+TEST(ParallelExecutor, SingleExceptionSuppressesNothing) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+  const ParallelExecutor exec(4);
+  EXPECT_THROW(exec.for_each(8, [](int i) {
+    if (i == 5) throw std::runtime_error("only");
+  }),
+               std::runtime_error);
+  EXPECT_EQ(rec.counter_total("thread_pool.suppressed_exceptions"), 0.0);
+  rec.set_enabled(false);
+  rec.clear();
 }
 
 TEST(ParallelExecutor, SurvivesAnExceptionAndKeepsWorking) {
