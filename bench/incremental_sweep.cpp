@@ -16,6 +16,13 @@
 //                      chosen_k/objective against a checked-in baseline.
 //                      Timing is reported but never gated (CI runs this).
 //   --write-baseline   Regenerates the baseline file at --baseline.
+//   --time-budget S    Anytime/budget mode: runs the smoke-subset ladders
+//                      through one incremental session under a shared
+//                      wall-clock deadline of S seconds (plus the process
+//                      SIGINT/SIGTERM token) and prints one strict-JSON row
+//                      per ladder plus a final summary row. No A/B or
+//                      baseline gates: partial results are the point.
+//                      Always exits 0 unless a search crashes.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -28,6 +35,7 @@
 #include "bench_common.h"
 #include "core/explorer.h"
 #include "core/workloads/scenarios.h"
+#include "util/exec/exec.h"
 #include "util/obs/json.h"
 #include "util/obs/trace.h"
 #include "util/stopwatch.h"
@@ -193,11 +201,18 @@ int main(int argc, char** argv) {
                     {"trace", ""},
                     {"smoke", "0"},
                     {"write-baseline", "0"},
-                    {"baseline", "bench/incremental_sweep_baseline.json"}});
+                    {"baseline", "bench/incremental_sweep_baseline.json"},
+                    {"time-budget", "0"}});
+
+  // Ctrl-C / SIGTERM trip the process-wide cancellation token: in-flight
+  // ladder searches return their best-so-far and the summary row is still
+  // written before exit.
+  util::exec::install_interrupt_handlers();
 
   const bool smoke = args.getb("smoke");
   const bool write = args.getb("write-baseline");
   const double tl = args.getd("time-limit");
+  const double budget_s = args.getd("time-budget");
 
   // --trace out.json: record per-rung / encode / solver spans across the
   // ladder searches and dump a Chrome trace (ui.perfetto.dev) on exit.
@@ -214,7 +229,60 @@ int main(int argc, char** argv) {
   } trace_dump{args.gets("trace")};
   if (!trace_dump.path.empty()) util::obs::TraceRecorder::global().set_enabled(true);
 
-  const auto cases = build_cases(/*smoke_only=*/smoke || write);
+  const auto cases = build_cases(/*smoke_only=*/smoke || write || budget_s > 0.0);
+
+  if (budget_s > 0.0) {
+    // Budget mode. One shared deadline spans every ladder; each search runs
+    // the incremental session with the request control threaded through
+    // encoder, solver and the ladder scan, so a stop mid-rung still yields
+    // a valid partial KStarSearchResult with a termination reason.
+    util::exec::ExecControl ctl;
+    ctl.deadline = util::exec::Deadline::after(budget_s);
+    ctl.token = util::exec::interrupt_token();
+    int attempted = 0;
+    const char* last_termination = "completed";
+    for (const auto& c : cases) {
+      if (ctl.stopped()) break;
+      workloads::ScalableConfig cfg;
+      cfg.total_nodes = c.total_nodes;
+      cfg.end_devices = c.end_devices;
+      cfg.route_replicas = c.route_replicas;
+      const auto sc = workloads::make_scalable(cfg);
+      Explorer::KStarSearchOptions ko;
+      ko.ladder = c.ladder;
+      ko.incremental = true;
+      EncoderOptions eo;
+      eo.exec = ctl;
+      milp::SolveOptions so;
+      so.time_limit_s = tl;
+      so.exec = ctl;
+      const Explorer ex(*sc->tmpl, sc->spec);
+      const auto r = ex.search_k_star(ko, eo, so);
+      last_termination = util::exec::to_string(r.termination);
+      ++attempted;
+      util::obs::JsonWriter w;
+      w.begin_object();
+      w.field("instance", c.name);
+      w.field("chosen_k", r.chosen_k);
+      w.field("rungs_visited", static_cast<long>(r.trace.size()));
+      w.field("termination", util::exec::to_string(r.termination));
+      w.key("best").raw(r.best.solver_json());
+      w.end_object();
+      std::printf("%s\n", w.take().c_str());
+    }
+    util::obs::JsonWriter w;
+    w.begin_object();
+    w.field("mode", "budget");
+    w.number_field("time_budget_s", budget_s);
+    w.field("instances_total", static_cast<long>(cases.size()));
+    w.field("instances_attempted", attempted);
+    w.field("last_termination", last_termination);
+    w.field("interrupted", util::exec::interrupt_token().cancelled());
+    w.field("interrupt_signal", util::exec::interrupt_signal());
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+    return 0;
+  }
 
   util::Table table({"Instance", "chosen K*", "Obj", "Fresh (s)", "Incr (s)", "Speedup",
                      "Fresh enc (s)", "Incr enc (s)", "Reused", "MIP starts"});

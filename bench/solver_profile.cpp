@@ -17,6 +17,12 @@
 //                      against a checked-in baseline JSON; exits non-zero
 //                      on a > 25% regression (CI tier-1 runs this).
 //   --write-baseline   Regenerates the baseline file at --baseline.
+//   --time-budget S    Anytime/budget mode: runs the smoke subset under one
+//                      shared wall-clock deadline of S seconds (plus the
+//                      process-wide SIGINT/SIGTERM token) and prints one
+//                      strict-JSON row per solve plus a final summary row.
+//                      No baselines or A/B gates: partial results are the
+//                      point. Always exits 0 unless a solve crashes.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +36,7 @@
 #include "core/encode/encoder.h"
 #include "core/workloads/scenarios.h"
 #include "milp/solver.h"
+#include "util/exec/exec.h"
 #include "util/obs/json.h"
 #include "util/obs/trace.h"
 #include "util/stopwatch.h"
@@ -231,10 +238,17 @@ int main(int argc, char** argv) {
                     {"trace", ""},
                     {"smoke", "0"},
                     {"write-baseline", "0"},
-                    {"baseline", "bench/solver_profile_baseline.json"}});
+                    {"baseline", "bench/solver_profile_baseline.json"},
+                    {"time-budget", "0"}});
+
+  // Ctrl-C / SIGTERM trip the process-wide cancellation token instead of
+  // killing the process: in-flight solves return their incumbents and the
+  // budget-mode summary row still gets written.
+  util::exec::install_interrupt_handlers();
 
   const bool smoke = args.getb("smoke");
   const bool write = args.getb("write-baseline");
+  const double budget_s = args.getd("time-budget");
 
   // --trace out.json: record spans/counters for every solve and dump a
   // Chrome trace (chrome://tracing, ui.perfetto.dev) on any exit path.
@@ -257,7 +271,45 @@ int main(int argc, char** argv) {
   legacy.pseudocost_branching = false;
   legacy.node_propagation = false;
 
-  auto family = build_family(args.geti("kstar"), /*smoke_only=*/smoke || write);
+  auto family = build_family(args.geti("kstar"), /*smoke_only=*/smoke || write || budget_s > 0.0);
+
+  if (budget_s > 0.0) {
+    // Budget mode. The deadline starts *after* the family is built so the
+    // instance set is deterministic; every solve shares the same ExecControl
+    // and gets whatever wall clock remains. A solve cut short still reports
+    // a strict-JSON row with its termination reason, bound and gap.
+    util::exec::ExecControl ctl;
+    ctl.deadline = util::exec::Deadline::after(budget_s);
+    ctl.token = util::exec::interrupt_token();
+    milp::SolveOptions bopts = current;
+    bopts.exec = ctl;
+    int attempted = 0;
+    const char* last_termination = "completed";
+    for (const auto& inst : family) {
+      if (ctl.stopped()) break;
+      const milp::MipResult res = milp::solve(inst.model, bopts);
+      last_termination = util::exec::to_string(res.stats.termination);
+      ++attempted;
+      util::obs::JsonWriter w;
+      w.begin_object();
+      w.field("instance", inst.name);
+      w.key("solver").raw(res.stats.to_json());
+      w.end_object();
+      std::printf("%s\n", w.take().c_str());
+    }
+    util::obs::JsonWriter w;
+    w.begin_object();
+    w.field("mode", "budget");
+    w.number_field("time_budget_s", budget_s);
+    w.field("instances_total", static_cast<long>(family.size()));
+    w.field("instances_attempted", attempted);
+    w.field("last_termination", last_termination);
+    w.field("interrupted", util::exec::interrupt_token().cancelled());
+    w.field("interrupt_signal", util::exec::interrupt_signal());
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+    return 0;
+  }
 
   util::Table table({"Instance", "Obj", "Nodes (new)", "LP iters (new)", "Nodes (old)",
                      "LP iters (old)", "Time new (s)", "Time old (s)"});

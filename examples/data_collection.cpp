@@ -15,11 +15,16 @@
 #include "core/render.h"
 #include "core/resilience.h"
 #include "core/workloads/scenarios.h"
+#include "util/exec/exec.h"
 
 using namespace wnet;
 using namespace wnet::archex;
 
 int main(int argc, char** argv) {
+  // Ctrl-C / SIGTERM cancel the solve cooperatively: the run returns its
+  // best incumbent (if any) instead of dying mid-branch-and-bound.
+  util::exec::install_interrupt_handlers();
+
   workloads::DataCollectionConfig cfg;
   cfg.sensors = argc > 1 ? std::atoi(argv[1]) : 10;
   cfg.relay_grid_x = argc > 2 ? std::atoi(argv[2]) : 6;
@@ -37,11 +42,17 @@ int main(int argc, char** argv) {
   eopts.k_star = k_star;
   milp::SolveOptions sopts;
   sopts.time_limit_s = time_limit;
+  sopts.exec.token = util::exec::interrupt_token();
+  eopts.exec.token = util::exec::interrupt_token();
   const auto result = explorer.explore(eopts, sopts);
 
   std::printf("status: %s after %.1fs (%d vars, %d constraints, %ld nodes)\n",
               milp::to_string(result.status), result.total_time_s, result.encode_stats.num_vars,
               result.encode_stats.num_constrs, result.solve_stats.nodes);
+  if (result.termination != util::exec::TerminationReason::kCompleted) {
+    std::printf("stopped early (%s) — best-so-far below\n",
+                util::exec::to_string(result.termination));
+  }
   if (!result.has_solution()) return 1;
 
   const auto& arch = result.architecture;

@@ -17,12 +17,18 @@
 
 #include "core/explorer.h"
 #include "core/workloads/scenarios.h"
+#include "util/exec/exec.h"
 #include "util/thread_pool.h"
 
 using namespace wnet;
 using namespace wnet::archex;
 
 int main(int argc, char** argv) {
+  // Ctrl-C / SIGTERM trip the repair loop's cancellation token: the run
+  // stops at the next checkpoint and still prints + dumps the best-so-far
+  // architecture and partial campaign report.
+  util::exec::install_interrupt_handlers();
+
   workloads::DataCollectionConfig cfg;
   cfg.sensors = argc > 1 ? std::atoi(argv[1]) : 6;
   cfg.relay_grid_x = argc > 2 ? std::atoi(argv[2]) : 5;
@@ -48,8 +54,14 @@ int main(int argc, char** argv) {
   ro.max_repair_iterations = 8;
   ro.max_extra_replicas = 1;
   ro.threads = threads;
+  ro.solver.exec.token = util::exec::interrupt_token();
 
   const auto res = explorer.explore_robust(ro);
+  if (res.termination != util::exec::TerminationReason::kCompleted) {
+    std::printf("stopped early (%s)%s — reporting best-so-far\n",
+                util::exec::to_string(res.termination),
+                util::exec::interrupt_signal() != 0 ? " by signal" : "");
+  }
   if (!res.best.has_solution()) {
     std::printf("no architecture found (%s)\n", milp::to_string(res.best.status));
     return 1;

@@ -6,6 +6,7 @@
 
 #include "graph/digraph.h"
 #include "milp/model.h"
+#include "util/exec/exec.h"
 
 namespace wnet::archex {
 
@@ -17,6 +18,12 @@ struct EncodeStats {
   size_t nonzeros = 0;
   double encode_time_s = 0.0;
   int candidate_paths = 0;  ///< approx mode: total Yen candidates kept
+
+  /// kCompleted for a fully built model. Anything else means the encode
+  /// aborted early (deadline, cancellation, budget): the remaining phases
+  /// were skipped and the partial model MUST NOT be solved — callers report
+  /// the reason instead.
+  util::exec::TerminationReason termination = util::exec::TerminationReason::kCompleted;
 
   // Incremental-session telemetry (IncrementalEncoder; zero for fresh
   // one-shot encodes).

@@ -28,6 +28,7 @@ using milp::Model;
 using milp::Var;
 
 using EdgeKey = std::pair<int, int>;
+using util::exec::TerminationReason;
 
 /// Per-cycle charge coefficients of one component under the TDMA model:
 ///   Q = A * (weighted TX count) + B * (weighted RX count) + S
@@ -81,16 +82,18 @@ class Build {
     util::obs::ScopedSpan span("encode/full", "encode");
     span.arg("k_star", o_.k_star);
     collect_margins();
-    determine_scope();
-    emit_sizing();
-    emit_edges_and_paths();
-    emit_hardening();
-    emit_link_quality();
-    emit_energy();
-    emit_localization();
-    emit_objective();
+    if (gate()) determine_scope();
+    if (gate()) emit_sizing();
+    if (gate()) emit_edges_and_paths();
+    if (gate()) emit_hardening();
+    if (gate()) emit_link_quality();
+    if (gate()) emit_energy();
+    if (gate()) emit_localization();
+    if (gate()) emit_objective();
+    gate();  // charge the last phase's rows and pick up a late stop
     encoded_k_ = o_.k_star;
     refresh_stats();
+    p_.stats.termination = stop_why_;
     p_.stats.encode_time_s = clock.seconds();
     p_.stats.reused_candidates = 0;
     p_.stats.delta_encode_time_s = 0.0;
@@ -100,6 +103,31 @@ class Build {
   }
 
   [[nodiscard]] EncodedProblem& problem() { return p_; }
+
+  /// Serial-spine gate between encoding phases: charges the rows emitted
+  /// since the previous gate, counts one checkpoint, and latches the first
+  /// stop reason. Once false it stays false, so the remaining phases are
+  /// skipped and the partial model carries stats.termination.
+  bool gate() {
+    if (o_.exec.budget) {
+      const long rows = static_cast<long>(p_.model.constrs().size());
+      const bool ok = o_.exec.budget->charge_encode_rows(rows - charged_rows_);
+      charged_rows_ = rows;
+      if (!ok && stop_why_ == TerminationReason::kCompleted) {
+        stop_why_ = TerminationReason::kNodeLimit;
+      }
+    }
+    if (stop_why_ != TerminationReason::kCompleted) return false;
+    TerminationReason why = TerminationReason::kCompleted;
+    if (o_.exec.checkpoint(&why)) {
+      stop_why_ = why;
+    } else if (o_.exec.budget && o_.exec.budget->exhausted()) {
+      // Worker-side refusals (Yen candidate caps) surface here, on the
+      // spine, after the fork-join section that produced them.
+      stop_why_ = TerminationReason::kNodeLimit;
+    }
+    return stop_why_ == TerminationReason::kCompleted;
+  }
 
   /// Delta-extends an approximate encoding from the last encoded K* to
   /// `new_k`, appending only new candidates, variables and rows. Returns
@@ -332,6 +360,9 @@ class Build {
       const Digraph& base, int ri) const {
     std::vector<PendingCandidate> out;
     RouteState st;
+    // Runs on worker-pool threads: poll-only control (no checkpoint
+    // counting), per the exec determinism contract.
+    const util::exec::ExecControl ctl = o_.exec.worker_view();
     Digraph work = base;
     std::vector<graph::EdgeId> banned;  // cumulative, sorted
     const auto& route = s_.routes[static_cast<size_t>(ri)];
@@ -344,10 +375,11 @@ class Build {
     st.k_per_rep = std::max(1, (o_.k_star + nrep - 1) / nrep);
 
     for (int rep = 0; rep < nrep; ++rep) {
+      if (ctl.stopped()) break;  // the spine gate reports the reason
       RepState rp;
       rp.banned_before = banned;
       rp.en = std::make_unique<graph::YenEnumerator>(work, route.source, route.dest);
-      auto paths = hop_filtered(rp.en->next_batch(st.k_per_rep), ri);
+      auto paths = hop_filtered(rp.en->next_batch(st.k_per_rep, ctl), ri);
       rp.consumed = rp.en->accepted().size();
       st.reps.push_back(std::move(rp));
       for (const Path& p : paths) {
@@ -976,6 +1008,8 @@ class Build {
   std::map<int, Var> q_var_;                                     ///< node -> q objective var
   std::vector<AvoidRow> avoid_rows_;                             ///< kAvoid hardening rows
   std::vector<double> new_var_defaults_;  ///< per delta-appended var, id order
+  TerminationReason stop_why_ = TerminationReason::kCompleted;  ///< first stop, latched
+  long charged_rows_ = 0;  ///< constraint rows already charged to the budget
 };
 
 bool Build::extend_to_k(int new_k) {
@@ -1338,6 +1372,16 @@ IncrementalEncoder::~IncrementalEncoder() = default;
 
 EncodedProblem& IncrementalEncoder::encode_k(int k) {
   auto& im = *impl_;
+  // Deltas are atomic: a stop observed here leaves the standing model
+  // intact (a half-appended delta would be unusable), marks its stats with
+  // the reason, and returns. The caller sees termination != kCompleted and
+  // reports instead of solving.
+  util::exec::TerminationReason why = util::exec::TerminationReason::kCompleted;
+  if (im.build != nullptr && im.opts.exec.checkpoint(&why)) {
+    im.build->problem().stats.termination = why;
+    im.last_was_delta = false;
+    return im.build->problem();
+  }
   im.opts.k_star = k;  // the live Build reads options through this object
   if (!im.build || im.dirty || im.opts.mode != EncoderOptions::PathMode::kApprox) {
     im.rebuild();

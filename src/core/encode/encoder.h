@@ -7,6 +7,7 @@
 #include "core/encode/encoded_problem.h"
 #include "core/network_template.h"
 #include "core/requirements.h"
+#include "util/exec/exec.h"
 
 namespace wnet::archex {
 
@@ -62,6 +63,13 @@ struct EncoderOptions {
   /// kMargin entries also tighten the LQ prefilter, so Yen stops proposing
   /// links that cannot carry the required headroom.
   std::vector<HardeningConstraint> hardening;
+
+  /// Request-level execution control. The serial spine checkpoints between
+  /// encoding phases; the per-route Yen workers poll a worker_view() copy
+  /// and charge Yen candidates / encode rows against `exec.budget`. On any
+  /// stop the encode aborts — remaining phases are skipped and
+  /// EncodeStats::termination records why (see its contract).
+  util::exec::ExecControl exec;
 
   /// Worker threads for candidate generation: the per-route Yen batches are
   /// independent (each route works on a private copy of the prefiltered

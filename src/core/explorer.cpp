@@ -25,6 +25,9 @@ std::string ExplorationResult::solver_json() const {
   w.field("status", milp::to_string(status));
   w.number_field("objective", objective);
   w.number_field("total_time_s", total_time_s);
+  w.field("termination", util::exec::to_string(termination));
+  w.number_field("bound", bound);
+  w.number_field("gap", gap);
   w.key("encode").begin_object();
   w.field("vars", encode_stats.num_vars);
   w.field("constrs", encode_stats.num_constrs);
@@ -33,6 +36,7 @@ std::string ExplorationResult::solver_json() const {
   w.number_field("encode_time_s", encode_stats.encode_time_s);
   w.field("reused_candidates", encode_stats.reused_candidates);
   w.number_field("delta_encode_time_s", encode_stats.delta_encode_time_s);
+  w.field("termination", util::exec::to_string(encode_stats.termination));
   w.end_object();
   w.key("solver").raw(solve_stats.to_json());
   w.end_object();
@@ -89,7 +93,13 @@ std::vector<double> solve_with_fixed_selectors(
     restricted.set_bounds(c.selector, on ? 1.0 : 0.0, on ? 1.0 : 0.0);
   }
   milp::SolveOptions wopts = sopts;
-  wopts.time_limit_s = std::min(30.0, std::max(5.0, 0.2 * sopts.time_limit_s));
+  // The probe gets a slice of the solve budget, but never more than the
+  // caller's own limit or what is actually left on the request deadline —
+  // the old unconditional 5s floor could hand an almost-exhausted run a
+  // fresh five seconds of warm-start work.
+  const double slice = std::min(30.0, std::max(5.0, 0.2 * sopts.time_limit_s));
+  const double cap = std::min(sopts.time_limit_s, std::max(0.0, sopts.exec.deadline.remaining_s()));
+  wopts.time_limit_s = std::min(slice, cap);
   wopts.rel_gap = std::max(sopts.rel_gap, 0.01);
   wopts.mip_start.clear();
   const milp::MipResult wres = milp::solve(restricted, wopts);
@@ -104,6 +114,13 @@ ExplorationResult Explorer::explore(const EncoderOptions& eopts,
   Encoder enc(*tmpl_, *spec_, eopts);
   EncodedProblem ep = enc.encode();
   out.encode_stats = ep.stats;
+  if (ep.stats.termination != util::exec::TerminationReason::kCompleted) {
+    // The encode aborted: its partial model must not be solved. Report the
+    // stop reason with the empty anytime certificate.
+    out.termination = ep.stats.termination;
+    out.total_time_s = clock.seconds();
+    return out;
+  }
 
   milp::SolveOptions main_opts = sopts;
   if (main_opts.mip_start.empty()) {
@@ -112,6 +129,9 @@ ExplorationResult Explorer::explore(const EncoderOptions& eopts,
   const milp::MipResult res = milp::solve(ep.model, main_opts);
   out.status = res.status;
   out.solve_stats = res.stats;
+  out.termination = res.stats.termination;
+  out.bound = res.stats.bound;
+  out.gap = res.stats.gap;
   if (res.has_solution()) {
     out.objective = res.objective;
     out.architecture = decode_solution(ep, *tmpl_, *spec_, res.x);
@@ -140,9 +160,14 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
     evaluated = exec.map<ExplorationResult>(n, [&](int i) {
       EncoderOptions eo = eopts;
       eo.k_star = kopts.ladder[static_cast<size_t>(i)];
+      // Speculative rungs run on worker threads: strip the checkpoint
+      // injector (poll-only), per the exec determinism contract.
+      eo.exec = eo.exec.worker_view();
+      milp::SolveOptions so = sopts;
+      so.exec = so.exec.worker_view();
       util::obs::ScopedSpan rung_span("kstar/rung", "explore");
       rung_span.arg("k", eo.k_star);
-      return explore(eo, sopts);
+      return explore(eo, so);
     });
   }
 
@@ -165,6 +190,12 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
     ExplorationResult er;
     EncodedProblem& ep = session->encode_k(k);
     er.encode_stats = ep.stats;
+    if (ep.stats.termination != util::exec::TerminationReason::kCompleted) {
+      // Stopped (or aborted) encode: report the reason, never solve.
+      er.termination = ep.stats.termination;
+      er.total_time_s = rung_clock.seconds();
+      return er;
+    }
     milp::SolveOptions so = sopts;
     if (so.mip_start.empty()) {
       std::vector<double> ext = session->extend_assignment(carry_x);
@@ -178,6 +209,9 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
     const milp::MipResult res = milp::solve(ep.model, so);
     er.status = res.status;
     er.solve_stats = res.stats;
+    er.termination = res.stats.termination;
+    er.bound = res.stats.bound;
+    er.gap = res.stats.gap;
     if (res.has_solution()) {
       er.objective = res.objective;
       er.architecture = decode_solution(ep, *tmpl_, *spec_, res.x);
@@ -190,6 +224,13 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
 
   double best_obj = milp::kInf;
   for (int i = 0; i < n; ++i) {
+    // Scan-boundary checkpoint on the serial spine (rung solves themselves
+    // poll the same token): a stop keeps everything scanned so far.
+    util::exec::TerminationReason scan_why = util::exec::TerminationReason::kCompleted;
+    if (sopts.exec.checkpoint(&scan_why)) {
+      out.termination = scan_why;
+      break;
+    }
     const int k = kopts.ladder[static_cast<size_t>(i)];
     ExplorationResult r;
     if (kopts.threads > 1) {
@@ -203,6 +244,7 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
       r = explore(eopts, sopts);
     }
     out.trace.emplace_back(k, r);
+    const util::exec::TerminationReason rung_term = r.termination;
     const bool improved =
         r.has_solution() &&
         (best_obj == milp::kInf ||
@@ -211,7 +253,17 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
       best_obj = r.objective;
       out.chosen_k = k;
       out.best = std::move(r);
-    } else if (out.chosen_k != 0) {
+    }
+    // A rung cut short by the request control ends the ladder with that
+    // reason — later rungs would be cut the same way. This outranks the
+    // natural stop rules below, which describe a *finished* search.
+    if (rung_term == util::exec::TerminationReason::kDeadline ||
+        rung_term == util::exec::TerminationReason::kCancelled ||
+        rung_term == util::exec::TerminationReason::kNodeLimit) {
+      out.termination = rung_term;
+      break;
+    }
+    if (!improved && out.chosen_k != 0) {
       break;  // no meaningful improvement: stop the ladder (Sec. 4.3 rule)
     }
     if (out.trace.back().second.total_time_s > kopts.time_threshold_s) break;

@@ -22,6 +22,15 @@ struct ExplorationResult {
   milp::SolveStats solve_stats;
   double total_time_s = 0.0;
 
+  /// Why the run ended (anytime contract): kCompleted for a natural finish,
+  /// otherwise the stop reason from whichever stage stopped first (an
+  /// aborted encode never reaches the solver). `bound` and `gap` carry the
+  /// matching optimality certificate: -inf/+inf when the run stopped before
+  /// the solver proved anything.
+  util::exec::TerminationReason termination = util::exec::TerminationReason::kCompleted;
+  double bound = -milp::kInf;
+  double gap = milp::kInf;
+
   [[nodiscard]] bool has_solution() const {
     return status == milp::SolveStatus::kOptimal || status == milp::SolveStatus::kFeasible;
   }
@@ -70,6 +79,11 @@ class Explorer {
     int chosen_k = 0;
     ExplorationResult best;
     std::vector<std::pair<int, ExplorationResult>> trace;
+    /// kCompleted when the ladder ran to its natural stop rule; kDeadline /
+    /// kCancelled / kNodeLimit when `sopts.exec` (the request control the
+    /// scan checkpoints on) cut the search short. `best` and `trace` remain
+    /// valid partial results either way.
+    util::exec::TerminationReason termination = util::exec::TerminationReason::kCompleted;
   };
   [[nodiscard]] KStarSearchResult search_k_star(const KStarSearchOptions& kopts,
                                                 EncoderOptions eopts = {},
@@ -117,6 +131,12 @@ class Explorer {
     int hardenings_applied = 0;
     std::vector<int> raised_routes;  ///< routes whose N_rep the loop raised
     double total_time_s = 0.0;
+    /// Why the repair loop returned. kCompleted covers the natural endings
+    /// (campaign passed, iteration cap, nothing left to raise); kDeadline /
+    /// kCancelled / kNodeLimit mean `ropts.solver.exec` (tightened by
+    /// time_budget_s) stopped it — `best` and `report` remain the valid
+    /// partial result found so far.
+    util::exec::TerminationReason termination = util::exec::TerminationReason::kCompleted;
   };
 
   /// Explore, replay a deterministic fault-injection campaign against the

@@ -125,16 +125,22 @@ ScenarioOutcome evaluate_scenario(const NetworkArchitecture& arch, const Network
 
 }  // namespace
 
+int CampaignReport::evaluated() const {
+  int n = 0;
+  for (const auto& o : outcomes) n += o.evaluated ? 1 : 0;
+  return n;
+}
+
 int CampaignReport::passed() const {
   int n = 0;
-  for (const auto& o : outcomes) n += o.passed ? 1 : 0;
+  for (const auto& o : outcomes) n += (o.evaluated && o.passed) ? 1 : 0;
   return n;
 }
 
 std::vector<const ScenarioOutcome*> CampaignReport::failures() const {
   std::vector<const ScenarioOutcome*> out;
   for (const auto& o : outcomes) {
-    if (!o.passed) out.push_back(&o);
+    if (o.evaluated && !o.passed) out.push_back(&o);
   }
   return out;
 }
@@ -158,8 +164,10 @@ std::string CampaignReport::to_json() const {
   util::obs::JsonWriter w;
   w.begin_object();
   w.field("total", total());
+  w.field("evaluated", evaluated());
   w.field("passed", passed());
   w.field("failed", failed());
+  w.field("termination", util::exec::to_string(termination));
 
   w.key("by_kind").begin_object();
   for (FaultKind k : {FaultKind::kNodeFailure, FaultKind::kLinkCut, FaultKind::kFading}) {
@@ -167,7 +175,7 @@ std::string CampaignReport::to_json() const {
     for (const auto& o : outcomes) {
       if (o.scenario.kind != k) continue;
       ++tot;
-      pass += o.passed ? 1 : 0;
+      pass += (o.evaluated && o.passed) ? 1 : 0;
     }
     if (tot == 0) continue;
     w.key(to_string(k)).begin_object();
@@ -183,7 +191,7 @@ std::string CampaignReport::to_json() const {
 
   w.key("failures").begin_array();
   for (const auto& o : outcomes) {
-    if (o.passed) continue;
+    if (o.passed || !o.evaluated) continue;
     w.begin_object();
     w.field("id", o.scenario.id);
     w.field("kind", to_string(o.scenario.kind));
@@ -222,11 +230,25 @@ CampaignReport CampaignRunner::run(const NetworkArchitecture& arch,
   CampaignReport rep;
   util::obs::ScopedSpan span("faults/campaign", "faults");
   span.arg("scenarios", static_cast<double>(scenarios.size()));
+  // Workers poll a stripped view: a stop yields unevaluated placeholder
+  // outcomes (scenario kept, verdict unknown) instead of silent gaps.
+  const util::exec::ExecControl ctl = opts_.exec.worker_view();
   const util::ParallelExecutor exec(opts_.threads);
   rep.outcomes = exec.map<ScenarioOutcome>(
       static_cast<int>(scenarios.size()), [&](int i) {
+        if (ctl.stopped()) {
+          ScenarioOutcome skipped;
+          skipped.scenario = scenarios[static_cast<size_t>(i)];
+          skipped.passed = false;
+          skipped.evaluated = false;
+          return skipped;
+        }
         return evaluate_scenario(arch, *tmpl_, *spec_, scenarios[static_cast<size_t>(i)]);
       });
+  // One spine checkpoint per campaign, after the join: records why the run
+  // (or the request around it) stopped.
+  util::exec::TerminationReason why = util::exec::TerminationReason::kCompleted;
+  if (opts_.exec.checkpoint(&why)) rep.termination = why;
   return rep;
 }
 

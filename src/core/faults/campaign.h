@@ -8,6 +8,7 @@
 #include "core/network_template.h"
 #include "core/requirements.h"
 #include "core/solution.h"
+#include "util/exec/exec.h"
 
 namespace wnet::archex::faults {
 
@@ -18,6 +19,10 @@ namespace wnet::archex::faults {
 struct ScenarioOutcome {
   FaultScenario scenario;
   bool passed = true;
+  /// False when the campaign stopped (deadline/cancellation) before this
+  /// scenario was replayed: its verdict is unknown, and it counts as
+  /// neither passed nor failed. `passed` is false for such outcomes.
+  bool evaluated = true;
   /// Requirement indices with no surviving replica under this scenario.
   std::vector<int> broken_routes;
   /// Fading failures only: route links that dipped below the LQ floor,
@@ -31,10 +36,20 @@ struct ScenarioOutcome {
 struct CampaignReport {
   std::vector<ScenarioOutcome> outcomes;
 
+  /// Why the campaign returned; on anything but kCompleted the report is a
+  /// valid partial result whose unevaluated outcomes are marked as such.
+  util::exec::TerminationReason termination = util::exec::TerminationReason::kCompleted;
+
   [[nodiscard]] int total() const { return static_cast<int>(outcomes.size()); }
-  [[nodiscard]] int passed() const;
-  [[nodiscard]] int failed() const { return total() - passed(); }
-  [[nodiscard]] bool all_passed() const { return passed() == total(); }
+  [[nodiscard]] int evaluated() const;  ///< scenarios actually replayed
+  [[nodiscard]] int passed() const;     ///< evaluated and survived
+  [[nodiscard]] int failed() const { return evaluated() - passed(); }
+  /// Only a fully evaluated campaign can certify robustness.
+  [[nodiscard]] bool all_passed() const {
+    return evaluated() == total() && passed() == total();
+  }
+  /// Unevaluated scenarios count against the rate (conservative): a stopped
+  /// campaign certifies only what it actually replayed.
   [[nodiscard]] double pass_rate() const {
     return total() == 0 ? 1.0 : static_cast<double>(passed()) / total();
   }
@@ -52,6 +67,11 @@ struct CampaignReport {
 /// FaultModelConfig). `threads <= 1` is the serial path.
 struct CampaignOptions {
   int threads = 1;  ///< worker count; <= 1 replays scenarios inline
+  /// Request-level execution control. Scenario workers poll a worker_view()
+  /// copy — a stop marks remaining scenarios unevaluated instead of
+  /// replaying them — and the runner checkpoints once per run() on the
+  /// serial spine, recording the reason on CampaignReport::termination.
+  util::exec::ExecControl exec;
 };
 
 /// Replays fault scenarios against an architecture and scores survival of

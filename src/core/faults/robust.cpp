@@ -196,13 +196,22 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
   util::Stopwatch clock;
   RobustExplorationResult out;
 
+  // One request control for the whole loop: the caller's exec, its deadline
+  // tightened to time_budget_s from entry. The serial spine (this loop, the
+  // encoder phases, the solver node loop) checkpoints on it; the campaign's
+  // scenario workers get a poll-only view.
+  using util::exec::TerminationReason;
+  const util::exec::ExecControl ec = ropts.solver.exec.tightened(ropts.time_budget_s);
+
   EncoderOptions eopts = ropts.encoder;
   eopts.threads = std::max(eopts.threads, ropts.threads);
+  eopts.exec = ec;
   Specification spec = *spec_;  // mutable: repair may raise replica counts
   std::vector<int> extra(spec.routes.size(), 0);
   const faults::FaultModel fmodel(*tmpl_, spec, ropts.faults);
   faults::CampaignOptions copts;
   copts.threads = ropts.threads;
+  copts.exec = ec;
 
   std::set<std::string> seen;
   for (const auto& h : eopts.hardening) seen.insert(hardening_key(h));
@@ -239,19 +248,35 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
   std::set<int> prev_broken;
 
   for (int iter = 0; iter < ropts.max_repair_iterations; ++iter) {
-    const double remaining = ropts.time_budget_s - clock.seconds();
-    if (iter > 0 && remaining <= 0.0) break;
+    // Spine checkpoint per repair iteration. The first iteration still runs
+    // on a merely-expired deadline (a tiny budget still produces one
+    // attempt, whose solver stops on its own deadline), but a cancelled
+    // token stops even before it.
+    TerminationReason why = TerminationReason::kCompleted;
+    if (ec.checkpoint(&why) && (iter > 0 || why == TerminationReason::kCancelled)) {
+      out.termination = why;
+      break;
+    }
+    const double remaining = std::max(0.0, ec.deadline.remaining_s());
     out.iterations = iter + 1;
     util::obs::ScopedSpan iter_span("robust/iteration", "robust");
     iter_span.arg("iter", iter);
     iter_span.arg("hardenings", static_cast<double>(eopts.hardening.size()));
 
     milp::SolveOptions sopts = ropts.solver;
-    sopts.time_limit_s = std::min(sopts.time_limit_s, std::max(1.0, remaining));
+    sopts.exec = ec;
+    // True remaining budget, not the old 1s floor that granted time past
+    // exhaustion; milp::solve itself reports kDeadline at zero.
+    sopts.time_limit_s = std::min(sopts.time_limit_s, remaining);
 
     EncodedProblem fresh_ep;
     if (!session) fresh_ep = Encoder(*tmpl_, spec, eopts).encode();
     EncodedProblem& ep = session ? session->encode_k(eopts.k_star) : fresh_ep;
+    if (ep.stats.termination != TerminationReason::kCompleted) {
+      // Aborted encode: the partial model must not be solved.
+      out.termination = ep.stats.termination;
+      break;
+    }
     if (have_prev && sopts.mip_start.empty()) {
       sopts.mip_start = repair_start(ep, prev_arch, eopts.hardening, sopts);
     }
@@ -259,6 +284,14 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
     const util::Stopwatch iter_clock;
     const milp::MipResult res = milp::solve(ep.model, sopts);
 
+    if (!res.has_solution() && (res.stats.termination == TerminationReason::kDeadline ||
+                                res.stats.termination == TerminationReason::kCancelled ||
+                                res.stats.termination == TerminationReason::kNodeLimit)) {
+      // The solver was stopped, not defeated: an empty result here says
+      // nothing about feasibility, so do NOT escalate replicas off it.
+      out.termination = res.stats.termination;
+      break;
+    }
     if (!res.has_solution()) {
       // Hardened model is infeasible: no candidate set can dodge the failed
       // elements at the current redundancy. Raise N_rep on the hardened
@@ -276,6 +309,9 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
     er.status = res.status;
     er.encode_stats = ep.stats;
     er.solve_stats = res.stats;
+    er.termination = res.stats.termination;
+    er.bound = res.stats.bound;
+    er.gap = res.stats.gap;
     er.objective = res.objective;
     er.architecture = decode_solution(ep, *tmpl_, spec, res.x);
     er.total_time_s = iter_clock.seconds();
@@ -292,6 +328,13 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
       prev_arch = er.architecture;
       out.best = std::move(er);
       have_prev = true;
+    }
+    if (report.termination != TerminationReason::kCompleted) {
+      // Stopped campaign: unreplayed scenarios produce no failures, so the
+      // hardening derivation below would see "nothing left to fix" and end
+      // the loop as if it had converged. Surface the real reason instead.
+      out.termination = report.termination;
+      break;
     }
     if (report.all_passed()) {
       out.robust = true;

@@ -15,6 +15,10 @@ YenEnumerator::YenEnumerator(const Digraph& g, NodeId src, NodeId dst)
       banned_nodes_(static_cast<size_t>(g.num_nodes()), 0) {}
 
 const std::vector<Path>& YenEnumerator::next_batch(int k) {
+  return next_batch(k, util::exec::ExecControl{});
+}
+
+const std::vector<Path>& YenEnumerator::next_batch(int k, const util::exec::ExecControl& ctl) {
   if (!started_) {
     started_ = true;
     auto first = shortest_path(g_, src_, dst_);
@@ -27,6 +31,11 @@ const std::vector<Path>& YenEnumerator::next_batch(int k) {
     }
   }
   while (!exhausted_ && static_cast<int>(result_.size()) < k) {
+    // Stop checks leave exhausted_ false: the enumeration is interrupted,
+    // not finished, and resumes on the next call. This runs on worker-pool
+    // threads, so it polls only (no checkpoint counting).
+    if (ctl.stopped()) break;
+    if (ctl.budget && !ctl.budget->charge_yen_candidates()) break;
     // The newest accepted path is spur-scanned lazily, right before the next
     // pop: the scan's accepted-set context is then identical whether the
     // enumeration runs in one batch or resumes across several.

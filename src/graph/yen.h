@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "util/exec/exec.h"
 
 namespace wnet::graph {
 
@@ -27,6 +28,15 @@ class YenEnumerator {
   /// it. The first K entries are identical to what any earlier, smaller
   /// batch returned.
   const std::vector<Path>& next_batch(int k);
+
+  /// Controlled variant: polls `ctl` before each accepted path and charges
+  /// one Yen candidate per acceptance against `ctl.budget`. On a stop
+  /// (deadline, cancellation, budget refusal) it returns whatever is
+  /// accepted so far WITHOUT marking the enumerator exhausted — a later call
+  /// with a live control resumes exactly where this one stopped. Because a
+  /// path's spur scan runs lazily before the next pop, partial batches stay
+  /// bit-identical to the uncontrolled enumeration's prefix.
+  const std::vector<Path>& next_batch(int k, const util::exec::ExecControl& ctl);
 
   [[nodiscard]] const std::vector<Path>& accepted() const { return result_; }
 

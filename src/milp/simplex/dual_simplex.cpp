@@ -224,8 +224,9 @@ LpResult DualSimplex::run() {
   banned_rows_.clear();
 
   for (int iter = 0; iter < opts_.max_iters; ++iter) {
-    if ((iter & 63) == 63 && clock.seconds() > opts_.time_limit_s) {
-      return finish(LpStatus::kIterLimit, iter);
+    if ((iter & 63) == 63) {
+      if (clock.seconds() > opts_.time_limit_s) return finish(LpStatus::kTimeLimit, iter);
+      if (opts_.cancel.cancelled()) return finish(LpStatus::kCancelled, iter);
     }
     // --- Leaving variable: most violated basic (or lowest index in Bland
     // mode to break degenerate cycles).

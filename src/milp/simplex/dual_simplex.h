@@ -5,6 +5,7 @@
 
 #include "milp/simplex/lu.h"
 #include "milp/simplex/standard_lp.h"
+#include "util/exec/exec.h"
 
 namespace wnet::milp::simplex {
 
@@ -12,7 +13,9 @@ enum class LpStatus {
   kOptimal,
   kPrimalInfeasible,
   kUnbounded,        ///< optimum rests on a synthetic (clamped-infinite) bound
-  kIterLimit,
+  kIterLimit,        ///< pivot budget (max_iters) exhausted
+  kTimeLimit,        ///< wall-clock budget (time_limit_s) expired
+  kCancelled,        ///< the cancellation token tripped mid-solve
   kNumericalTrouble,
 };
 
@@ -22,8 +25,14 @@ struct LpOptions {
   double pivot_tol = 1e-8;   ///< minimum |pivot| admitted
   int max_iters = 200000;
   int refactor_interval = 100;
-  /// Wall-clock budget for one solve; expiry reports kIterLimit.
+  /// Wall-clock budget for one solve; expiry reports kTimeLimit (distinct
+  /// from kIterLimit, so callers never mistake a timeout for iteration
+  /// exhaustion — they map to different TerminationReasons and only the
+  /// latter warrants a numerical-retry escalation).
   double time_limit_s = 1e30;
+  /// Cooperative cancellation: polled on the same cadence as the time
+  /// limit; a tripped token reports kCancelled. Default: never cancels.
+  util::exec::CancellationToken cancel;
   /// Anti-degeneracy cost perturbation: solve with slightly jittered costs
   /// (breaking the reduced-cost ties that cause stalling), then restore the
   /// exact costs and re-optimize — typically a handful of clean-up pivots.

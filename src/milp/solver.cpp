@@ -52,10 +52,18 @@ struct Pseudocost {
   long n = 0;        ///< observations
 };
 
+using util::exec::TerminationReason;
+
 class BranchAndBound {
  public:
   BranchAndBound(const Model& model, const SolveOptions& opts)
-      : model_(&model), opts_(opts), lp_(model) {
+      : model_(&model),
+        opts_(opts),
+        lp_(model),
+        deadline_(opts.exec.deadline.tightened(opts.time_limit_s)) {
+    // The dual simplex polls the same request token on its iteration
+    // cadence, so cancellation reaches even a single long node LP.
+    opts_.lp.cancel = opts_.exec.token;
     col_to_k_.assign(static_cast<size_t>(model.num_vars()), -1);
     for (int j = 0; j < model.num_vars(); ++j) {
       if (model.vars()[static_cast<size_t>(j)].type != VarType::kContinuous) {
@@ -177,8 +185,27 @@ class BranchAndBound {
   std::vector<double> root_x_;   // root LP point (column space)
   std::vector<double> root_dj_;  // root reduced costs
 
+  /// Seconds left on the effective deadline, floored at 0 — never the 1s
+  /// floor the old per-node set_time_limit applied, which could grant a
+  /// full extra second of work per LP after the budget was spent.
+  [[nodiscard]] double remaining_s() const {
+    return std::max(0.0, deadline_.remaining_s());
+  }
+
+  /// Fills the result's common tail: stats snapshot, wall time, and the
+  /// anytime certificate (termination reason, bound, gap) every return
+  /// path carries.
+  void finalize(MipResult& out, TerminationReason why) {
+    stats_.termination = why;
+    stats_.bound = out.bound;
+    stats_.gap = relative_gap(out.has_solution() ? out.objective : kInf, out.bound);
+    out.stats = stats_;
+    out.stats.time_s = clock_.seconds();
+  }
+
   SolveStats stats_;
   util::Stopwatch clock_;
+  util::exec::Deadline deadline_;  ///< min(exec.deadline, time_limit_s from entry)
   Basis last_basis_;  ///< basis of the most recent LP solve
   std::unique_ptr<DualSimplex> engine_;  ///< persistent: caches the LU
 };
@@ -228,7 +255,7 @@ bool BranchAndBound::propagate_node(const std::shared_ptr<const BoundChange>& ch
 
 LpResult BranchAndBound::solve_lp(const Basis* basis) {
   if (!engine_) engine_ = std::make_unique<DualSimplex>(lp_, opts_.lp);
-  engine_->set_time_limit(std::max(1.0, opts_.time_limit_s - clock_.seconds()));
+  engine_->set_time_limit(remaining_s());
   // Past the cold-restart threshold, inherited bases are suspect (stale or
   // ill-conditioned factorizations keep tripping the engine): start cold.
   const bool warm_ok = opts_.warm_start &&
@@ -253,9 +280,15 @@ LpResult BranchAndBound::solve_lp(const Basis* basis) {
        res.status == LpStatus::kIterLimit || res.status == LpStatus::kNumericalTrouble;
        ++attempt) {
     ++stats_.numerical_failures;
-    if (attempt >= opts_.max_numerical_retries || clock_.seconds() > opts_.time_limit_s) break;
+    // A retry only makes sense while the request is still live: an expired
+    // deadline or a tripped token must not be granted fresh seconds (the old
+    // 1.0s floor here leaked up to a second per node past the budget).
+    if (attempt >= opts_.max_numerical_retries || deadline_.expired() ||
+        opts_.exec.token.cancelled()) {
+      break;
+    }
     retry.max_iters *= 10;
-    retry.time_limit_s = std::max(1.0, opts_.time_limit_s - clock_.seconds());
+    retry.time_limit_s = remaining_s();
     engine_ = std::make_unique<DualSimplex>(lp_, retry);
     escalated = true;
     res = engine_->solve();
@@ -377,7 +410,7 @@ void BranchAndBound::dive(const std::shared_ptr<const BoundChange>& chain, const
   std::vector<double> x = x0;
   const int max_depth = 200;
   for (int d = 0; d < max_depth; ++d) {
-    if (clock_.seconds() > opts_.time_limit_s) return;
+    if (deadline_.expired() || opts_.exec.token.cancelled()) return;
     // Least-fractional unfixed integer var; fix it to its rounding.
     int pick = -1;
     double best = 2.0;
@@ -427,6 +460,17 @@ MipResult BranchAndBound::run() {
   solve_span.arg("vars", model_->num_vars());
   solve_span.arg("int_vars", static_cast<double>(int_cols_.size()));
 
+  // Stopped before any work (zero remaining budget, pre-cancelled token):
+  // report the empty anytime result without touching the LP.
+  {
+    TerminationReason why = TerminationReason::kDeadline;
+    if (opts_.exec.stopped(&why) || deadline_.expired()) {
+      out.status = SolveStatus::kNoSolution;
+      finalize(out, why);
+      return out;
+    }
+  }
+
   // --- Root LP (with one full propagation sweep first: its tightenings go
   // into the root bound arrays, so every descendant inherits them).
   apply_chain(nullptr);
@@ -435,8 +479,7 @@ MipResult BranchAndBound::run() {
     if (!propagate_node(nullptr)) {
       ++stats_.propagation_prunes;
       out.status = SolveStatus::kInfeasible;
-      out.stats = stats_;
-      out.stats.time_s = clock_.seconds();
+      finalize(out, TerminationReason::kInfeasible);
       return out;
     }
     for (size_t k = 0; k < int_cols_.size(); ++k) {
@@ -453,20 +496,23 @@ MipResult BranchAndBound::run() {
   stats_.root_bound = root.objective;
   if (root.status == LpStatus::kPrimalInfeasible) {
     out.status = SolveStatus::kInfeasible;
-    out.stats = stats_;
-    out.stats.time_s = clock_.seconds();
+    finalize(out, TerminationReason::kInfeasible);
     return out;
   }
   if (root.status == LpStatus::kUnbounded) {
     out.status = SolveStatus::kUnbounded;
-    out.stats = stats_;
-    out.stats.time_s = clock_.seconds();
+    finalize(out, TerminationReason::kCompleted);
     return out;
   }
   if (root.status != LpStatus::kOptimal) {
+    // Root LP stopped early: no incumbent, no usable bound. Map the LP
+    // status into the taxonomy so callers can tell a timeout from a
+    // cancellation from genuine numerical trouble.
     out.status = SolveStatus::kNoSolution;
-    out.stats = stats_;
-    out.stats.time_s = clock_.seconds();
+    TerminationReason why = TerminationReason::kNumerical;
+    if (root.status == LpStatus::kTimeLimit) why = TerminationReason::kDeadline;
+    if (root.status == LpStatus::kCancelled) why = TerminationReason::kCancelled;
+    finalize(out, why);
     return out;
   }
 
@@ -476,8 +522,7 @@ MipResult BranchAndBound::run() {
     out.objective = root.objective;
     out.bound = root.objective;
     out.x.assign(root.x.begin(), root.x.begin() + model_->num_vars());
-    out.stats = stats_;
-    out.stats.time_s = clock_.seconds();
+    finalize(out, TerminationReason::kCompleted);
     return out;
   }
 
@@ -500,8 +545,22 @@ MipResult BranchAndBound::run() {
   stack.push_back({nullptr, root_basis, root.objective, 0});
   double best_open_bound = root.objective;
 
+  TerminationReason stop_why = TerminationReason::kCompleted;
+  bool stopped = false;
   while (!stack.empty()) {
-    if (clock_.seconds() > opts_.time_limit_s || stats_.nodes >= opts_.node_limit) break;
+    // Serial-spine checkpoint, one per node iteration: injection, real
+    // cancellation and both deadlines funnel through here.
+    if (opts_.exec.checkpoint(&stop_why) || deadline_.expired()) {
+      if (stop_why == TerminationReason::kCompleted) stop_why = TerminationReason::kDeadline;
+      stopped = true;
+      break;
+    }
+    if (stats_.nodes >= opts_.node_limit ||
+        (opts_.exec.budget && !opts_.exec.budget->charge_bb_nodes())) {
+      stop_why = TerminationReason::kNodeLimit;
+      stopped = true;
+      break;
+    }
 
     // Global lower bound = min over open nodes (their parents' bounds).
     best_open_bound = kInf;
@@ -553,6 +612,16 @@ MipResult BranchAndBound::run() {
       node_span.arg("depth", node.depth);
       return solve_lp(&node.warm_basis);
     }();
+    if (res.status == LpStatus::kTimeLimit || res.status == LpStatus::kCancelled) {
+      // Put the node back before breaking: the wrap-up bound is the min over
+      // open nodes, so dropping a popped-but-unsolved subtree would
+      // overstate the proven global bound.
+      stack.push_back(std::move(node));
+      stop_why = res.status == LpStatus::kTimeLimit ? TerminationReason::kDeadline
+                                                    : TerminationReason::kCancelled;
+      stopped = true;
+      break;
+    }
     if (res.status == LpStatus::kPrimalInfeasible) continue;
     if (res.status != LpStatus::kOptimal) continue;  // counted in numerical_failures
     update_pseudocosts(node, res.objective);
@@ -624,8 +693,13 @@ MipResult BranchAndBound::run() {
   } else {
     out.status = exhausted ? SolveStatus::kInfeasible : SolveStatus::kNoSolution;
   }
-  out.stats = stats_;
-  out.stats.time_s = clock_.seconds();
+  TerminationReason term = TerminationReason::kCompleted;
+  if (stopped) {
+    term = stop_why;
+  } else if (out.status == SolveStatus::kInfeasible) {
+    term = TerminationReason::kInfeasible;
+  }
+  finalize(out, term);
   solve_span.arg("nodes", static_cast<double>(stats_.nodes));
   solve_span.arg("lp_iterations", static_cast<double>(stats_.lp_iterations));
   return out;
@@ -644,6 +718,14 @@ const char* to_string(SolveStatus s) {
   return "unknown";
 }
 
+double relative_gap(double incumbent, double bound) {
+  // NaN or +/-inf on either side means "no certificate on that side":
+  // the gap of an empty anytime result is infinite by convention.
+  if (!(incumbent < kInf) || !(bound > -kInf)) return kInf;
+  if (incumbent <= bound) return 0.0;
+  return (incumbent - bound) / std::max(1.0, std::abs(incumbent));
+}
+
 std::string SolveStats::to_json() const {
   // All numeric output goes through the obs writer: non-finite doubles
   // (root_bound on infeasible/unbounded solves, nan timeline objectives)
@@ -656,6 +738,9 @@ std::string SolveStats::to_json() const {
   w.field("lp_iterations", lp_iterations);
   w.number_field("time_s", time_s);
   w.number_field("root_bound", root_bound);
+  w.field("termination", util::exec::to_string(termination));
+  w.number_field("bound", bound);
+  w.number_field("gap", gap);
   w.field("numerical_failures", numerical_failures);
   w.field("rc_fixed", rc_fixed);
   w.field("warm_attempts", warm_attempts);

@@ -5,6 +5,7 @@
 
 #include "milp/model.h"
 #include "milp/simplex/dual_simplex.h"
+#include "util/exec/exec.h"
 
 namespace wnet::milp {
 
@@ -21,6 +22,14 @@ enum class SolveStatus {
 struct SolveOptions {
   double time_limit_s = 300.0;
   long node_limit = 1000000;
+  /// Request-level execution control: the effective deadline is the tighter
+  /// of `exec.deadline` and `time_limit_s` from solve() entry, the token is
+  /// polled at every node (and inside the dual simplex), and
+  /// `exec.budget->charge_bb_nodes()` meters the node loop. Defaults never
+  /// stop anything. On any early stop the solver still returns the best
+  /// incumbent, the global dual bound and the gap (anytime contract), with
+  /// SolveStats::termination saying why it stopped.
+  util::exec::ExecControl exec;
   double rel_gap = 1e-6;     ///< relative optimality gap for termination
   double int_tol = 1e-6;     ///< integrality tolerance
   bool root_dive = true;     ///< run the diving heuristic after the root LP
@@ -85,6 +94,13 @@ struct SolveStats {
   long lp_iterations = 0;
   double time_s = 0.0;
   double root_bound = 0.0;
+  /// Why the solve returned, and the anytime certificate that goes with it:
+  /// the proven global lower bound and the relative optimality gap (kInf
+  /// when no incumbent exists). Mirrored from MipResult so every serialized
+  /// report carries the certificate.
+  util::exec::TerminationReason termination = util::exec::TerminationReason::kCompleted;
+  double bound = 0.0;
+  double gap = 0.0;
   long numerical_failures = 0;
   long rc_fixed = 0;  ///< binaries fixed by root reduced-cost fixing
 
@@ -130,6 +146,12 @@ struct MipResult {
     return status == SolveStatus::kOptimal || status == SolveStatus::kFeasible;
   }
 };
+
+/// Relative optimality gap of an incumbent against a lower bound, with the
+/// usual |incumbent|-floored-at-1 denominator. kInf when there is no
+/// incumbent (or no finite bound below it): the gap of an empty anytime
+/// result. 0 when incumbent <= bound (proven optimal within tolerance).
+[[nodiscard]] double relative_gap(double incumbent, double bound);
 
 /// Solves a MILP by LP-based branch-and-bound: dual-simplex warm restarts
 /// down the tree, reliability-blended pseudocost branching with plunge

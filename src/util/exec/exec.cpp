@@ -1,0 +1,75 @@
+#include "util/exec/exec.h"
+
+#include <algorithm>
+#include <csignal>
+
+namespace wnet::util::exec {
+
+const char* to_string(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::kCompleted: return "completed";
+    case TerminationReason::kDeadline: return "deadline";
+    case TerminationReason::kCancelled: return "cancelled";
+    case TerminationReason::kNodeLimit: return "node-limit";
+    case TerminationReason::kNumerical: return "numerical";
+    case TerminationReason::kInfeasible: return "infeasible";
+  }
+  return "unknown";
+}
+
+Deadline Deadline::after(double seconds) {
+  if (!(seconds < 1e29)) return {};  // non-finite or sentinel-huge: infinite
+  Deadline d;
+  d.finite_ = true;
+  d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(seconds));
+  return d;
+}
+
+double Deadline::remaining_s() const {
+  if (!finite_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ - Clock::now()).count();
+}
+
+Deadline Deadline::tightened(double seconds) const {
+  const Deadline other = Deadline::after(seconds);
+  if (!finite_) return other;
+  if (!other.finite_) return *this;
+  Deadline d;
+  d.finite_ = true;
+  d.at_ = std::min(at_, other.at_);
+  return d;
+}
+
+namespace {
+
+/// Static so the signal handler needs no capture; the source's cancel() is
+/// one relaxed atomic store, which is async-signal-safe.
+CancellationSource& interrupt_source() {
+  static CancellationSource source;
+  return source;
+}
+
+std::atomic<int> g_interrupt_signal{0};
+
+extern "C" void handle_interrupt(int sig) {
+  g_interrupt_signal.store(sig, std::memory_order_relaxed);
+  interrupt_source().cancel();
+}
+
+}  // namespace
+
+const CancellationToken& interrupt_token() {
+  static const CancellationToken token = interrupt_source().token();
+  return token;
+}
+
+void install_interrupt_handlers() {
+  (void)interrupt_token();  // materialize the source before any signal
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+}
+
+int interrupt_signal() { return g_interrupt_signal.load(std::memory_order_relaxed); }
+
+}  // namespace wnet::util::exec

@@ -1,0 +1,233 @@
+// Deterministic graceful degradation: cancellation injected at the N-th
+// spine checkpoint must stop the pipeline at exactly the same logical point
+// for every worker-thread count, yielding byte-identical canonical partial
+// reports. Wall-clock fields are excluded from the comparison (they are the
+// only nondeterministic outputs by design); everything else — status,
+// termination reason, objective, certificate, model sizes, search counts,
+// architecture — must match exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/propagation.h"
+#include "core/explorer.h"
+#include "core/faults/campaign.h"
+#include "core/faults/fault_model.h"
+#include "util/exec/exec.h"
+#include "util/obs/json.h"
+
+namespace wnet::archex {
+namespace {
+
+using util::exec::CancellationSource;
+using util::exec::CheckpointInjector;
+using util::exec::ExecControl;
+
+/// Same multi-route fixture as the parallel-determinism suite: three
+/// sensors crossing a relay field, so the encoder, ladder and campaign all
+/// have real parallel work to cut short.
+class CancellationDeterminism : public ::testing::Test {
+ protected:
+  CancellationDeterminism()
+      : model_(2.4e9, 2.4), lib_(make_reference_library()), tmpl_(model_, lib_) {
+    tmpl_.add_node({"sink", {50, 5}, Role::kSink, NodeKind::kFixed, std::nullopt});
+    for (int i = 0; i < 3; ++i) {
+      tmpl_.add_node({"s" + std::to_string(i), {0.0, 2.0 + 3.0 * i}, Role::kSensor,
+                      NodeKind::kFixed, std::nullopt});
+    }
+    for (int i = 0; i < 8; ++i) {
+      tmpl_.add_node({"r" + std::to_string(i), {6.0 + 5.5 * i, 2.0 + (i % 3) * 3.0},
+                      Role::kRelay, NodeKind::kCandidate, std::nullopt});
+    }
+    spec_.link_quality.min_snr_db = 35.0;
+    spec_.objective = {1.0, 0.0, 0.0};
+    for (int i = 0; i < 3; ++i) {
+      RouteRequirement r;
+      r.source = *tmpl_.find_node("s" + std::to_string(i));
+      r.dest = 0;
+      spec_.routes.push_back(r);
+    }
+  }
+
+  /// Fresh control whose injector trips the token at the N-th spine
+  /// checkpoint. Each run gets its own source/injector (counts reset).
+  static ExecControl inject_at(long n) {
+    CancellationSource src;
+    ExecControl ctl;
+    ctl.token = src.token();
+    ctl.injector = std::make_shared<CheckpointInjector>(n, src);
+    return ctl;
+  }
+
+  static void append_double(std::ostringstream& os, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf << "|";
+  }
+
+  /// Canonical wall-clock-free rendering of a partial exploration result.
+  static std::string canon(const ExplorationResult& r) {
+    std::ostringstream os;
+    os << milp::to_string(r.status) << "|" << util::exec::to_string(r.termination) << "|";
+    append_double(os, r.has_solution() ? r.objective : 0.0);
+    append_double(os, r.bound);
+    append_double(os, r.gap);
+    os << r.encode_stats.num_vars << "|" << r.encode_stats.num_constrs << "|"
+       << r.encode_stats.candidate_paths << "|"
+       << util::exec::to_string(r.encode_stats.termination) << "|" << r.solve_stats.nodes << "|"
+       << r.solve_stats.lp_iterations << "|";
+    for (const auto& n : r.architecture.nodes) os << n.node << ":" << n.component << ",";
+    os << "|";
+    for (const auto& rt : r.architecture.routes) {
+      os << rt.route_index << "." << rt.replica << "=";
+      for (int v : rt.path.nodes) os << v << ",";
+      os << ";";
+    }
+    return os.str();
+  }
+
+  channel::LogDistanceModel model_;
+  ComponentLibrary lib_;
+  NetworkTemplate tmpl_;
+  Specification spec_;
+};
+
+TEST_F(CancellationDeterminism, ExploreDegradesIdenticallyAcrossThreadCounts) {
+  // Spine checkpoints in explore(): the encoder's phase gates first, then
+  // one per branch-and-bound node. Small N cuts the encode, larger N cuts
+  // the solve mid-tree; both must be thread-count-invariant because worker
+  // pools poll a stripped worker_view and the spine blocks on every join.
+  for (long n : {1L, 2L, 4L, 8L, 15L, 40L}) {
+    milp::SolveOptions so;
+    so.time_limit_s = 60.0;
+    EncoderOptions eo;
+    eo.k_star = 6;
+
+    so.exec = eo.exec = inject_at(n);
+    const Explorer ex(tmpl_, spec_);
+    const std::string base = canon(ex.explore(eo, so));
+
+    for (int threads : {2, 4, 8}) {
+      EncoderOptions et = eo;
+      et.threads = threads;
+      milp::SolveOptions st = so;
+      st.exec = et.exec = inject_at(n);
+      EXPECT_EQ(canon(ex.explore(et, st)), base) << "inject_at=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(CancellationDeterminism, PartialReportsAreStrictJsonAtEveryInjectionPoint) {
+  const Explorer ex(tmpl_, spec_);
+  for (long n : {1L, 3L, 5L, 10L, 25L, 60L}) {
+    milp::SolveOptions so;
+    so.time_limit_s = 60.0;
+    EncoderOptions eo;
+    eo.k_star = 6;
+    so.exec = eo.exec = inject_at(n);
+    const auto r = ex.explore(eo, so);
+    const std::string json = r.solver_json();
+    EXPECT_TRUE(util::obs::json_valid(json))
+        << "inject_at=" << n << ": " << util::obs::json_error(json).value_or("") << "\n" << json;
+  }
+}
+
+TEST_F(CancellationDeterminism, SerialLadderInjectionIsReproducible) {
+  // The incremental ladder is a serial spine end to end (encode_k entry,
+  // encoder gates, node loop, scan boundaries): injecting at the same N
+  // must reproduce the identical partial ladder, run after run.
+  const Explorer ex(tmpl_, spec_);
+  for (long n : {2L, 6L, 20L, 45L}) {
+    const auto run = [&] {
+      Explorer::KStarSearchOptions ko;
+      ko.ladder = {1, 3, 6};
+      milp::SolveOptions so;
+      so.time_limit_s = 60.0;
+      EncoderOptions eo;
+      so.exec = eo.exec = inject_at(n);
+      const auto r = ex.search_k_star(ko, eo, so);
+      std::ostringstream os;
+      os << r.chosen_k << "|" << util::exec::to_string(r.termination) << "|" << r.trace.size()
+         << "|";
+      for (const auto& [k, er] : r.trace) os << k << "{" << canon(er) << "}";
+      os << canon(r.best);
+      return os.str();
+    };
+    const std::string first = run();
+    EXPECT_EQ(run(), first) << "inject_at=" << n;
+  }
+}
+
+TEST_F(CancellationDeterminism, CampaignDegradesIdenticallyAcrossThreadCounts) {
+  const Explorer ex(tmpl_, spec_);
+  milp::SolveOptions so;
+  so.time_limit_s = 60.0;
+  const auto base = ex.explore({}, so);
+  ASSERT_TRUE(base.has_solution());
+
+  faults::FaultModelConfig fc;
+  fc.seed = 5;
+  fc.max_simultaneous_failures = 1;
+  fc.fading_draws = 64;
+  fc.fading_sigma_db = 2.0;
+  const auto scenarios =
+      faults::FaultModel(tmpl_, spec_, fc).scenarios(base.architecture);
+  ASSERT_FALSE(scenarios.empty());
+
+  // A pre-cancelled campaign replays nothing: every outcome is marked
+  // unevaluated, the report says so, and it is identical for any pool size
+  // (the token state cannot change mid-join — it was set before the fork).
+  for (int threads : {1, 2, 4, 8}) {
+    CancellationSource src;
+    src.cancel();
+    faults::CampaignOptions copts;
+    copts.threads = threads;
+    copts.exec.token = src.token();
+    const auto rep = faults::CampaignRunner(tmpl_, spec_, copts).run(base.architecture, scenarios);
+    EXPECT_EQ(rep.evaluated(), 0) << "threads=" << threads;
+    EXPECT_EQ(rep.total(), static_cast<int>(scenarios.size()));
+    EXPECT_FALSE(rep.all_passed());
+    EXPECT_EQ(rep.pass_rate(), 0.0);
+    EXPECT_EQ(rep.termination, util::exec::TerminationReason::kCancelled);
+    EXPECT_TRUE(util::obs::json_valid(rep.to_json()));
+  }
+}
+
+TEST_F(CancellationDeterminism, ExploreRobustDegradesIdenticallyAcrossThreadCounts) {
+  // explore_robust's spine: per-iteration checkpoints, encoder gates, node
+  // loops and one post-join campaign checkpoint. Campaign scoring and
+  // candidate generation fan out to workers, but those poll worker_view —
+  // so the N-th-checkpoint stop lands identically for every thread count.
+  const Explorer ex(tmpl_, spec_);
+  for (long n : {5L, 30L}) {
+    const auto run = [&](int threads) {
+      Explorer::RobustExploreOptions ro;
+      ro.encoder.k_star = 6;
+      ro.solver.time_limit_s = 30.0;
+      ro.faults.seed = 3;
+      ro.faults.max_simultaneous_failures = 1;
+      ro.faults.fading_draws = 16;
+      ro.faults.fading_sigma_db = 2.0;
+      ro.time_budget_s = 120.0;
+      ro.max_repair_iterations = 4;
+      ro.threads = threads;
+      ro.solver.exec = inject_at(n);
+      const auto r = ex.explore_robust(ro);
+      std::ostringstream os;
+      os << r.iterations << "|" << r.robust << "|" << r.hardenings_applied << "|"
+         << util::exec::to_string(r.termination) << "|";
+      for (int v : r.raised_routes) os << v << ",";
+      os << "|" << canon(r.best) << "|" << r.report.to_json();
+      return os.str();
+    };
+    const std::string serial = run(1);
+    EXPECT_EQ(run(4), serial) << "inject_at=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace wnet::archex

@@ -1,0 +1,224 @@
+// Budget and termination behavior of the MILP core: zero/tiny wall-clock
+// budgets never borrow extra time, every early stop reports a structured
+// TerminationReason with a valid anytime certificate (incumbent, global
+// dual bound, gap), and growing the budget can only shrink the gap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/encode/encoder.h"
+#include "core/workloads/scenarios.h"
+#include "milp/simplex/dual_simplex.h"
+#include "milp/simplex/standard_lp.h"
+#include "milp/solver.h"
+#include "util/obs/json.h"
+
+namespace wnet::milp {
+namespace {
+
+using util::exec::TerminationReason;
+
+/// A knapsack family hard enough that branch-and-bound actually branches.
+Model make_hard_knapsack(uint32_t seed, int n, int rows) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> w(1, 9);
+  std::uniform_int_distribution<int> p(1, 20);
+  Model m;
+  std::vector<Var> xs;
+  xs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(m.add_binary("x"));
+  for (int r = 0; r < rows; ++r) {
+    LinExpr e;
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+      const int wi = w(rng);
+      total += wi;
+      e += static_cast<double>(wi) * LinExpr(xs[static_cast<size_t>(i)]);
+    }
+    m.add_le(std::move(e), std::floor(0.4 * total));
+  }
+  LinExpr obj;
+  for (int i = 0; i < n; ++i) {
+    obj += -static_cast<double>(p(rng)) * LinExpr(xs[static_cast<size_t>(i)]);
+  }
+  m.minimize(obj);
+  return m;
+}
+
+/// The paper's Table-3-style wireless encoding (positive objective).
+Model make_table3(int nodes, int devices, int kstar) {
+  archex::workloads::ScalableConfig cfg;
+  cfg.total_nodes = nodes;
+  cfg.end_devices = devices;
+  const auto sc = archex::workloads::make_scalable(cfg);
+  archex::EncoderOptions eopts;
+  eopts.k_star = kstar;
+  archex::Encoder enc(*sc->tmpl, sc->spec, eopts);
+  return enc.encode().model;
+}
+
+TEST(BudgetTermination, ZeroTimeLimitReturnsInstantlyWithDeadlineReason) {
+  const Model m = make_hard_knapsack(7, 30, 6);
+  SolveOptions opts;
+  opts.time_limit_s = 0.0;
+  const MipResult res = solve(m, opts);
+  EXPECT_EQ(res.status, SolveStatus::kNoSolution);
+  EXPECT_EQ(res.stats.termination, TerminationReason::kDeadline);
+  // The regression this pins: the old per-node `std::max(1.0, remaining)`
+  // floor silently granted a zero-budget solve a full second of LP work.
+  EXPECT_EQ(res.stats.nodes, 0);
+  EXPECT_LT(res.stats.time_s, 0.5);
+  // The stats JSON must stay strictly valid even for a stopped empty run.
+  EXPECT_TRUE(util::obs::json_valid(res.stats.to_json()))
+      << util::obs::json_error(res.stats.to_json()).value_or("");
+}
+
+TEST(BudgetTermination, TinyBudgetIsNeverExtendedByRetryFloors) {
+  const Model m = make_table3(50, 20, 6);  // seconds of work at full budget
+  SolveOptions opts;
+  opts.time_limit_s = 0.05;
+  const MipResult res = solve(m, opts);
+  // Must come back promptly: no retry path may re-floor the remaining
+  // budget to 1s+ once the deadline is (nearly) spent. Generous margin so
+  // a slow CI machine doesn't flap — the old floors overshot by >= 1s.
+  EXPECT_LT(res.stats.time_s, 0.75);
+  EXPECT_EQ(res.stats.termination, TerminationReason::kDeadline);
+  EXPECT_TRUE(util::obs::json_valid(res.stats.to_json()));
+}
+
+TEST(BudgetTermination, CancelledTokenStopsTheSolveWithCancelledReason) {
+  const Model m = make_hard_knapsack(8, 30, 6);
+  util::exec::CancellationSource src;
+  src.cancel();  // tripped before the solve even starts
+  SolveOptions opts;
+  opts.exec.token = src.token();
+  const MipResult res = solve(m, opts);
+  EXPECT_EQ(res.status, SolveStatus::kNoSolution);
+  EXPECT_EQ(res.stats.termination, TerminationReason::kCancelled);
+  EXPECT_EQ(res.stats.nodes, 0);
+}
+
+TEST(BudgetTermination, NodeBudgetStopsWithNodeLimitReasonAndSoundBound) {
+  const Model m = make_table3(30, 10, 6);
+
+  // Reference optimum for the certificate check.
+  const MipResult full = solve(m, {});
+  ASSERT_EQ(full.status, SolveStatus::kOptimal);
+
+  SolveOptions opts;
+  opts.exec.budget = std::make_shared<util::exec::ResourceBudget>(
+      /*max_bb_nodes=*/20, /*max_yen_candidates=*/-1, /*max_encode_rows=*/-1);
+  const MipResult res = solve(m, opts);
+  EXPECT_EQ(res.stats.termination, TerminationReason::kNodeLimit);
+  EXPECT_LE(res.stats.nodes, 21);
+  // Anytime soundness: the reported bound must still be a valid global
+  // lower bound on the true optimum, and any incumbent an upper bound.
+  EXPECT_LE(res.stats.bound, full.objective + 1e-6);
+  if (res.has_solution()) {
+    EXPECT_GE(res.objective, full.objective - 1e-6);
+    EXPECT_GE(res.stats.gap, 0.0);
+  }
+  EXPECT_TRUE(util::obs::json_valid(res.stats.to_json()));
+}
+
+TEST(BudgetTermination, GapIsMonotoneInTheNodeBudget) {
+  // Growing the budget can only improve the anytime certificate: on the
+  // deterministic solver, a larger node limit extends the smaller run's
+  // search verbatim, so the dual bound only rises, the incumbent only
+  // falls, and the relative gap only shrinks.
+  const Model m = make_table3(30, 10, 6);
+  const MipResult full = solve(m, {});
+  ASSERT_EQ(full.status, SolveStatus::kOptimal);
+
+  double prev_gap = kInf;
+  double prev_bound = -kInf;
+  for (long nodes : {5L, 20L, 80L, 320L, 100000L}) {
+    SolveOptions opts;
+    opts.node_limit = nodes;
+    const MipResult res = solve(m, opts);
+    EXPECT_GE(res.stats.bound, prev_bound - 1e-9) << "node_limit=" << nodes;
+    EXPECT_LE(res.stats.gap, prev_gap + 1e-9) << "node_limit=" << nodes;
+    EXPECT_LE(res.stats.bound, full.objective + 1e-6) << "node_limit=" << nodes;
+    prev_bound = res.stats.bound;
+    prev_gap = res.stats.gap;
+  }
+  EXPECT_EQ(prev_gap, 0.0);  // the last rung proves optimality
+}
+
+TEST(BudgetTermination, RelativeGapDefinition) {
+  EXPECT_EQ(relative_gap(kInf, 10.0), kInf);    // no incumbent
+  EXPECT_EQ(relative_gap(10.0, -kInf), kInf);   // no bound
+  EXPECT_EQ(relative_gap(10.0, 10.0), 0.0);     // closed
+  EXPECT_EQ(relative_gap(10.0, 12.0), 0.0);     // bound overshoot clamps to 0
+  EXPECT_NEAR(relative_gap(10.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(relative_gap(0.5, 0.25), 0.25, 1e-12);  // |inc| < 1: absolute scale
+}
+
+/// A dense LP that needs well over 64 pivots, so the dual simplex's
+/// in-run (iter & 63) == 63 control check actually executes.
+Model make_big_lp(int n) {
+  // Sliding-window covering rows: every row needs several of its own
+  // variables raised, so the pivot count grows ~linearly with n instead of
+  // collapsing onto a few shared columns.
+  Model m;
+  std::vector<Var> xs;
+  xs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(m.add_continuous("x", 0.0, 1.0));
+  for (int r = 0; r + 4 < n; ++r) {
+    LinExpr e;
+    for (int j = 0; j < 5; ++j) e += LinExpr(xs[static_cast<size_t>(r + j)]);
+    m.add_ge(std::move(e), 3.0);
+  }
+  LinExpr obj;
+  for (int i = 0; i < n; ++i) {
+    obj += (1.0 + static_cast<double>(i % 7)) * LinExpr(xs[static_cast<size_t>(i)]);
+  }
+  m.minimize(obj);
+  return m;
+}
+
+TEST(BudgetTermination, DualSimplexDistinguishesTimeLimitFromIterLimit) {
+  const Model m = make_big_lp(300);
+  const simplex::StandardLp lp(m);
+
+  // Sanity: unconstrained, this LP takes > 64 pivots (the check cadence).
+  {
+    simplex::DualSimplex ds(lp);
+    const auto res = ds.solve();
+    ASSERT_EQ(res.status, simplex::LpStatus::kOptimal);
+    ASSERT_GT(res.iterations, 64);
+  }
+  // Expired wall clock -> kTimeLimit, NOT kIterLimit: the two reasons map
+  // to different TerminationReasons and only kIterLimit warrants the
+  // numerical-retry escalation in the MIP layer.
+  {
+    simplex::LpOptions o;
+    o.time_limit_s = 0.0;
+    simplex::DualSimplex ds(lp, o);
+    EXPECT_EQ(ds.solve().status, simplex::LpStatus::kTimeLimit);
+  }
+  // Exhausted pivot budget still reports kIterLimit.
+  {
+    simplex::LpOptions o;
+    o.max_iters = 10;
+    simplex::DualSimplex ds(lp, o);
+    EXPECT_EQ(ds.solve().status, simplex::LpStatus::kIterLimit);
+  }
+}
+
+TEST(BudgetTermination, DualSimplexHonorsCancellationToken) {
+  const Model m = make_big_lp(300);
+  const simplex::StandardLp lp(m);
+  util::exec::CancellationSource src;
+  src.cancel();
+  simplex::LpOptions o;
+  o.cancel = src.token();
+  simplex::DualSimplex ds(lp, o);
+  EXPECT_EQ(ds.solve().status, simplex::LpStatus::kCancelled);
+}
+
+}  // namespace
+}  // namespace wnet::milp
