@@ -19,6 +19,11 @@ struct EncodeStats {
   double encode_time_s = 0.0;
   int candidate_paths = 0;  ///< approx mode: total Yen candidates kept
 
+  /// Rows skipped by EncoderOptions::lazy_separation (group edge/node
+  /// linking + pairwise disjointness), recoverable on demand by the
+  /// LazySeparation callbacks. 0 when lazy mode is off.
+  int lazy_rows_omitted = 0;
+
   /// kCompleted for a fully built model. Anything else means the encode
   /// aborted early (deadline, cancellation, budget): the remaining phases
   /// were skipped and the partial model MUST NOT be solved — callers report

@@ -467,9 +467,15 @@ class Build {
     const Var e = p_.model.add_binary("e_" + t_.node(from).name + "_" + t_.node(to).name);
     p_.model.set_branch_priority(e, 2);
     p_.edge_active[key] = e;
-    // A link needs both endpoints deployed.
-    p_.model.add_le(LinExpr(e) - LinExpr(p_.node_used[static_cast<size_t>(from)]), 0.0);
-    p_.model.add_le(LinExpr(e) - LinExpr(p_.node_used[static_cast<size_t>(to)]), 0.0);
+    // A link needs both endpoints deployed. Lazy mode leaves these pure
+    // implication rows to the separator too — two per scoped edge, they are
+    // the largest skeleton family at scale.
+    if (o_.lazy_separation) {
+      p_.stats.lazy_rows_omitted += 2;
+    } else {
+      p_.model.add_le(LinExpr(e) - LinExpr(p_.node_used[static_cast<size_t>(from)]), 0.0);
+      p_.model.add_le(LinExpr(e) - LinExpr(p_.node_used[static_cast<size_t>(to)]), 0.0);
+    }
     return e;
   }
 
@@ -542,13 +548,21 @@ class Build {
         group_node[{c.route_index, c.replica, v}] += LinExpr(c.selector);
       }
     }
-    for (auto& [key, expr] : group_edge) {
-      expr -= LinExpr(p_.edge_active.at({std::get<2>(key), std::get<3>(key)}));
-      group_edge_row_[key] = p_.model.add_le(std::move(expr), 0.0);  // group path mass <= e
-    }
-    for (auto& [key, expr] : group_node) {
-      expr -= LinExpr(p_.node_used[static_cast<size_t>(std::get<2>(key))]);
-      group_node_row_[key] = p_.model.add_le(std::move(expr), 0.0);  // group path mass <= u
+    // Lazy mode keeps the relaxed skeleton only: the group linking rows
+    // (the dominant family at scale) are skipped here and recovered on
+    // demand by the LazySeparation callbacks during the solve.
+    if (o_.lazy_separation) {
+      p_.stats.lazy_rows_omitted +=
+          static_cast<int>(group_edge.size() + group_node.size());
+    } else {
+      for (auto& [key, expr] : group_edge) {
+        expr -= LinExpr(p_.edge_active.at({std::get<2>(key), std::get<3>(key)}));
+        group_edge_row_[key] = p_.model.add_le(std::move(expr), 0.0);  // group path mass <= e
+      }
+      for (auto& [key, expr] : group_node) {
+        expr -= LinExpr(p_.node_used[static_cast<size_t>(std::get<2>(key))]);
+        group_node_row_[key] = p_.model.add_le(std::move(expr), 0.0);  // group path mass <= u
+      }
     }
     for (auto& [key, expr] : users) {
       expr -= LinExpr(p_.edge_active.at(key));
@@ -584,13 +598,18 @@ class Build {
 
     // Disjointness of chosen replicas (the (1d) analog on candidates):
     // same-route candidates from different groups sharing an edge conflict.
+    // Lazy mode counts the O(K^2) pairs instead of emitting them.
     for (size_t a = 0; a < p_.candidates.size(); ++a) {
       for (size_t b = a + 1; b < p_.candidates.size(); ++b) {
         const auto& ca = p_.candidates[a];
         const auto& cb = p_.candidates[b];
         if (ca.route_index != cb.route_index || ca.replica == cb.replica) continue;
         if (graph::shared_edges(ca.path, cb.path) > 0) {
-          p_.model.add_le(LinExpr(ca.selector) + LinExpr(cb.selector), 1.0);
+          if (o_.lazy_separation) {
+            ++p_.stats.lazy_rows_omitted;
+          } else {
+            p_.model.add_le(LinExpr(ca.selector) + LinExpr(cb.selector), 1.0);
+          }
         }
       }
     }
@@ -1171,22 +1190,34 @@ bool Build::extend_to_k(int new_k) {
       users_row_[key] = p_.model.add_ge(std::move(d), 0.0);
     }
   }
-  for (auto& [key, d] : ge_delta) {
-    auto it = group_edge_row_.find(key);
-    if (it != group_edge_row_.end()) {
-      p_.model.add_terms_to_constr(it->second, d);
-    } else {
-      d -= LinExpr(p_.edge_active.at({std::get<2>(key), std::get<3>(key)}));
-      group_edge_row_[key] = p_.model.add_le(std::move(d), 0.0);
+  // Lazy mode: the group linking maps are empty by construction (the fresh
+  // encode skipped the family), so the delta skips it identically and only
+  // counts the rows a non-lazy delta would have created.
+  if (o_.lazy_separation) {
+    for (const auto& [key, d] : ge_delta) {
+      if (!group_edge_row_.count(key)) ++p_.stats.lazy_rows_omitted;
     }
-  }
-  for (auto& [key, d] : gn_delta) {
-    auto it = group_node_row_.find(key);
-    if (it != group_node_row_.end()) {
-      p_.model.add_terms_to_constr(it->second, d);
-    } else {
-      d -= LinExpr(p_.node_used[static_cast<size_t>(std::get<2>(key))]);
-      group_node_row_[key] = p_.model.add_le(std::move(d), 0.0);
+    for (const auto& [key, d] : gn_delta) {
+      if (!group_node_row_.count(key)) ++p_.stats.lazy_rows_omitted;
+    }
+  } else {
+    for (auto& [key, d] : ge_delta) {
+      auto it = group_edge_row_.find(key);
+      if (it != group_edge_row_.end()) {
+        p_.model.add_terms_to_constr(it->second, d);
+      } else {
+        d -= LinExpr(p_.edge_active.at({std::get<2>(key), std::get<3>(key)}));
+        group_edge_row_[key] = p_.model.add_le(std::move(d), 0.0);
+      }
+    }
+    for (auto& [key, d] : gn_delta) {
+      auto it = group_node_row_.find(key);
+      if (it != group_node_row_.end()) {
+        p_.model.add_terms_to_constr(it->second, d);
+      } else {
+        d -= LinExpr(p_.node_used[static_cast<size_t>(std::get<2>(key))]);
+        group_node_row_[key] = p_.model.add_le(std::move(d), 0.0);
+      }
     }
   }
 
@@ -1227,14 +1258,19 @@ bool Build::extend_to_k(int new_k) {
     }
   }
 
-  // Cross-replica disjointness for every pair touching a new candidate.
+  // Cross-replica disjointness for every pair touching a new candidate
+  // (lazy mode: counted, not emitted — same gating as the fresh encode).
   for (size_t a = first_new; a < p_.candidates.size(); ++a) {
     for (size_t b = 0; b < a; ++b) {
       const auto& ca = p_.candidates[a];
       const auto& cb = p_.candidates[b];
       if (ca.route_index != cb.route_index || ca.replica == cb.replica) continue;
       if (graph::shared_edges(ca.path, cb.path) > 0) {
-        p_.model.add_le(LinExpr(ca.selector) + LinExpr(cb.selector), 1.0);
+        if (o_.lazy_separation) {
+          ++p_.stats.lazy_rows_omitted;
+        } else {
+          p_.model.add_le(LinExpr(ca.selector) + LinExpr(cb.selector), 1.0);
+        }
       }
     }
   }

@@ -59,6 +59,18 @@ struct EncoderOptions {
   };
   DisjointStrategy disjoint_strategy = DisjointStrategy::kDisconnectMinDisjoint;
 
+  /// Lazy separation (approx mode only): emit just the relaxed skeleton —
+  /// selector disjunctions, sizing, LQ, users rows, cover cuts — and omit
+  /// the two row families that dominate model size at scale: the per-group
+  /// edge/node linking rows (path mass <= e, <= u) and the O(K^2) pairwise
+  /// cross-replica disjointness rows. The omitted families are recovered on
+  /// demand during the solve by the LazySeparation callbacks
+  /// (core/encode/separation.h), which MUST be installed in
+  /// SolveOptions::cuts for the solution to be correct; Explorer does this
+  /// automatically. Ignored in kFull mode. The incremental session gates
+  /// its deltas identically, so delta == fresh still holds.
+  bool lazy_separation = false;
+
   /// Robustness hardenings accumulated by the explore_robust repair loop.
   /// kMargin entries also tighten the LQ prefilter, so Yen stops proposing
   /// links that cannot carry the required headroom.

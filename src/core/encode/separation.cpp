@@ -1,0 +1,143 @@
+#include "core/encode/separation.h"
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "graph/connectivity.h"
+#include "milp/tol.h"
+
+namespace wnet::archex {
+
+struct LazySeparation::Snapshot {
+  /// Same-route, different-replica candidate pair sharing at least one
+  /// edge: chosen together they violate replica disjointness.
+  struct Conflict {
+    milp::Var ya, yb;
+    std::string name;
+  };
+
+  /// One omitted linking row: sum(members) <= target (e_ij or u_v).
+  struct Link {
+    milp::Var target;
+    std::vector<milp::Var> members;
+    std::string name;
+  };
+
+  std::vector<Conflict> conflicts;
+  std::vector<Link> links;
+};
+
+LazySeparation::LazySeparation(const NetworkTemplate& tmpl, const EncodedProblem& ep) {
+  auto snap = std::make_shared<Snapshot>();
+
+  // Pairwise disjointness conflicts, in (a, b) index order — the same scan
+  // (and therefore the same row set) the upfront encoder runs.
+  for (size_t a = 0; a < ep.candidates.size(); ++a) {
+    for (size_t b = a + 1; b < ep.candidates.size(); ++b) {
+      const CandidatePath& ca = ep.candidates[a];
+      const CandidatePath& cb = ep.candidates[b];
+      if (ca.route_index != cb.route_index || ca.replica == cb.replica) continue;
+      if (graph::shared_edges(ca.path, cb.path) > 0) {
+        snap->conflicts.push_back({ca.selector, cb.selector,
+                                   "lzd_" + std::to_string(a) + "_" + std::to_string(b)});
+      }
+    }
+  }
+
+  // Group edge/node linking incidence, keyed exactly like the upfront
+  // group_edge / group_node rows; std::map iteration keeps the order
+  // deterministic.
+  std::map<std::tuple<int, int, int, int>, std::vector<milp::Var>> ge;
+  std::map<std::tuple<int, int, int>, std::vector<milp::Var>> gn;
+  for (const CandidatePath& c : ep.candidates) {
+    for (size_t k = 0; k + 1 < c.path.nodes.size(); ++k) {
+      ge[{c.route_index, c.replica, c.path.nodes[k], c.path.nodes[k + 1]}].push_back(
+          c.selector);
+    }
+    for (const int v : c.path.nodes) {
+      if (tmpl.node(v).kind == NodeKind::kFixed) continue;  // u is already 1
+      gn[{c.route_index, c.replica, v}].push_back(c.selector);
+    }
+  }
+  for (auto& [key, members] : ge) {
+    const auto& [route, rep, i, j] = key;
+    snap->links.push_back({ep.edge_active.at({i, j}), std::move(members),
+                           "lge_r" + std::to_string(route) + "_p" + std::to_string(rep) +
+                               "_" + std::to_string(i) + "_" + std::to_string(j)});
+  }
+  for (auto& [key, members] : gn) {
+    const auto& [route, rep, v] = key;
+    const milp::Var u = ep.node_used[static_cast<size_t>(v)];
+    if (!u.valid()) continue;  // out-of-scope node: nothing to link
+    snap->links.push_back({u, std::move(members),
+                           "lgn_r" + std::to_string(route) + "_p" + std::to_string(rep) +
+                               "_" + std::to_string(v)});
+  }
+
+  // Edge-endpoint implications e_ij <= u_i, e_ij <= u_j — the Link shape
+  // with a single member. Links into fixed nodes are skipped: their u is
+  // pinned to 1 by bounds, so the row can never be violated.
+  for (const auto& [key, e] : ep.edge_active) {
+    for (const int v : {key.first, key.second}) {
+      if (tmpl.node(v).kind == NodeKind::kFixed) continue;
+      const milp::Var u = ep.node_used[static_cast<size_t>(v)];
+      if (!u.valid()) continue;
+      snap->links.push_back({u, {e},
+                             "lep_" + std::to_string(key.first) + "_" +
+                                 std::to_string(key.second) + "_" + std::to_string(v)});
+    }
+  }
+
+  snap_ = std::move(snap);
+}
+
+milp::SeparationCallback LazySeparation::callback() const {
+  // The lambda owns the snapshot: safe after this object, the template and
+  // the EncodedProblem are gone.
+  std::shared_ptr<const Snapshot> snap = snap_;
+  return [snap](const milp::SeparationContext& ctx, milp::CutPool& pool) {
+    const std::vector<double>& x = ctx.x;
+    for (const Snapshot::Conflict& cf : snap->conflicts) {
+      if (x[static_cast<size_t>(cf.ya.id)] + x[static_cast<size_t>(cf.yb.id)] >
+          1.0 + milp::tol::kCutViolation) {
+        milp::Cut cut;
+        cut.expr = milp::LinExpr(cf.ya) + milp::LinExpr(cf.yb);
+        cut.sense = milp::Sense::kLe;
+        cut.rhs = 1.0;
+        cut.name = cf.name;
+        pool.add(std::move(cut));
+      }
+    }
+    for (const Snapshot::Link& ln : snap->links) {
+      double mass = 0.0;
+      for (const milp::Var y : ln.members) mass += x[static_cast<size_t>(y.id)];
+      if (mass > x[static_cast<size_t>(ln.target.id)] + milp::tol::kCutViolation) {
+        milp::Cut cut;
+        for (const milp::Var y : ln.members) cut.expr.add_term(y, 1.0);
+        cut.expr.add_term(ln.target, -1.0);
+        cut.sense = milp::Sense::kLe;
+        cut.rhs = 0.0;
+        cut.name = ln.name;
+        pool.add(std::move(cut));
+      }
+    }
+  };
+}
+
+bool LazySeparation::empty() const {
+  return snap_->conflicts.empty() && snap_->links.empty();
+}
+
+void LazySeparation::install(milp::SolveOptions& opts) const {
+  if (empty()) return;
+  opts.cuts.separators.push_back(callback());
+}
+
+size_t LazySeparation::family_size() const {
+  return snap_->conflicts.size() + snap_->links.size();
+}
+
+}  // namespace wnet::archex

@@ -1,0 +1,57 @@
+#pragma once
+
+/// Lazy separators for the approx encoder's omitted row families.
+///
+/// With EncoderOptions::lazy_separation the encoder emits only the relaxed
+/// skeleton; the two families it skips are recovered here, on demand,
+/// inside the branch-and-bound:
+///
+///  - pairwise cross-replica disjointness: y_a + y_b <= 1 for same-route
+///    candidates of different replica groups sharing an edge;
+///  - group edge/node linking: sum of a group's selectors using edge (i,j)
+///    <= e_ij, and through relay v <= u_v.
+///
+/// The callbacks propose exactly the rows the upfront encoder would have
+/// built (full member lists, not support-restricted sub-rows), so the cut
+/// pool's tolerance-aware dedup unifies repeats and the lazy model
+/// converges to the upfront one on the active set. At any integer point
+/// every violated family member is found by a full scan, which is what
+/// makes the solver's incumbent gate sound: an accepted incumbent satisfies
+/// the entire omitted family, not just the rows separated so far.
+
+#include <memory>
+
+#include "core/encode/encoded_problem.h"
+#include "core/network_template.h"
+#include "milp/cuts.h"
+#include "milp/solver.h"
+
+namespace wnet::archex {
+
+/// Separation callbacks for one encoded problem. The constructor snapshots
+/// everything it needs (var ids, conflict pairs, linking incidence), so the
+/// callback outlives both the template and the EncodedProblem; rebuild it
+/// after any delta encode (candidate lists grow between rungs).
+class LazySeparation {
+ public:
+  LazySeparation(const NetworkTemplate& tmpl, const EncodedProblem& ep);
+
+  /// One combined deterministic callback covering both families.
+  [[nodiscard]] milp::SeparationCallback callback() const;
+
+  /// True when there is nothing to separate (full mode, no candidates, or
+  /// no omitted rows).
+  [[nodiscard]] bool empty() const;
+
+  /// Appends the callback to `opts.cuts.separators` (no-op when empty()).
+  void install(milp::SolveOptions& opts) const;
+
+  /// Omitted rows this instance can recover (conflict pairs + linking rows).
+  [[nodiscard]] size_t family_size() const;
+
+ private:
+  struct Snapshot;
+  std::shared_ptr<const Snapshot> snap_;
+};
+
+}  // namespace wnet::archex

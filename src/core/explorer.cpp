@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "core/encode/separation.h"
 #include "graph/digraph.h"
 #include "util/obs/json.h"
 #include "util/obs/trace.h"
@@ -33,6 +34,7 @@ std::string ExplorationResult::solver_json() const {
   w.field("constrs", encode_stats.num_constrs);
   w.field("nonzeros", encode_stats.nonzeros);
   w.field("candidate_paths", encode_stats.candidate_paths);
+  w.field("lazy_rows_omitted", encode_stats.lazy_rows_omitted);
   w.number_field("encode_time_s", encode_stats.encode_time_s);
   w.field("reused_candidates", encode_stats.reused_candidates);
   w.number_field("delta_encode_time_s", encode_stats.delta_encode_time_s);
@@ -123,8 +125,15 @@ ExplorationResult Explorer::explore(const EncoderOptions& eopts,
   }
 
   milp::SolveOptions main_opts = sopts;
+  if (eopts.lazy_separation) {
+    // The omitted row families come back as separation callbacks. They are
+    // installed before the warm-start probe runs so the probe's restricted
+    // solve (same var ids) is gated by the same lazy constraints and never
+    // hands back a lazily-infeasible seed.
+    LazySeparation(*tmpl_, ep).install(main_opts);
+  }
   if (main_opts.mip_start.empty()) {
-    main_opts.mip_start = fixed_routing_start(ep, sopts);
+    main_opts.mip_start = fixed_routing_start(ep, main_opts);
   }
   const milp::MipResult res = milp::solve(ep.model, main_opts);
   out.status = res.status;
@@ -197,13 +206,18 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
       return er;
     }
     milp::SolveOptions so = sopts;
+    if (eopts.lazy_separation) {
+      // Rebuilt per rung: a delta extend grows the candidate list, and the
+      // separator snapshot must cover every selector of the current model.
+      LazySeparation(*tmpl_, ep).install(so);
+    }
     if (so.mip_start.empty()) {
       std::vector<double> ext = session->extend_assignment(carry_x);
       if (!ext.empty()) {
         so.mip_start = std::move(ext);
         so.cutoff = carry_obj;
       } else {
-        so.mip_start = fixed_routing_start(ep, sopts);
+        so.mip_start = fixed_routing_start(ep, so);
       }
     }
     const milp::MipResult res = milp::solve(ep.model, so);

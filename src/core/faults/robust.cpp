@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/encode/separation.h"
 #include "core/explorer.h"
 #include "core/faults/campaign.h"
 #include "core/faults/fault_model.h"
@@ -276,6 +277,13 @@ Explorer::RobustExplorationResult Explorer::explore_robust(
       // Aborted encode: the partial model must not be solved.
       out.termination = ep.stats.termination;
       break;
+    }
+    if (eopts.lazy_separation) {
+      // Rebuilt per iteration: hardening folds and replica raises change
+      // the candidate set, and the separator snapshot must match the model
+      // being solved. Installed before the repair probe so its restricted
+      // solve is gated by the same lazy constraints.
+      LazySeparation(*tmpl_, ep).install(sopts);
     }
     if (have_prev && sopts.mip_start.empty()) {
       sopts.mip_start = repair_start(ep, prev_arch, eopts.hardening, sopts);

@@ -1,0 +1,141 @@
+#include "milp/cuts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "milp/tol.h"
+
+namespace wnet::milp {
+
+namespace {
+
+/// FNV-1a over the cut's structure only — sorted var ids and sense, never
+/// coefficient bits. Epsilon-perturbed duplicates therefore always land in
+/// the same bucket; members are then compared coefficient-wise with
+/// tolerances.
+uint64_t structure_hash(const std::vector<std::pair<int, double>>& terms, Sense sense) {
+  uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(sense));
+  for (const auto& [id, coef] : terms) {
+    (void)coef;
+    mix(static_cast<uint64_t>(id) + 1);
+  }
+  return h;
+}
+
+bool close(double a, double b) { return std::abs(a - b) <= tol::kCutCoefTol; }
+
+}  // namespace
+
+bool CutPool::add(Cut cut) {
+  ++stats_.proposed;
+
+  Row row;
+  row.sense = cut.sense;
+  row.rhs = cut.rhs - cut.expr.constant();
+  row.name = std::move(cut.name);
+  for (const auto& [v, coef] : cut.expr.terms()) row.terms.emplace_back(v.id, coef);
+
+  // Normalize: kGe becomes kLe by negation, then scale so max |coef| = 1.
+  if (row.sense == Sense::kGe) {
+    row.sense = Sense::kLe;
+    for (auto& [id, coef] : row.terms) coef = -coef;
+    row.rhs = -row.rhs;
+  }
+  double scale = 0.0;
+  for (const auto& [id, coef] : row.terms) scale = std::max(scale, std::abs(coef));
+  if (scale > 0.0) {
+    const double inv = 1.0 / scale;
+    for (auto& [id, coef] : row.terms) coef *= inv;
+    row.rhs *= inv;
+  }
+  row.terms.erase(std::remove_if(row.terms.begin(), row.terms.end(),
+                                 [](const std::pair<int, double>& t) {
+                                   return std::abs(t.second) < tol::kCutCoefZero;
+                                 }),
+                  row.terms.end());
+
+  const uint64_t h = structure_hash(row.terms, row.sense);
+  const auto [lo, hi] = index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    const Row& other = rows_[it->second];
+    if (other.sense != row.sense || other.terms.size() != row.terms.size()) continue;
+    bool same = close(other.rhs, row.rhs);
+    for (size_t k = 0; same && k < row.terms.size(); ++k) {
+      same = other.terms[k].first == row.terms[k].first &&
+             close(other.terms[k].second, row.terms[k].second);
+    }
+    if (same) {
+      ++stats_.duplicates;
+      return false;
+    }
+  }
+
+  index_.emplace(h, rows_.size());
+  rows_.push_back(std::move(row));
+  ++stats_.pooled;
+  return true;
+}
+
+double CutPool::violation(size_t idx, const std::vector<double>& x) const {
+  const Row& row = rows_[idx];
+  double activity = 0.0;
+  for (const auto& [id, coef] : row.terms) {
+    activity += coef * x[static_cast<size_t>(id)];
+  }
+  const double v = activity - row.rhs;
+  return row.sense == Sense::kEq ? std::abs(v) : v;
+}
+
+double CutPool::max_violation(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (size_t i = 0; i < rows_.size(); ++i) worst = std::max(worst, violation(i, x));
+  return worst;
+}
+
+void CutPool::mark_active(size_t idx) {
+  Row& row = rows_[idx];
+  row.state = CutState::kActive;
+  row.age = 0;
+  ++stats_.activated;
+}
+
+std::vector<size_t> CutPool::select_violated(const std::vector<double>& x,
+                                             const CutPoolOptions& opts) {
+  std::vector<std::pair<double, size_t>> ranked;  // (violation, index)
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    Row& row = rows_[i];
+    if (row.state != CutState::kPooled) continue;
+    const double v = violation(i, x);
+    if (v >= opts.min_violation) {
+      ranked.emplace_back(v, i);
+    } else if (++row.age > opts.max_age) {
+      row.state = CutState::kPurged;
+      ++stats_.purged;
+    }
+  }
+  // Most violated first; insertion order breaks ties deterministically.
+  std::stable_sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first;
+  });
+  if (opts.max_cuts_per_round >= 0 &&
+      ranked.size() > static_cast<size_t>(opts.max_cuts_per_round)) {
+    ranked.resize(static_cast<size_t>(opts.max_cuts_per_round));
+  }
+  std::vector<size_t> picked;
+  picked.reserve(ranked.size());
+  for (const auto& [v, i] : ranked) {
+    rows_[i].state = CutState::kActive;
+    rows_[i].age = 0;
+    ++stats_.activated;
+    picked.push_back(i);
+  }
+  return picked;
+}
+
+}  // namespace wnet::milp

@@ -1,0 +1,172 @@
+#pragma once
+
+/// Cut pool + separation callbacks for the branch-and-bound core.
+///
+/// A separator inspects an LP point and proposes violated rows ("cuts").
+/// Two kinds share this interface:
+///
+///  - Valid cuts: implied by the model, they only tighten the relaxation.
+///  - Lazy constraints: REAL rows of the intended problem that the encoder
+///    deliberately left out (EncoderOptions::lazy_separation). These are
+///    not optional — an integer point violating one must never be accepted
+///    as an incumbent, so the solver re-runs every separator on candidate
+///    incumbents before accepting them (the lazy gate in try_incumbent).
+///
+/// Pooled cuts are deduplicated with the unified tolerances from
+/// milp/tol.h (never exact double comparison: separators rebuild rows from
+/// floating-point arithmetic, so the same cut arrives perturbed in the
+/// last bits), selected most-violated-first per round, and aged out when
+/// they stay unviolated for too many rounds without ever being activated.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/tol.h"
+
+namespace wnet::milp {
+
+/// One proposed row: expr `sense` rhs over structural model variables.
+/// The expression's constant is folded into the rhs on pooling.
+struct Cut {
+  LinExpr expr;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// Pool configuration; embedded in SolveOptions::cuts.
+struct CutPoolOptions {
+  /// Minimum normalized violation (max |coef| scaled to 1) for a pooled cut
+  /// to be activated into the LP.
+  double min_violation = tol::kCutViolation;
+  /// At most this many cuts enter the LP per separation round.
+  int max_cuts_per_round = 64;
+  /// An inactive cut that goes this many selection rounds without ever
+  /// being violated is purged (stops being considered; it stays readable
+  /// for the oracle tests).
+  int max_age = 64;
+};
+
+/// Lifetime of a pooled cut. Purged cuts remain in `cuts()` (the safety
+/// oracle audits every cut ever pooled) but are never selected again.
+enum class CutState : uint8_t { kPooled, kActive, kPurged };
+
+struct CutPoolStats {
+  long proposed = 0;    ///< add() calls
+  long pooled = 0;      ///< accepted as new
+  long duplicates = 0;  ///< rejected by tolerance-aware dedup
+  long activated = 0;   ///< entered the LP
+  long purged = 0;      ///< aged out before ever activating
+};
+
+/// Deduplicating store of cuts with violation-ranked selection and aging.
+/// Not thread-safe; the B&B separation loop runs on the serial spine.
+class CutPool {
+ public:
+  /// Pools a cut unless a tolerance-equal row is already present. The row
+  /// is normalized first (kGe flipped to kLe, terms merged, constant folded
+  /// into the rhs, coefficients scaled so max |coef| = 1), so scaled
+  /// duplicates (2x + 2y <= 2 vs x + y <= 1) and epsilon-perturbed
+  /// duplicates both dedup. Returns true if the cut was new.
+  bool add(Cut cut);
+
+  /// Normalized violation of pooled cut `idx` at point `x` (indexed by var
+  /// id; extra trailing entries such as LP slacks are ignored). Positive
+  /// means violated.
+  [[nodiscard]] double violation(size_t idx, const std::vector<double>& x) const;
+
+  /// Largest violation over every cut ever pooled, regardless of state.
+  /// The solver's lazy gate uses this to reject an integer point that
+  /// violates an already-active (or purged) row. 0 for an empty pool.
+  [[nodiscard]] double max_violation(const std::vector<double>& x) const;
+
+  /// One selection round: ranks the never-activated cuts by violation at
+  /// `x`, marks up to `max_cuts_per_round` most-violated ones (violation >=
+  /// `min_violation`) active and returns their indices, ties broken by
+  /// insertion order. Every inactive cut left unviolated ages by one round;
+  /// cuts older than `max_age` are purged.
+  [[nodiscard]] std::vector<size_t> select_violated(const std::vector<double>& x,
+                                                    const CutPoolOptions& opts);
+
+  /// Marks cut `idx` active (age reset, activation counted) without going
+  /// through a selection round. The solver's integral gate uses this: when
+  /// an integer point violates a pooled row, that row must enter the LP no
+  /// matter its state — with a shared pool, kActive can mean "active in an
+  /// earlier solve's LP", and even purged rows must be recoverable, or the
+  /// gate would reject the point without being able to make progress.
+  void mark_active(size_t idx);
+
+  /// Terms of pooled cut `idx` in normalized form: unique ascending var
+  /// ids, sense kLe or kEq, max |coef| = 1. This is the exact row the
+  /// solver appends to the LP.
+  [[nodiscard]] const std::vector<std::pair<int, double>>& terms(size_t idx) const {
+    return rows_[idx].terms;
+  }
+  [[nodiscard]] Sense sense(size_t idx) const { return rows_[idx].sense; }
+  [[nodiscard]] double rhs(size_t idx) const { return rows_[idx].rhs; }
+  [[nodiscard]] const std::string& name(size_t idx) const { return rows_[idx].name; }
+  [[nodiscard]] CutState state(size_t idx) const { return rows_[idx].state; }
+
+  /// Number of cuts ever pooled (including purged ones).
+  [[nodiscard]] size_t size() const { return rows_.size(); }
+
+  [[nodiscard]] const CutPoolStats& stats() const { return stats_; }
+
+ private:
+  struct Row {
+    std::vector<std::pair<int, double>> terms;  ///< normalized, sorted by id
+    Sense sense = Sense::kLe;                   ///< kLe or kEq after normalization
+    double rhs = 0.0;
+    std::string name;
+    CutState state = CutState::kPooled;
+    int age = 0;  ///< selection rounds spent unviolated while pooled
+  };
+
+  /// Buckets by structure (sorted var ids + sense), so lookup never
+  /// compares raw doubles; members are compared coefficient-wise with
+  /// tol::kCutCoefTol.
+  std::unordered_multimap<uint64_t, size_t> index_;
+  std::vector<Row> rows_;
+  CutPoolStats stats_;
+};
+
+/// What a separator sees: the LP point plus where in the tree it came from.
+struct SeparationContext {
+  /// Current point, indexed by model var id (may carry extra trailing LP
+  /// columns; separators must only index [0, num_vars)).
+  const std::vector<double>& x;
+  long node = 0;          ///< B&B nodes processed when separation ran (0 = root)
+  int depth = 0;          ///< tree depth of the separated node
+  bool integral = false;  ///< x is integer-feasible for the encoded model
+  double lp_objective = 0.0;
+};
+
+/// Separators add violated cuts to the pool; the solver decides which
+/// pooled cuts enter the LP. Implementations must be deterministic (the
+/// whole separation loop runs on the serial spine) and must only propose
+/// rows valid for every integer-feasible point of the intended problem.
+using SeparationCallback = std::function<void(const SeparationContext&, CutPool&)>;
+
+/// Separation configuration; embedded in SolveOptions::cuts. With no
+/// separators the solver behaves exactly as before this interface existed.
+struct CutOptions {
+  std::vector<SeparationCallback> separators;
+  CutPoolOptions pool;
+  /// Separation/re-solve rounds at the root before any branching.
+  int max_rounds_root = 20;
+  /// Separation/re-solve rounds per node on fractional points. The lazy
+  /// gate on integer points is not bounded by this — it is a correctness
+  /// requirement, not a strengthening heuristic.
+  int max_rounds_node = 4;
+  /// Optional externally owned pool, shared across solves and inspectable
+  /// by tests (the cut-safety oracle audits it after the solve). Must
+  /// outlive the solve; when null the solver uses a private pool.
+  CutPool* shared_pool = nullptr;
+};
+
+}  // namespace wnet::milp

@@ -21,6 +21,20 @@ class SparseMatrix {
   void set_column(int j, std::vector<Entry> entries) {
     cols_[static_cast<size_t>(j)] = std::move(entries);
   }
+
+  /// Appends one entry to an existing column. The caller must keep the
+  /// sorted-by-row invariant — appending an entry for a brand-new largest
+  /// row index (row growth) preserves it by construction.
+  void append_entry(int j, Entry e) { cols_[static_cast<size_t>(j)].push_back(e); }
+
+  /// Appends a new column at the end; returns its index.
+  int add_column(std::vector<Entry> entries) {
+    cols_.push_back(std::move(entries));
+    return static_cast<int>(cols_.size()) - 1;
+  }
+
+  /// Grows the row count (row data lives inside the columns).
+  void set_num_rows(int rows) { rows_ = rows; }
   [[nodiscard]] const std::vector<Entry>& column(int j) const {
     return cols_[static_cast<size_t>(j)];
   }

@@ -111,6 +111,41 @@ void StandardLp::set_bounds(int col, double lb, double ub) {
   }
 }
 
+int StandardLp::add_row(const std::vector<std::pair<int, double>>& terms, Sense sense,
+                        double rhs) {
+  const int i = num_rows();
+  int prev = -1;
+  for (const auto& [col, coef] : terms) {
+    if (col < 0 || col >= n_struct_) {
+      throw std::out_of_range("StandardLp::add_row: not a structural column");
+    }
+    if (col <= prev) throw std::invalid_argument("StandardLp::add_row: ids not ascending");
+    prev = col;
+    a_.append_entry(col, {i, coef});  // i is the largest row index: order kept
+  }
+  b_.push_back(rhs);
+  a_.set_num_rows(i + 1);
+  a_.add_column({{i, 1.0}});  // slack of row i = column n_struct_ + i
+  c_.push_back(0.0);
+  switch (sense) {
+    case Sense::kLe:
+      lb_.push_back(0.0);
+      ub_.push_back(kInf);
+      break;
+    case Sense::kGe:
+      lb_.push_back(-kInf);
+      ub_.push_back(0.0);
+      break;
+    case Sense::kEq:
+      lb_.push_back(0.0);
+      ub_.push_back(0.0);
+      break;
+  }
+  lb_synth_.push_back(0);
+  ub_synth_.push_back(0);
+  return i;
+}
+
 double StandardLp::objective_value(const std::vector<double>& x) const {
   double v = obj_constant_;
   for (size_t j = 0; j < c_.size() && j < x.size(); ++j) v += c_[j] * x[j];

@@ -43,6 +43,16 @@ class StandardLp {
   /// values are clamped like at construction.
   void set_bounds(int col, double lb, double ub);
 
+  /// Appends one row (a lazily activated cut) over structural columns, plus
+  /// its slack column at the end — so the slack of row i stays column
+  /// `num_structural() + i` and every existing column index is untouched.
+  /// `terms` must reference structural columns only, with unique ascending
+  /// ids. Returns the new row index. Callers must drop any simplex state
+  /// built against the old dimensions (a basis is extendable: the new slack
+  /// is basic in its row, which keeps the basis nonsingular and — slack
+  /// cost being zero — dual feasible).
+  int add_row(const std::vector<std::pair<int, double>>& terms, Sense sense, double rhs);
+
   /// Objective value of a full column assignment (constant included).
   [[nodiscard]] double objective_value(const std::vector<double>& x) const;
 

@@ -82,6 +82,11 @@ class BranchAndBound {
     if (opts_.node_propagation && !int_cols_.empty()) {
       rows_ = std::make_unique<RowSystem>(model);
     }
+    // External pool when supplied (shared across solves / audited by the
+    // cut-safety oracle), else a private one. Stats snapshot lets finalize
+    // report per-solve deltas even on a pre-populated shared pool.
+    pool_ = opts_.cuts.shared_pool != nullptr ? opts_.cuts.shared_pool : &local_pool_;
+    pool_stats_base_ = pool_->stats();
   }
 
   MipResult run();
@@ -119,8 +124,16 @@ class BranchAndBound {
   void update_pseudocosts(const Node& node, double child_obj);
 
   /// Tries to accept `x` (column space) as incumbent; rounds integer vars
-  /// and verifies against the Model. Returns true if the incumbent improved.
+  /// and verifies against the Model — then against every separator (lazy
+  /// rows are real constraints the Model does not carry). Returns true if
+  /// the incumbent improved.
   bool try_incumbent(const std::vector<double>& x);
+
+  /// One separation round on `x`: runs every separator into the pool, then
+  /// appends the most-violated pooled cuts to the LP. Returns the number of
+  /// rows appended; any growth drops the engine (stale dims/LU) — warm
+  /// bases recorded against the old row count are extended in solve_lp.
+  int separate(const std::vector<double>& x, int depth, bool integral, double lp_obj);
 
   /// Diving heuristic: repeatedly fix the least-fractional integer variable
   /// to its rounded value and re-solve. Starts from the current LP state.
@@ -199,6 +212,12 @@ class BranchAndBound {
     stats_.termination = why;
     stats_.bound = out.bound;
     stats_.gap = relative_gap(out.has_solution() ? out.objective : kInf, out.bound);
+    const CutPoolStats& ps = pool_->stats();
+    stats_.cuts_proposed = ps.proposed - pool_stats_base_.proposed;
+    stats_.cuts_pooled = ps.pooled - pool_stats_base_.pooled;
+    stats_.cuts_duplicate = ps.duplicates - pool_stats_base_.duplicates;
+    stats_.cuts_purged = ps.purged - pool_stats_base_.purged;
+    stats_.cuts_lp_rows = lp_.num_rows() - model_->num_constrs();
     out.stats = stats_;
     out.stats.time_s = clock_.seconds();
   }
@@ -208,6 +227,14 @@ class BranchAndBound {
   util::exec::Deadline deadline_;  ///< min(exec.deadline, time_limit_s from entry)
   Basis last_basis_;  ///< basis of the most recent LP solve
   std::unique_ptr<DualSimplex> engine_;  ///< persistent: caches the LU
+
+  CutPool local_pool_;
+  CutPool* pool_ = nullptr;  ///< opts_.cuts.shared_pool or &local_pool_
+  CutPoolStats pool_stats_base_;  ///< pool stats at solve entry (delta reporting)
+  std::vector<char> in_lp_;  ///< per pool row: appended to THIS solve's LP
+  /// Row budget exhausted: fractional separation stops (anytime degradation)
+  /// but the integral lazy gate keeps running — it guards correctness.
+  bool separation_budget_out_ = false;
 };
 
 void BranchAndBound::apply_chain(const std::shared_ptr<const BoundChange>& chain) {
@@ -253,8 +280,77 @@ bool BranchAndBound::propagate_node(const std::shared_ptr<const BoundChange>& ch
   return true;
 }
 
+int BranchAndBound::separate(const std::vector<double>& x, int depth, bool integral,
+                             double lp_obj) {
+  if (opts_.cuts.separators.empty()) return 0;
+  // Fractional separation is a strengthening heuristic: a spent deadline,
+  // tripped token or exhausted row budget just switches it off. The
+  // integral gate must still run — accepting a lazily-infeasible incumbent
+  // would be wrong, not merely slow.
+  if (!integral &&
+      (separation_budget_out_ || deadline_.expired() || opts_.exec.token.cancelled())) {
+    return 0;
+  }
+  util::Stopwatch sw;
+  ++stats_.cut_rounds;
+  const SeparationContext ctx{x, stats_.nodes, depth, integral, lp_obj};
+  for (const SeparationCallback& cb : opts_.cuts.separators) cb(ctx, *pool_);
+  in_lp_.resize(pool_->size(), 0);
+
+  std::vector<size_t> picked;
+  if (integral) {
+    // The gate path must be able to activate ANY violated pooled row not
+    // already in THIS solve's LP: with a shared pool, kActive can mean
+    // "active in an earlier solve's LP", and purged rows stay readable.
+    // Skipping either would reject the integer point without adding the
+    // violated row, and the node loop would then drop a region that may
+    // still hold feasible points.
+    for (size_t i = 0; i < pool_->size(); ++i) {
+      if (in_lp_[i] != 0) continue;
+      if (pool_->violation(i, x) >= opts_.cuts.pool.min_violation) {
+        pool_->mark_active(i);
+        picked.push_back(i);
+      }
+    }
+  } else {
+    for (const size_t idx : pool_->select_violated(x, opts_.cuts.pool)) {
+      if (in_lp_[idx] == 0) picked.push_back(idx);
+    }
+  }
+  for (const size_t idx : picked) {
+    in_lp_[idx] = 1;
+    lp_.add_row(pool_->terms(idx), pool_->sense(idx), pool_->rhs(idx));
+  }
+  if (!picked.empty()) {
+    engine_.reset();  // dims grew: stale structures/LU; solve_lp rebuilds
+    if (opts_.exec.budget != nullptr &&
+        !opts_.exec.budget->charge_encode_rows(static_cast<long>(picked.size()))) {
+      separation_budget_out_ = true;
+    }
+  }
+  stats_.separation_time_s += sw.seconds();
+  if (util::obs::TraceRecorder::global().enabled()) {
+    util::obs::TraceRecorder::global().record_counter(
+        "milp/cut_lp_rows", static_cast<double>(lp_.num_rows() - model_->num_constrs()));
+  }
+  return static_cast<int>(picked.size());
+}
+
 LpResult BranchAndBound::solve_lp(const Basis* basis) {
   if (!engine_) engine_ = std::make_unique<DualSimplex>(lp_, opts_.lp);
+  // A basis recorded before cut rows were appended is extended with each
+  // new slack basic in its own row: the basis stays nonsingular and — the
+  // slack cost being zero — dual feasible, so the dual simplex resumes
+  // from it directly.
+  Basis extended;
+  if (basis != nullptr && static_cast<int>(basis->basic.size()) < lp_.num_rows()) {
+    extended = *basis;
+    extended.status.resize(static_cast<size_t>(lp_.num_cols()), simplex::ColStatus::kBasic);
+    for (int i = static_cast<int>(extended.basic.size()); i < lp_.num_rows(); ++i) {
+      extended.basic.push_back(lp_.num_structural() + i);
+    }
+    basis = &extended;
+  }
   engine_->set_time_limit(remaining_s());
   // Past the cold-restart threshold, inherited bases are suspect (stale or
   // ill-conditioned factorizations keep tripping the engine): start cold.
@@ -378,6 +474,20 @@ bool BranchAndBound::try_incumbent(const std::vector<double>& x) {
   if (!model_->is_feasible(cand, 1e-4)) {
     cand.assign(x.begin(), x.begin() + model_->num_vars());
     if (!model_->is_feasible(cand, 1e-4)) return false;
+  }
+  // Lazy gate: the Model only carries the encoded rows, so a point that
+  // passes is_feasible may still violate constraints a separator owns.
+  // Run the separators on the candidate (this covers MIP starts, dives and
+  // integral node LPs alike); any violation — including of a cut already
+  // active in the LP — rejects it. Newly activated rows make the caller's
+  // next LP re-solve cut the point off, so the search makes progress
+  // instead of dropping the region.
+  if (!opts_.cuts.separators.empty()) {
+    separate(cand, 0, /*integral=*/true, model_->objective().evaluate(cand));
+    if (pool_->max_violation(cand) >= opts_.cuts.pool.min_violation) {
+      ++stats_.lazy_rejections;
+      return false;
+    }
   }
   double obj = model_->objective().evaluate(cand);
   // Same epsilon as every bound-pruning test (tol::kObjImprove): a point a
@@ -526,6 +636,26 @@ MipResult BranchAndBound::run() {
     return out;
   }
 
+  // --- Root separation: alternate separate / re-solve until the separators
+  // go quiet or the round cap hits. Lazy rows are real constraints, so a
+  // root LP that turns infeasible after cuts is genuine infeasibility.
+  if (!opts_.cuts.separators.empty()) {
+    for (int round = 0; round < opts_.cuts.max_rounds_root; ++round) {
+      if (deadline_.expired() || opts_.exec.token.cancelled()) break;
+      const bool integral = pick_branch_var(root.x) == -1;
+      if (separate(root.x, 0, integral, root.objective) == 0) break;
+      LpResult tightened = solve_lp(&last_basis_);
+      if (tightened.status == LpStatus::kPrimalInfeasible) {
+        out.status = SolveStatus::kInfeasible;
+        finalize(out, TerminationReason::kInfeasible);
+        return out;
+      }
+      if (tightened.status != LpStatus::kOptimal) break;  // keep the last clean root
+      root = std::move(tightened);
+    }
+    stats_.root_bound = root.objective;
+  }
+
   // Root heuristics: caller-provided MIP start, plain rounding, then a dive.
   root_bound_ = root.objective;
   root_x_ = root.x;
@@ -605,13 +735,58 @@ MipResult BranchAndBound::run() {
       ++stats_.propagation_prunes;
       continue;  // infeasible before any LP work
     }
-    const LpResult res = [&] {
+    LpResult res = [&] {
       if (!sampled) return solve_lp(&node.warm_basis);
       util::obs::ScopedSpan node_span("milp/node_lp", "milp");
       node_span.arg("node", static_cast<double>(stats_.nodes));
       node_span.arg("depth", node.depth);
       return solve_lp(&node.warm_basis);
     }();
+    // Separation rounds around the node LP: fractional points take up to
+    // max_rounds_node strengthening rounds; integral points re-solve for as
+    // long as the lazy gate keeps growing the LP (each pass activates at
+    // least one new pooled row, and the cut families are finite, so this
+    // terminates). With no separators the first pass decides everything,
+    // exactly like before cuts existed.
+    int branch = -1;
+    bool drop_node = false;
+    bool pc_recorded = false;
+    int frac_rounds = 0;
+    while (true) {
+      if (res.status == LpStatus::kTimeLimit || res.status == LpStatus::kCancelled) break;
+      if (res.status != LpStatus::kOptimal) {
+        // kPrimalInfeasible prunes; anything else was counted in
+        // numerical_failures by solve_lp.
+        drop_node = true;
+        break;
+      }
+      if (!pc_recorded) {
+        update_pseudocosts(node, res.objective);
+        pc_recorded = true;
+      }
+      if (res.objective >= prune_bound() - tol::kObjImprove) {
+        drop_node = true;
+        break;
+      }
+      branch = pick_branch_var(res.x);
+      if (branch == -1) {
+        const int rows_before = lp_.num_rows();
+        try_incumbent(res.x);
+        if (lp_.num_rows() > rows_before) {
+          res = solve_lp(&last_basis_);  // lazy rows cut this point off
+          continue;
+        }
+        drop_node = true;  // accepted, or feasible-but-not-improving
+        break;
+      }
+      if (frac_rounds < opts_.cuts.max_rounds_node &&
+          separate(res.x, node.depth, false, res.objective) > 0) {
+        ++frac_rounds;
+        res = solve_lp(&last_basis_);
+        continue;
+      }
+      break;  // branch on res.x
+    }
     if (res.status == LpStatus::kTimeLimit || res.status == LpStatus::kCancelled) {
       // Put the node back before breaking: the wrap-up bound is the min over
       // open nodes, so dropping a popped-but-unsolved subtree would
@@ -622,16 +797,7 @@ MipResult BranchAndBound::run() {
       stopped = true;
       break;
     }
-    if (res.status == LpStatus::kPrimalInfeasible) continue;
-    if (res.status != LpStatus::kOptimal) continue;  // counted in numerical_failures
-    update_pseudocosts(node, res.objective);
-    if (res.objective >= prune_bound() - tol::kObjImprove) continue;
-
-    const int branch = pick_branch_var(res.x);
-    if (branch == -1) {
-      try_incumbent(res.x);
-      continue;
-    }
+    if (drop_node) continue;
     if (opts_.pseudocost_branching && pseudocost_reliable(branch)) {
       ++stats_.pseudocost_branches;
     } else {
@@ -752,6 +918,16 @@ std::string SolveStats::to_json() const {
   w.field("propagation_prunes", propagation_prunes);
   w.field("pseudocost_branches", pseudocost_branches);
   w.field("fractional_branches", fractional_branches);
+  w.key("separation").begin_object();
+  w.field("cut_rounds", cut_rounds);
+  w.field("cuts_proposed", cuts_proposed);
+  w.field("cuts_pooled", cuts_pooled);
+  w.field("cuts_duplicate", cuts_duplicate);
+  w.field("cuts_lp_rows", cuts_lp_rows);
+  w.field("cuts_purged", cuts_purged);
+  w.field("lazy_rejections", lazy_rejections);
+  w.number_field("separation_time_s", separation_time_s);
+  w.end_object();
   w.field("incumbents", incumbents);
   w.field("mip_start_used", mip_start_used);
   w.key("incumbent_timeline").begin_array();

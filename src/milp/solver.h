@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "milp/cuts.h"
 #include "milp/model.h"
 #include "milp/simplex/dual_simplex.h"
 #include "util/exec/exec.h"
@@ -80,6 +81,13 @@ struct SolveOptions {
   /// Once this many numerical failures have accumulated in one solve, warm
   /// bases are treated as tainted and every node LP starts cold.
   long cold_restart_after_failures = 25;
+
+  /// Cut separation: callbacks invoked on node LP points, a deduplicating
+  /// pool, and the lazy-constraint gate on candidate incumbents. Empty
+  /// separator list = the feature is fully off. Separated rows enter the
+  /// LP through the warm-start path (parent bases are extended with the
+  /// new slacks basic) and the loop honors `exec` cancellation/budget.
+  CutOptions cuts;
 };
 
 /// One accepted incumbent, for the convergence timeline.
@@ -117,6 +125,16 @@ struct SolveStats {
   // Branching-rule mix.
   long pseudocost_branches = 0;  ///< branchings where the chosen variable was reliable
   long fractional_branches = 0;  ///< branchings decided by the fractionality fallback
+
+  // Cut separation (all zero when SolveOptions::cuts has no separators).
+  long cut_rounds = 0;          ///< separation rounds run (root + node + gate)
+  long cuts_proposed = 0;       ///< cuts proposed by the separators
+  long cuts_pooled = 0;         ///< distinct cuts accepted by the pool
+  long cuts_duplicate = 0;      ///< proposals dropped by tolerance-aware dedup
+  long cuts_lp_rows = 0;        ///< pooled cuts activated as LP rows this solve
+  long cuts_purged = 0;         ///< pooled cuts aged out without activating
+  long lazy_rejections = 0;     ///< integer points rejected by the lazy gate
+  double separation_time_s = 0.0;  ///< wall time inside separators + selection
 
   long incumbents = 0;  ///< accepted incumbents (improvements only)
   bool mip_start_used = false;  ///< the supplied MIP start passed feasibility

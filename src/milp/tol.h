@@ -34,4 +34,20 @@ inline constexpr double kGapSlack = 1e-12;
 /// last-bit float noise across platforms.
 inline constexpr double kBranchTie = 1e-12;
 
+/// Minimum normalized violation (row scaled so max |coef| = 1) for a pooled
+/// cut to be worth activating in the LP. Below this a "violated" cut is
+/// indistinguishable from simplex roundoff and would churn rows forever.
+inline constexpr double kCutViolation = 1e-6;
+
+/// Relative coefficient tolerance for cut-pool deduplication: two cuts whose
+/// normalized rows agree coefficient-wise within this margin are the same
+/// cut. Dedup must never compare raw doubles exactly — separators rebuild
+/// rows from floating-point arithmetic, so textually identical cuts arrive
+/// perturbed in the last bits.
+inline constexpr double kCutCoefTol = 1e-6;
+
+/// Magnitude below which a normalized cut coefficient is dropped entirely
+/// (treated as a structural zero for hashing and row building).
+inline constexpr double kCutCoefZero = 1e-12;
+
 }  // namespace wnet::milp::tol

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "milp/cuts.h"
+#include "milp/model.h"
+#include "milp/solver.h"
+#include "milp/test_models.h"
+#include "milp/tol.h"
+
+namespace wnet::milp {
+namespace {
+
+using tests::dropped_row_separator;
+using tests::relax;
+
+/// Brute-force scan over every binary assignment of a pure-binary model.
+/// Calls `fn(point)` for each point feasible in `full`; returns how many
+/// feasible points exist.
+template <typename Fn>
+long for_each_feasible_point(const Model& full, Fn&& fn) {
+  const int n = full.num_vars();
+  long feasible = 0;
+  std::vector<double> point(static_cast<size_t>(n), 0.0);
+  for (long mask = 0; mask < (1L << n); ++mask) {
+    for (int j = 0; j < n; ++j) point[static_cast<size_t>(j)] = (mask >> j) & 1 ? 1.0 : 0.0;
+    if (!full.is_feasible(point)) continue;
+    ++feasible;
+    fn(point);
+  }
+  return feasible;
+}
+
+/// The cut-safety oracle over a fuzzed corpus: for 220 seeded pure-binary
+/// models, drop a random subset of rows, solve the relaxed skeleton with
+/// the dropped-row separator, and then
+///   1. pin the lazy solve to the true optimum (independent brute force),
+///   2. audit EVERY cut ever pooled — active, pooled, or purged — against
+///      EVERY integer point feasible for the full model: a cut that
+///      separates a feasible integer point would make the solver wrong by
+///      construction, so none may exist.
+TEST(CutOracle, NoPooledCutSeparatesAFeasibleIntegerPoint) {
+  long corpus_pooled = 0;
+  int solves_with_cuts = 0;
+  int audited_models = 0;
+  for (unsigned seed = 1; seed <= 220; ++seed) {
+    const int nb = 6 + static_cast<int>(seed % 5);    // 6..10 binaries
+    const int rows = 4 + static_cast<int>(seed % 5);  // 4..8 rows
+    const Model full = tests::random_model(seed, nb, /*nc=*/0, rows);
+
+    // Deterministic per-seed drop pattern; always at least one row dropped
+    // so every instance exercises separation.
+    std::mt19937 rng(seed * 7919u + 13u);
+    std::bernoulli_distribution drop(0.5);
+    std::vector<bool> dropped(static_cast<size_t>(rows), false);
+    bool any = false;
+    for (size_t r = 0; r < dropped.size(); ++r) any |= (dropped[r] = drop(rng));
+    if (!any) dropped[0] = true;
+
+    const Model relaxed = relax(full, dropped);
+
+    CutPool pool;
+    SolveOptions lazy;
+    lazy.cuts.separators.push_back(dropped_row_separator(full, dropped));
+    lazy.cuts.shared_pool = &pool;
+    const MipResult lr = solve(relaxed, lazy);
+
+    // Independent ground truth: brute-force the full model's optimum.
+    double expect = kInf;
+    const long feasible = for_each_feasible_point(full, [&](const std::vector<double>& p) {
+      expect = std::min(expect, full.objective().evaluate(p));
+    });
+
+    if (feasible == 0) {
+      EXPECT_EQ(lr.status, SolveStatus::kInfeasible) << "seed " << seed;
+    } else {
+      ASSERT_TRUE(lr.has_solution()) << "seed " << seed;
+      EXPECT_NEAR(lr.objective, expect, 1e-6 * std::max(1.0, std::abs(expect)))
+          << "seed " << seed;
+      // The lazily solved point must satisfy the FULL model, dropped rows
+      // included — the incumbent gate guarantees it.
+      EXPECT_TRUE(full.is_feasible(lr.x)) << "seed " << seed;
+    }
+
+    // The oracle proper: no pooled cut may cut off any feasible point.
+    for_each_feasible_point(full, [&](const std::vector<double>& p) {
+      for (size_t i = 0; i < pool.size(); ++i) {
+        EXPECT_LE(pool.violation(i, p), tol::kCutViolation)
+            << "seed " << seed << ": cut '" << pool.name(i)
+            << "' separates a feasible integer point";
+      }
+    });
+
+    corpus_pooled += static_cast<long>(pool.size());
+    if (lr.stats.cut_rounds > 0) ++solves_with_cuts;
+    ++audited_models;
+  }
+  // The corpus must actually exercise the machinery, not vacuously pass.
+  EXPECT_EQ(audited_models, 220);
+  EXPECT_GT(corpus_pooled, 100);
+  EXPECT_GT(solves_with_cuts, 50);
+}
+
+TEST(CutOracle, LazyGateRejectsIntegralPointViolatingDroppedRow) {
+  // minimize -x - y with x + y <= 1 dropped: the relaxed root LP is
+  // integral at (1, 1), which violates the lazy row. The gate must refuse
+  // it, activate the row, and land on the true optimum -1.
+  Model full;
+  const Var x = full.add_binary("x");
+  const Var y = full.add_binary("y");
+  full.add_le(LinExpr(x) + LinExpr(y), 1.0);
+  full.minimize(-1.0 * LinExpr(x) - 1.0 * LinExpr(y));
+
+  const std::vector<bool> dropped = {true};
+  const Model relaxed = relax(full, dropped);
+  ASSERT_EQ(relaxed.num_constrs(), 0);
+
+  CutPool pool;
+  SolveOptions opts;
+  opts.cuts.separators.push_back(dropped_row_separator(full, dropped));
+  opts.cuts.shared_pool = &pool;
+  const MipResult r = solve(relaxed, opts);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-9);
+  EXPECT_TRUE(full.is_feasible(r.x));
+  EXPECT_GE(pool.stats().pooled, 1);
+  EXPECT_GE(r.stats.cuts_lp_rows, 1);
+}
+
+TEST(CutOracle, LazyInfeasibilityIsDetected) {
+  // x + y >= 2 kept, x + y <= 1 dropped: the relaxed model is feasible at
+  // (1, 1) but the full model is empty. Separation must surface the
+  // conflict and report infeasibility, not accept a lazily-invalid point.
+  Model full;
+  const Var x = full.add_binary("x");
+  const Var y = full.add_binary("y");
+  full.add_ge(LinExpr(x) + LinExpr(y), 2.0);
+  full.add_le(LinExpr(x) + LinExpr(y), 1.0);
+  full.minimize(LinExpr(x) + LinExpr(y));
+
+  const std::vector<bool> dropped = {false, true};
+  const Model relaxed = relax(full, dropped);
+
+  SolveOptions opts;
+  opts.cuts.separators.push_back(dropped_row_separator(full, dropped));
+  const MipResult r = solve(relaxed, opts);
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+  EXPECT_FALSE(r.has_solution());
+}
+
+TEST(CutOracle, MipStartViolatingLazyRowIsRejected) {
+  // A caller-provided start that satisfies the relaxed skeleton but
+  // violates a dropped row must be refused by the gate, counted in
+  // lazy_rejections, and must not leak into the reported solution.
+  Model full;
+  const Var x = full.add_binary("x");
+  const Var y = full.add_binary("y");
+  full.add_le(LinExpr(x) + LinExpr(y), 1.0);
+  full.minimize(-2.0 * LinExpr(x) - 1.0 * LinExpr(y));
+
+  const std::vector<bool> dropped = {true};
+  const Model relaxed = relax(full, dropped);
+
+  SolveOptions opts;
+  opts.cuts.separators.push_back(dropped_row_separator(full, dropped));
+  opts.mip_start = {1.0, 1.0};  // relaxed-feasible, lazily infeasible
+  const MipResult r = solve(relaxed, opts);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-9);  // x = 1, y = 0
+  EXPECT_TRUE(full.is_feasible(r.x));
+  EXPECT_GE(r.stats.lazy_rejections, 1);
+}
+
+TEST(CutOracle, SeparationCountersSurfaceInStatsJson) {
+  Model full;
+  const Var x = full.add_binary("x");
+  const Var y = full.add_binary("y");
+  full.add_le(LinExpr(x) + LinExpr(y), 1.0);
+  full.minimize(-1.0 * LinExpr(x) - 1.0 * LinExpr(y));
+  const Model relaxed = relax(full, {true});
+
+  SolveOptions opts;
+  opts.cuts.separators.push_back(dropped_row_separator(full, {true}));
+  const MipResult r = solve(relaxed, opts);
+  ASSERT_TRUE(r.has_solution());
+  const std::string js = r.stats.to_json();
+  EXPECT_NE(js.find("\"separation\""), std::string::npos);
+  EXPECT_NE(js.find("\"cut_rounds\""), std::string::npos);
+  EXPECT_NE(js.find("\"cuts_pooled\""), std::string::npos);
+  EXPECT_NE(js.find("\"cuts_lp_rows\""), std::string::npos);
+  EXPECT_NE(js.find("\"lazy_rejections\""), std::string::npos);
+}
+
+TEST(CutOracle, SharedPoolPersistsAcrossSolves) {
+  // The same external pool serves two solves; the second reuses the first's
+  // rows through dedup instead of double-pooling them, and per-solve stats
+  // report deltas, not lifetime totals.
+  Model full;
+  const Var x = full.add_binary("x");
+  const Var y = full.add_binary("y");
+  full.add_le(LinExpr(x) + LinExpr(y), 1.0);
+  full.minimize(-1.0 * LinExpr(x) - 1.0 * LinExpr(y));
+  const Model relaxed = relax(full, {true});
+
+  CutPool pool;
+  SolveOptions opts;
+  opts.cuts.separators.push_back(dropped_row_separator(full, {true}));
+  opts.cuts.shared_pool = &pool;
+
+  const MipResult r1 = solve(relaxed, opts);
+  ASSERT_TRUE(r1.has_solution());
+  const long pooled_after_first = pool.stats().pooled;
+  EXPECT_GE(pooled_after_first, 1);
+
+  const MipResult r2 = solve(relaxed, opts);
+  ASSERT_TRUE(r2.has_solution());
+  EXPECT_NEAR(r2.objective, r1.objective, 1e-9);
+  EXPECT_EQ(pool.stats().pooled, pooled_after_first);  // nothing new pooled
+  EXPECT_EQ(r2.stats.cuts_pooled, 0);                  // per-solve delta
+  EXPECT_GE(r2.stats.cuts_duplicate, 1);
+}
+
+}  // namespace
+}  // namespace wnet::milp

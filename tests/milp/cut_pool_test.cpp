@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "milp/cuts.h"
+#include "milp/model.h"
+#include "milp/tol.h"
+
+namespace wnet::milp {
+namespace {
+
+Var v(int id) { return Var{id}; }
+
+Cut make_cut(const std::vector<std::pair<int, double>>& terms, Sense sense, double rhs,
+             const std::string& name = "") {
+  Cut c;
+  for (const auto& [id, coef] : terms) c.expr.add_term(v(id), coef);
+  c.sense = sense;
+  c.rhs = rhs;
+  c.name = name;
+  return c;
+}
+
+TEST(CutPool, ExactDuplicateIsRejected) {
+  CutPool pool;
+  EXPECT_TRUE(pool.add(make_cut({{0, 1.0}, {1, 1.0}}, Sense::kLe, 1.0)));
+  EXPECT_FALSE(pool.add(make_cut({{0, 1.0}, {1, 1.0}}, Sense::kLe, 1.0)));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.stats().proposed, 2);
+  EXPECT_EQ(pool.stats().pooled, 1);
+  EXPECT_EQ(pool.stats().duplicates, 1);
+}
+
+TEST(CutPool, EpsilonPerturbedDuplicateIsRejected) {
+  // Separators rebuild rows from floating-point arithmetic, so the "same"
+  // cut arrives perturbed in the last bits. The pool must not compare raw
+  // doubles: a sub-tolerance perturbation on any coefficient or the rhs is
+  // still the same cut.
+  CutPool pool;
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}, {3, -0.5}}, Sense::kLe, 1.0)));
+  EXPECT_FALSE(pool.add(make_cut({{0, 1.0}, {3, -0.5 + 1e-10}}, Sense::kLe, 1.0)));
+  EXPECT_FALSE(pool.add(make_cut({{0, 1.0 - 1e-10}, {3, -0.5}}, Sense::kLe, 1.0)));
+  EXPECT_FALSE(pool.add(make_cut({{0, 1.0}, {3, -0.5}}, Sense::kLe, 1.0 + 1e-10)));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.stats().duplicates, 3);
+}
+
+TEST(CutPool, ScaledDuplicateIsRejected) {
+  // 2x + 2y <= 2 is x + y <= 1; normalization (max |coef| = 1) must unify
+  // them even though no raw coefficient matches.
+  CutPool pool;
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}, {1, 1.0}}, Sense::kLe, 1.0)));
+  EXPECT_FALSE(pool.add(make_cut({{0, 2.0}, {1, 2.0}}, Sense::kLe, 2.0)));
+  EXPECT_FALSE(pool.add(make_cut({{0, 0.5}, {1, 0.5}}, Sense::kLe, 0.5)));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(CutPool, GeNormalizesToLeAndDedups) {
+  // x + y >= 1 negates to -x - y <= -1; proposing either form twice over
+  // pools exactly one row, stored as kLe.
+  CutPool pool;
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}, {1, 1.0}}, Sense::kGe, 1.0)));
+  EXPECT_FALSE(pool.add(make_cut({{0, -1.0}, {1, -1.0}}, Sense::kLe, -1.0)));
+  EXPECT_FALSE(pool.add(make_cut({{0, 2.0}, {1, 2.0}}, Sense::kGe, 2.0)));
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.sense(0), Sense::kLe);
+  EXPECT_DOUBLE_EQ(pool.rhs(0), -1.0);
+}
+
+TEST(CutPool, ConstantFoldsIntoRhs) {
+  // (x + y + 0.5) <= 1.5 is x + y <= 1.
+  CutPool pool;
+  Cut c = make_cut({{0, 1.0}, {1, 1.0}}, Sense::kLe, 1.5);
+  c.expr += LinExpr(0.5);
+  ASSERT_TRUE(pool.add(std::move(c)));
+  EXPECT_FALSE(pool.add(make_cut({{0, 1.0}, {1, 1.0}}, Sense::kLe, 1.0)));
+  EXPECT_DOUBLE_EQ(pool.rhs(0), 1.0);
+}
+
+TEST(CutPool, LargePerturbationIsANewCut) {
+  CutPool pool;
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}, {1, 1.0}}, Sense::kLe, 1.0)));
+  // Shifted rhs, changed coefficient, and different support are all new.
+  EXPECT_TRUE(pool.add(make_cut({{0, 1.0}, {1, 1.0}}, Sense::kLe, 2.0)));
+  EXPECT_TRUE(pool.add(make_cut({{0, 1.0}, {1, 0.5}}, Sense::kLe, 1.0)));
+  EXPECT_TRUE(pool.add(make_cut({{0, 1.0}, {2, 1.0}}, Sense::kLe, 1.0)));
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.stats().duplicates, 0);
+}
+
+TEST(CutPool, ViolationIsNormalizedAndSigned) {
+  CutPool pool;
+  // 4x <= 2 normalizes to x <= 0.5; at x = 1 the normalized violation is
+  // 0.5 regardless of the proposed scaling.
+  ASSERT_TRUE(pool.add(make_cut({{0, 4.0}}, Sense::kLe, 2.0)));
+  EXPECT_NEAR(pool.violation(0, {1.0}), 0.5, 1e-12);
+  EXPECT_NEAR(pool.violation(0, {0.0}), -0.5, 1e-12);  // satisfied: negative
+  EXPECT_NEAR(pool.max_violation({1.0}), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(pool.max_violation({0.0}), 0.0);  // clamped at 0
+}
+
+TEST(CutPool, SelectOrdersByViolationAndCaps) {
+  CutPool pool;
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}}, Sense::kLe, 0.1, "weak")));
+  ASSERT_TRUE(pool.add(make_cut({{1, 1.0}}, Sense::kLe, 0.5, "mid")));
+  ASSERT_TRUE(pool.add(make_cut({{2, 1.0}}, Sense::kLe, 0.9, "strong_rhs")));
+
+  CutPoolOptions opts;
+  opts.max_cuts_per_round = 2;
+  const std::vector<double> x = {1.0, 1.0, 1.0};  // violations 0.9, 0.5, 0.1
+  const std::vector<size_t> picked = pool.select_violated(x, opts);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(pool.name(picked[0]), "weak");  // most violated first
+  EXPECT_EQ(pool.name(picked[1]), "mid");
+  EXPECT_EQ(pool.state(picked[0]), CutState::kActive);
+  EXPECT_EQ(pool.state(2), CutState::kPooled);  // capped out, still pooled
+
+  // An active cut is never re-selected, even while still violated.
+  const std::vector<size_t> again = pool.select_violated(x, opts);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(pool.name(again[0]), "strong_rhs");
+}
+
+TEST(CutPool, UnviolatedCutsAgeOutAndStayReadable) {
+  CutPool pool;
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}}, Sense::kLe, 5.0, "never_tight")));
+  CutPoolOptions opts;
+  opts.max_age = 3;
+  const std::vector<double> x = {0.0};
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(pool.select_violated(x, opts).empty());
+    EXPECT_EQ(pool.state(0), CutState::kPooled) << "round " << round;
+  }
+  EXPECT_TRUE(pool.select_violated(x, opts).empty());  // age 4 > 3: purged
+  EXPECT_EQ(pool.state(0), CutState::kPurged);
+  EXPECT_EQ(pool.stats().purged, 1);
+
+  // Purged cuts never come back even if they turn violated later...
+  EXPECT_TRUE(pool.select_violated({10.0}, opts).empty());
+  // ...but stay readable for the safety oracle.
+  EXPECT_GT(pool.violation(0, {10.0}), 0.0);
+  EXPECT_GT(pool.max_violation({10.0}), 0.0);
+}
+
+TEST(CutPool, EqualitySenseUsesAbsoluteViolation) {
+  CutPool pool;
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}}, Sense::kEq, 1.0)));
+  EXPECT_NEAR(pool.violation(0, {0.25}), 0.75, 1e-12);
+  EXPECT_NEAR(pool.violation(0, {1.75}), 0.75, 1e-12);
+  EXPECT_NEAR(pool.violation(0, {1.0}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wnet::milp

@@ -1,0 +1,135 @@
+#pragma once
+
+/// Shared random-model generator and brute-force oracle for the milp test
+/// layer. Used by the solver stress tests and by the cut-safety oracle
+/// tests, which need the same corpus so that lazily separated solves are
+/// audited against exactly the instances the solver is known to get right.
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "milp/cuts.h"
+#include "milp/model.h"
+#include "milp/solver.h"
+#include "milp/tol.h"
+
+namespace wnet::milp::tests {
+
+/// Random mixed-binary minimization model: `nb` binaries, `nc` continuous
+/// variables in [0, 5], `rows` inequality constraints with small integer
+/// coefficients. Deterministic per seed.
+inline Model random_model(unsigned seed, int nb, int nc, int rows) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> coef(-5, 5);
+  std::uniform_real_distribution<double> obj(-10.0, 10.0);
+  std::uniform_int_distribution<int> sense_pick(0, 2);
+
+  Model m;
+  std::vector<Var> vars;
+  vars.reserve(static_cast<size_t>(nb + nc));
+  for (int i = 0; i < nb; ++i) vars.push_back(m.add_binary("b" + std::to_string(i)));
+  for (int i = 0; i < nc; ++i) vars.push_back(m.add_continuous("c" + std::to_string(i), 0.0, 5.0));
+
+  LinExpr objective;
+  for (const Var& v : vars) objective += obj(rng) * LinExpr(v);
+  m.minimize(std::move(objective));
+
+  for (int r = 0; r < rows; ++r) {
+    LinExpr e;
+    double lo = 0.0;  // row activity range over the box, to pick a sane rhs
+    double hi = 0.0;
+    for (const Var& v : vars) {
+      const int a = coef(rng);
+      if (a == 0) continue;
+      e += static_cast<double>(a) * LinExpr(v);
+      const double cap = m.var(v).ub;
+      lo += a > 0 ? 0.0 : a * cap;
+      hi += a > 0 ? a * cap : 0.0;
+    }
+    // Bias the rhs toward the permissive half of the activity range so most
+    // instances are feasible (a uniform draw leaves ~2/3 of the joint
+    // instances empty); the remainder still exercises the infeasible path.
+    const double mid = 0.5 * (lo + hi);
+    std::uniform_real_distribution<double> le_rhs(mid, hi);
+    std::uniform_real_distribution<double> ge_rhs(lo, mid);
+    const bool is_le = sense_pick(rng) != 1;
+    const double rhs = std::round(is_le ? le_rhs(rng) : ge_rhs(rng));
+    if (is_le) {
+      m.add_le(std::move(e), rhs);
+    } else {
+      m.add_ge(std::move(e), rhs);
+    }
+  }
+  return m;
+}
+
+/// Brute-force oracle: enumerate every binary assignment, fix the binaries
+/// and solve the continuous remainder as an LP (the solver's root LP is
+/// integral once every integer variable is fixed, so no branching logic is
+/// exercised). Returns true and the optimum when some assignment is
+/// feasible.
+inline bool oracle_optimum(const Model& m, double* best) {
+  std::vector<int> bins;
+  for (int j = 0; j < m.num_vars(); ++j) {
+    if (m.vars()[static_cast<size_t>(j)].type != VarType::kContinuous) bins.push_back(j);
+  }
+  bool found = false;
+  *best = kInf;
+  for (long mask = 0; mask < (1L << bins.size()); ++mask) {
+    Model fixed = m;
+    for (size_t k = 0; k < bins.size(); ++k) {
+      const double v = (mask >> k) & 1 ? 1.0 : 0.0;
+      fixed.set_bounds(Var{bins[k]}, v, v);
+    }
+    SolveOptions lp_only;
+    lp_only.root_dive = false;
+    const MipResult r = solve(fixed, lp_only);
+    if (r.has_solution() && r.objective < *best) {
+      *best = r.objective;
+      found = true;
+    }
+  }
+  return found;
+}
+
+/// Copy of `full` with the rows flagged in `dropped` omitted: the relaxed
+/// skeleton a lazy encoder would hand the solver.
+inline Model relax(const Model& full, const std::vector<bool>& dropped) {
+  Model m;
+  for (const VarData& vd : full.vars()) m.add_var(vd.name, vd.type, vd.lb, vd.ub);
+  m.minimize(full.objective());
+  for (size_t r = 0; r < full.constrs().size(); ++r) {
+    if (dropped[r]) continue;
+    const Constraint& c = full.constrs()[r];
+    m.add_constr(c.expr, c.sense, c.rhs, c.name);
+  }
+  return m;
+}
+
+/// Separator recovering the dropped rows on demand: proposes every dropped
+/// row the current point violates, exactly as the encoder-side lazy
+/// callbacks rebuild their omitted families. Complete at any point, which
+/// is what makes the solver's incumbent gate sound.
+inline SeparationCallback dropped_row_separator(const Model& full, std::vector<bool> dropped) {
+  return [full, dropped](const SeparationContext& ctx, CutPool& pool) {
+    for (size_t r = 0; r < full.constrs().size(); ++r) {
+      if (!dropped[r]) continue;
+      const Constraint& c = full.constrs()[r];
+      const double act = c.expr.evaluate(ctx.x);
+      const bool violated = c.sense == Sense::kLe   ? act > c.rhs + tol::kCutViolation
+                            : c.sense == Sense::kGe ? act < c.rhs - tol::kCutViolation
+                                                    : std::abs(act - c.rhs) > tol::kCutViolation;
+      if (!violated) continue;
+      Cut cut;
+      cut.expr = c.expr;
+      cut.sense = c.sense;
+      cut.rhs = c.rhs;
+      cut.name = "lazy_row_" + std::to_string(r);
+      pool.add(std::move(cut));
+    }
+  };
+}
+
+}  // namespace wnet::milp::tests

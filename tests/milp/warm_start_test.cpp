@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "milp/simplex/dual_simplex.h"
 #include "milp/solver.h"
+#include "milp/test_models.h"
 
 namespace wnet::milp {
 namespace {
@@ -69,6 +72,81 @@ TEST(DualSimplexResolve, DetectsInfeasibilityAfterTightening) {
   ASSERT_EQ(ds.solve().status, simplex::LpStatus::kOptimal);
   lp.set_bounds(0, 0.0, 4.0);
   EXPECT_EQ(ds.resolve().status, simplex::LpStatus::kPrimalInfeasible);
+}
+
+TEST(DualSimplexRowAppend, StaleBasisExtendsAcrossAppendedRow) {
+  // A basis recorded before a row append is too short for the grown LP.
+  // Extended the way the solver's separation path extends it — the new
+  // row's slack basic in its own row — it must stay a valid warm start
+  // and land on the same optimum as a cold solve of the grown LP.
+  Model m;
+  const Var x = m.add_continuous("x", 0.0, 3.0);
+  const Var y = m.add_continuous("y", 0.0, 2.0);
+  m.add_le(LinExpr(x) + LinExpr(y), 4.0);
+  m.minimize(-1.0 * LinExpr(x) - 2.0 * LinExpr(y));
+  simplex::StandardLp lp(m);
+  {
+    simplex::DualSimplex ds(lp);
+    ASSERT_EQ(ds.solve().status, simplex::LpStatus::kOptimal);
+    simplex::Basis stale = ds.basis();  // m = 1: one basic column
+    ASSERT_EQ(stale.basic.size(), 1u);
+
+    // Append x <= 1, which the incumbent optimum (2, 2) violates.
+    const int r = lp.add_row({{0, 1.0}}, Sense::kLe, 1.0);
+    EXPECT_EQ(r, 1);
+    EXPECT_EQ(lp.num_rows(), 2);
+
+    stale.status.resize(static_cast<size_t>(lp.num_cols()), simplex::ColStatus::kBasic);
+    stale.basic.push_back(lp.num_structural() + r);
+
+    simplex::DualSimplex warm(lp);  // fresh engine: the old one has stale dims
+    const auto wres = warm.solve_from(stale);
+    ASSERT_EQ(wres.status, simplex::LpStatus::kOptimal);
+    EXPECT_NEAR(wres.objective, -5.0, 1e-8);  // x = 1, y = 2
+    EXPECT_NEAR(wres.x[0], 1.0, 1e-8);
+    EXPECT_NEAR(wres.x[1], 2.0, 1e-8);
+  }
+  simplex::DualSimplex cold(lp);
+  const auto cres = cold.solve();
+  ASSERT_EQ(cres.status, simplex::LpStatus::kOptimal);
+  EXPECT_NEAR(cres.objective, -5.0, 1e-8);
+}
+
+TEST(WarmStartWithCuts, MidTreeRowAppendKeepsWarmAndColdOptimaEqual) {
+  // Lazy separation appends rows mid-tree, invalidating every stored
+  // parent basis (they are short for the grown LP). Warm-started and cold
+  // solves must still both land on the full model's optimum, and the
+  // corpus must actually exercise the combination (warm attempts on a
+  // solve that appended cut rows).
+  int with_both = 0;
+  for (unsigned seed = 301; seed <= 312; ++seed) {
+    const Model full = tests::random_model(seed, 10, 2, 6);
+    std::vector<bool> dropped(6, false);
+    dropped[seed % 6] = true;
+    dropped[(seed + 3) % 6] = true;
+    const Model relaxed = tests::relax(full, dropped);
+
+    SolveOptions warm;
+    warm.cuts.separators.push_back(tests::dropped_row_separator(full, dropped));
+    SolveOptions cold = warm;
+    cold.warm_start = false;
+
+    const MipResult ref = solve(full);
+    const MipResult rw = solve(relaxed, warm);
+    const MipResult rc = solve(relaxed, cold);
+    ASSERT_EQ(rw.status, ref.status) << "seed " << seed;
+    ASSERT_EQ(rc.status, ref.status) << "seed " << seed;
+    if (ref.has_solution()) {
+      const double tol = 1e-6 * std::max(1.0, std::abs(ref.objective));
+      EXPECT_NEAR(rw.objective, ref.objective, tol) << "seed " << seed;
+      EXPECT_NEAR(rc.objective, ref.objective, tol) << "seed " << seed;
+      EXPECT_TRUE(full.is_feasible(rw.x)) << "seed " << seed;
+      EXPECT_TRUE(full.is_feasible(rc.x)) << "seed " << seed;
+    }
+    EXPECT_EQ(rc.stats.warm_attempts, 0) << "seed " << seed;
+    if (rw.stats.cuts_lp_rows > 0 && rw.stats.warm_attempts > 0) ++with_both;
+  }
+  EXPECT_GT(with_both, 0);
 }
 
 TEST(SolverStats, ReportsWork) {
