@@ -1,0 +1,247 @@
+// Portfolio race harness: tabu+MILP portfolio vs MILP-only exploration on
+// the table3 scalability family.
+//
+// For each instance the harness runs
+//   (a) MILP-only: Explorer::explore (encode -> fixed-routing warm start ->
+//       branch-and-bound). Time-to-first-incumbent is measured in explorer
+//       wall clock: total wall minus the solver's own wall plus the first
+//       incumbent-timeline entry — i.e. encode + warm-start probe + solve
+//       time until the first accepted incumbent;
+//   (b) the PortfolioRunner, whose rung 0 runs the tabu member alone with a
+//       small per-evaluation node budget, so its first evaluation (the same
+//       fixed-routing restriction the explorer probes) stops at its first
+//       integral point instead of polishing toward the probe's gap target.
+//
+// Gates (any failure exits non-zero):
+//   - equal optimum: when both sides certify, objectives must match to
+//     1e-6 relative;
+//   - first incumbent: the portfolio's must be strictly earlier than the
+//     MILP-only side's on every instance that has one;
+//   - thread sweep: portfolio canonical reports byte-identical across
+//     1/2/4/8 worker threads. The sweep runs under node budgets only (no
+//     wall-clock limits anywhere) — a time limit that fires mid-search
+//     stops the members at machine-load-dependent points, which is exactly
+//     the nondeterminism the canonical signature is meant to catch.
+//
+// Modes:
+//   (default)     full sweep incl. the >= 80x30 instances
+//   --smoke       small instances only (CI); same gates
+//   --json        one strict-JSON row per instance on stdout
+//   --trace FILE  Chrome trace of the runs
+//   --time-limit  per-solve / per-rung MILP time limit (s)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/explorer.h"
+#include "core/meta/portfolio.h"
+#include "core/workloads/scenarios.h"
+#include "util/exec/exec.h"
+#include "util/obs/json.h"
+#include "util/obs/trace.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace wnet;
+using namespace wnet::archex;
+
+namespace {
+
+struct Case {
+  std::string name;
+  int total_nodes = 0;
+  int end_devices = 0;
+  int route_replicas = 1;
+};
+
+std::vector<Case> build_cases(bool smoke) {
+  std::vector<Case> out;
+  out.push_back({"race-40x15", 40, 15, 1});
+  out.push_back({"race-60x22", 60, 22, 1});
+  if (!smoke) {
+    out.push_back({"race-80x30", 80, 30, 1});
+    out.push_back({"race-80x30-r2", 80, 30, 2});
+    out.push_back({"race-100x40", 100, 40, 1});
+  }
+  return out;
+}
+
+bool objectives_match(double a, double b) {
+  return std::abs(a - b) <= 1e-6 * std::max(1.0, std::max(std::abs(a), std::abs(b)));
+}
+
+/// Race configuration: anytime, bounded by `time_limit_s` TOTAL (the runner
+/// spreads one deadline across all rungs). Tabu evaluations are kept cheap —
+/// a 16-node restricted solve is enough for the dive heuristic to hand back
+/// an integral point, which is all an incumbent race needs.
+meta::PortfolioOptions portfolio_options(double time_limit_s, int threads) {
+  meta::PortfolioOptions po;
+  po.threads = threads;
+  po.solver.time_limit_s = time_limit_s;
+  po.solver.exec.token = util::exec::interrupt_token();
+  po.max_rungs = 8;
+  po.tabu_iterations_per_rung = 4;
+  po.tabu.neighborhood = 8;
+  po.tabu.eval_node_limit = 8;
+  po.tabu.eval_rel_gap = 0.01;  // evals are heuristic scores, 1% is plenty
+  po.tabu.eval_time_limit_s = std::min(2.0, time_limit_s);
+  return po;
+}
+
+/// Sweep configuration: fully deterministic. Every budget is a node or
+/// iteration count; wall-clock limits are pushed out of reach so the result
+/// bytes cannot depend on machine load or thread count.
+meta::PortfolioOptions sweep_options(int threads) {
+  meta::PortfolioOptions po;
+  po.threads = threads;
+  po.solver.time_limit_s = 1e9;
+  po.solver.exec.token = util::exec::interrupt_token();
+  po.max_rungs = 2;
+  po.milp_base_nodes = 64;
+  po.tabu_iterations_per_rung = 2;
+  po.tabu.neighborhood = 4;
+  po.tabu.eval_node_limit = 8;
+  po.tabu.eval_time_limit_s = 1e9;
+  return po;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv,
+                   {{"time-limit", "60"},
+                    {"json", "0"},
+                    {"trace", ""},
+                    {"smoke", "0"},
+                    {"threads", "2"}});
+  util::exec::install_interrupt_handlers();
+
+  const bool smoke = args.getb("smoke");
+  const double tl = args.getd("time-limit");
+  const int threads = args.geti("threads");
+
+  struct TraceDump {
+    std::string path;
+    ~TraceDump() {
+      if (path.empty()) return;
+      if (util::obs::TraceRecorder::global().write_chrome_trace(path)) {
+        std::printf("trace written: %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "FAIL: could not write trace %s\n", path.c_str());
+      }
+    }
+  } trace_dump{args.gets("trace")};
+  if (!trace_dump.path.empty()) util::obs::TraceRecorder::global().set_enabled(true);
+
+  util::Table table({"Instance", "Obj", "MILP 1st inc (s)", "Portfolio 1st inc (s)",
+                     "MILP proof (s)", "Portfolio proof (s)", "1st winner", "Winner", "Rungs"});
+  bool ok = true;
+
+  for (const auto& c : build_cases(smoke)) {
+    workloads::ScalableConfig cfg;
+    cfg.total_nodes = c.total_nodes;
+    cfg.end_devices = c.end_devices;
+    cfg.route_replicas = c.route_replicas;
+    const auto sc = workloads::make_scalable(cfg);
+    const Explorer ex(*sc->tmpl, sc->spec);
+
+    // (a) MILP-only reference.
+    milp::SolveOptions so;
+    so.time_limit_s = tl;
+    so.exec.token = util::exec::interrupt_token();
+    util::Stopwatch milp_clock;
+    const ExplorationResult ref = ex.explore({}, so);
+    const double milp_wall = milp_clock.seconds();
+    double milp_first = -1.0;
+    if (!ref.solve_stats.incumbent_timeline.empty()) {
+      // Wall time until the explorer's first incumbent: everything before
+      // the solver ran (encode + fixed-routing probe + setup) plus the
+      // solve-relative timestamp of the first accepted incumbent.
+      milp_first = (milp_wall - ref.solve_stats.time_s) +
+                   ref.solve_stats.incumbent_timeline[0].time_s;
+    }
+    const double milp_proof =
+        ref.status == milp::SolveStatus::kOptimal ? milp_wall : -1.0;
+
+    // (b) Portfolio.
+    const meta::PortfolioRunner runner(ex);
+    const meta::PortfolioResult port = runner.run(portfolio_options(tl, threads));
+
+    if (util::exec::interrupt_token().cancelled()) {
+      std::fprintf(stderr, "interrupted (signal %d), stopping sweep\n",
+                   util::exec::interrupt_signal());
+      break;
+    }
+
+    // Gate: equal optimum when both sides certified.
+    if (ref.status == milp::SolveStatus::kOptimal &&
+        port.status == milp::SolveStatus::kOptimal &&
+        !objectives_match(ref.objective, port.objective)) {
+      std::fprintf(stderr, "FAIL %s: optimum mismatch — MILP-only %.9g, portfolio %.9g\n",
+                   c.name.c_str(), ref.objective, port.objective);
+      ok = false;
+    }
+    // Gate: portfolio never reports a worse incumbent than it could prove.
+    if (port.has_solution() && port.bound > -milp::kInf &&
+        port.objective < port.bound - 1e-6 * std::max(1.0, std::abs(port.bound))) {
+      std::fprintf(stderr, "FAIL %s: incumbent %.9g below proven bound %.9g\n", c.name.c_str(),
+                   port.objective, port.bound);
+      ok = false;
+    }
+    // Gate: strictly earlier first incumbent (the tentpole claim).
+    if (milp_first >= 0.0 && port.first_incumbent_s >= 0.0 &&
+        port.first_incumbent_s >= milp_first) {
+      std::fprintf(stderr,
+                   "FAIL %s: portfolio first incumbent %.3fs not earlier than MILP-only %.3fs\n",
+                   c.name.c_str(), port.first_incumbent_s, milp_first);
+      ok = false;
+    }
+    if (!port.has_solution() && ref.has_solution()) {
+      std::fprintf(stderr, "FAIL %s: portfolio found no incumbent but MILP-only did\n",
+                   c.name.c_str());
+      ok = false;
+    }
+
+    // Gate: byte-identical canonical reports across the thread sweep.
+    std::string sweep_sig;
+    for (const int t : {1, 2, 4, 8}) {
+      const meta::PortfolioResult r = runner.run(sweep_options(t));
+      if (util::exec::interrupt_token().cancelled()) break;
+      const std::string sig = r.canonical_signature();
+      if (sweep_sig.empty()) {
+        sweep_sig = sig;
+      } else if (sig != sweep_sig) {
+        std::fprintf(stderr, "FAIL %s: canonical report diverges at %d threads\n", c.name.c_str(),
+                     t);
+        ok = false;
+      }
+    }
+
+    table.add_row({c.name,
+                   port.has_solution() ? util::fmt_double(port.objective, 3) : "-",
+                   milp_first >= 0.0 ? util::fmt_double(milp_first, 3) : "-",
+                   port.first_incumbent_s >= 0.0 ? util::fmt_double(port.first_incumbent_s, 3) : "-",
+                   milp_proof >= 0.0 ? util::fmt_double(milp_proof, 3) : "-",
+                   port.time_to_proof_s >= 0.0 ? util::fmt_double(port.time_to_proof_s, 3) : "-",
+                   port.first_member, port.winner, std::to_string(port.rungs)});
+
+    if (args.getb("json")) {
+      util::obs::JsonWriter w;
+      w.begin_object();
+      w.field("instance", c.name);
+      w.number_field("milp_first_incumbent_s", milp_first);
+      w.number_field("milp_proof_s", milp_proof);
+      w.number_field("milp_objective", ref.has_solution() ? ref.objective : milp::kInf);
+      w.key("portfolio").raw(port.to_json());
+      w.end_object();
+      std::printf("%s\n", w.take().c_str());
+    }
+  }
+
+  bench::print_table("Portfolio race: tabu+MILP vs MILP-only (table3 family)", table);
+  std::printf(ok ? "portfolio_race: PASS\n" : "portfolio_race: FAIL\n");
+  return ok ? 0 : 1;
+}

@@ -104,8 +104,22 @@ std::vector<double> solve_with_fixed_selectors(
   wopts.time_limit_s = std::min(slice, cap);
   wopts.rel_gap = std::max(sopts.rel_gap, 0.01);
   wopts.mip_start.clear();
+  // The caller's cutoff describes the FULL model's incumbent, but this
+  // probe solves a restriction whose optimum may legitimately tie it (the
+  // restriction that produced the incumbent) or sit above it. Keeping the
+  // cutoff here used to flip such probes to kNoSolution and silently drop
+  // the warm start; the restricted solve must run uncut.
+  wopts.cutoff = milp::kInf;
+  // Likewise the bound-feedback hook: a restricted model's dual bound is
+  // not a bound on the full problem, so it must never be published as one.
+  wopts.on_bound_improved = nullptr;
   const milp::MipResult wres = milp::solve(restricted, wopts);
   return wres.has_solution() ? wres.x : std::vector<double>{};
+}
+
+EncodedProblem Explorer::encode(const EncoderOptions& eopts) const {
+  Encoder enc(*tmpl_, *spec_, eopts);
+  return enc.encode();
 }
 
 ExplorationResult Explorer::explore(const EncoderOptions& eopts,

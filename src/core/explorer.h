@@ -49,8 +49,16 @@ class Explorer {
  public:
   Explorer(const NetworkTemplate& tmpl, const Specification& spec);
 
+  [[nodiscard]] const NetworkTemplate& tmpl() const { return *tmpl_; }
+  [[nodiscard]] const Specification& spec() const { return *spec_; }
+
   [[nodiscard]] ExplorationResult explore(const EncoderOptions& eopts = {},
                                           const milp::SolveOptions& sopts = {}) const;
+
+  /// Encode-only entry point: the compiled problem without solving it. The
+  /// meta layer (tabu search, portfolio, sensitivity) encodes once and then
+  /// runs many solves against the same EncodedProblem.
+  [[nodiscard]] EncodedProblem encode(const EncoderOptions& eopts = {}) const;
 
   /// Systematic K* selection (paper Sec. 4.3): explore with increasing K*
   /// until the run time exceeds `time_threshold_s` or the objective stops

@@ -1,0 +1,122 @@
+#pragma once
+
+/// Portfolio racing: the tabu-search explorer (core/meta/tabu.h) and the
+/// exact MILP member (milp::solve over the same EncodedProblem) advance in
+/// alternating rungs under one util::exec::ExecControl, exchanging what
+/// each is best at:
+///
+///  - tabu -> MILP: the best tabu incumbent enters each MILP rung as
+///    `mip_start` (a tree-free incumbent) and its objective as `cutoff`
+///    (prunes everything at or above it);
+///  - MILP -> tabu: the proven global dual bound flows back as the tabu
+///    aspiration level (certifying the heuristic incumbent optimal the
+///    moment the gap closes), and a better MILP incumbent re-anchors the
+///    walk via adopt_incumbent().
+///
+/// Rung 0 runs the tabu member alone: its first restricted evaluation is
+/// exactly the fixed-routing warm-start probe the plain explorer pays for
+/// *before* its root LP, so the portfolio's first incumbent lands strictly
+/// earlier than MILP-only whenever that probe is feasible. MILP rungs then
+/// escalate their node budget geometrically (256, 512, ...) until the run
+/// is certified, proven infeasible, or stopped.
+///
+/// Determinism: the rung schedule, member options and merge order are pure
+/// functions of PortfolioOptions. The two members of a rung share no
+/// mutable state (the MILP member uses the portfolio's cut pool, the tabu
+/// member its own private one; the model is const), so running them on a
+/// ParallelExecutor with any thread count — or serially — produces
+/// byte-identical canonical reports. The spine checkpoints once per rung;
+/// members only ever poll a worker_view().
+
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/meta/tabu.h"
+#include "milp/cuts.h"
+#include "util/exec/exec.h"
+
+namespace wnet::archex::meta {
+
+struct PortfolioOptions {
+  EncoderOptions encoder;
+  /// Base options for the MILP member. `solver.exec` is the request-level
+  /// control the portfolio spine checkpoints on; members get worker views.
+  /// `solver.rel_gap` is the certification threshold; `solver.node_limit`
+  /// caps any single rung's escalated budget; mip_start/cutoff/shared_pool
+  /// are owned by the portfolio and overwritten per rung.
+  milp::SolveOptions solver;
+  TabuOptions tabu;
+
+  /// Worker threads for the per-rung member race; <= 1 runs the members
+  /// serially in merge order (identical results by the determinism
+  /// contract above).
+  int threads = 2;
+  int max_rungs = 12;
+  int tabu_iterations_per_rung = 6;
+  /// First MILP rung's node budget; doubles every rung up to
+  /// `solver.node_limit`.
+  long milp_base_nodes = 256;
+};
+
+/// Combined anytime certificate of one portfolio run.
+struct PortfolioResult {
+  milp::SolveStatus status = milp::SolveStatus::kNoSolution;
+  NetworkArchitecture architecture;  ///< valid when has_solution()
+  double objective = 0.0;
+  double bound = -milp::kInf;  ///< best proven global dual bound
+  double gap = milp::kInf;
+  util::exec::TerminationReason termination = util::exec::TerminationReason::kCompleted;
+
+  int rungs = 0;  ///< MILP rungs run (rung 0, tabu-only, not counted)
+  /// Per-member attribution: which member holds the final incumbent
+  /// ("tabu" / "milp" / "none"), which produced the first one, and what
+  /// certified optimality ("milp" when the tree closed or the cutoff was
+  /// proven unbeatable; "" when uncertified).
+  std::string winner = "none";
+  std::string first_member = "none";
+  std::string certified_by;
+
+  double first_incumbent_s = -1.0;  ///< wall clock to first incumbent (<0: none)
+  double time_to_proof_s = -1.0;    ///< wall clock to certification (<0: none)
+  double encode_time_s = 0.0;
+  double total_time_s = 0.0;
+
+  EncodeStats encode_stats;
+  milp::SolveStats milp_stats;  ///< last MILP rung's stats
+  TabuStats tabu_stats;
+  long milp_nodes_total = 0;  ///< B&B nodes across all MILP rungs
+  /// Proven-bound trajectory at rung granularity (values only — no wall
+  /// clock — so the timeline is thread-count invariant).
+  std::vector<double> bound_timeline;
+
+  [[nodiscard]] bool has_solution() const {
+    return status == milp::SolveStatus::kOptimal || status == milp::SolveStatus::kFeasible;
+  }
+
+  /// Strict-JSON report (util::obs::JsonWriter): status, certificate,
+  /// attribution, timings, member stats, bound timeline.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Deterministic fingerprint for the thread-sweep byte-identity gate:
+  /// every field above EXCEPT wall-clock times, serialized canonically.
+  /// Equal signatures mean the runs found the same incumbent, bound,
+  /// attribution and search trajectory.
+  [[nodiscard]] std::string canonical_signature() const;
+};
+
+/// Runs the tabu/MILP portfolio over one problem. Encodes once, then races.
+class PortfolioRunner {
+ public:
+  PortfolioRunner(const NetworkTemplate& tmpl, const Specification& spec)
+      : tmpl_(&tmpl), spec_(&spec) {}
+  explicit PortfolioRunner(const Explorer& ex) : tmpl_(&ex.tmpl()), spec_(&ex.spec()) {}
+
+  [[nodiscard]] PortfolioResult run(const PortfolioOptions& opts = {}) const;
+
+ private:
+  const NetworkTemplate* tmpl_;
+  const Specification* spec_;
+};
+
+}  // namespace wnet::archex::meta

@@ -1,0 +1,244 @@
+#include "core/meta/sensitivity.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "core/encode/separation.h"
+#include "milp/tol.h"
+#include "util/obs/json.h"
+#include "util/thread_pool.h"
+
+namespace wnet::archex::meta {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Perturbation {
+  std::string parameter;
+  double delta = 0.0;
+  double value = 0.0;
+};
+
+/// Applies one perturbation to a copy of the base spec.
+Specification perturbed_spec(const Specification& base, const Perturbation& p) {
+  Specification s = base;
+  if (p.parameter == "min_snr_db") {
+    s.link_quality.min_snr_db = p.value;
+  } else if (p.parameter == "min_rss_dbm") {
+    s.link_quality.min_rss_dbm = p.value;
+  } else if (p.parameter == "min_years") {
+    s.lifetime->min_years = p.value;
+  }
+  return s;
+}
+
+/// Matches the base architecture's chosen paths into the perturbed
+/// encoding's candidate groups (by node sequence). Returns the fixed
+/// assignment, or an empty map when any group has no matching candidate.
+std::map<std::pair<int, int>, const CandidatePath*> match_base_routes(
+    const EncodedProblem& ep, const NetworkArchitecture& base) {
+  std::map<std::pair<int, int>, const CandidatePath*> picked;
+  std::map<std::pair<int, int>, const graph::Path*> want;
+  for (const ChosenRoute& r : base.routes) want[{r.route_index, r.replica}] = &r.path;
+
+  std::map<std::pair<int, int>, bool> groups;
+  for (const CandidatePath& c : ep.candidates) {
+    const std::pair<int, int> key{c.route_index, c.replica};
+    groups[key] = true;
+    const auto it = want.find(key);
+    if (it != want.end() && picked.count(key) == 0 && c.path.nodes == it->second->nodes) {
+      picked[key] = &c;
+    }
+  }
+  if (picked.size() != groups.size()) picked.clear();
+  return picked;
+}
+
+}  // namespace
+
+SensitivityReport explore_sensitivity(const NetworkTemplate& tmpl, const Specification& spec,
+                                      const SensitivityOptions& opts) {
+  const auto t0 = Clock::now();
+  SensitivityReport rep;
+
+  const Explorer ex(tmpl, spec);
+  rep.base = ex.explore(opts.encoder, opts.solver);
+
+  // Deterministic point list: link-quality deltas first (in option order),
+  // then lifetime deltas.
+  std::vector<Perturbation> points;
+  if (spec.link_quality.min_snr_db) {
+    for (const double d : opts.snr_deltas_db) {
+      points.push_back({"min_snr_db", d, *spec.link_quality.min_snr_db + d});
+    }
+  } else if (spec.link_quality.min_rss_dbm) {
+    for (const double d : opts.snr_deltas_db) {
+      points.push_back({"min_rss_dbm", d, *spec.link_quality.min_rss_dbm + d});
+    }
+  }
+  if (spec.lifetime) {
+    for (const double d : opts.lifetime_deltas_years) {
+      points.push_back({"min_years", d, spec.lifetime->min_years + d});
+    }
+  }
+
+  util::exec::TerminationReason why = util::exec::TerminationReason::kCompleted;
+  if (opts.solver.exec.checkpoint(&why)) {
+    rep.termination = why;
+    rep.total_time_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    return rep;
+  }
+
+  const util::ParallelExecutor pexec(opts.threads);
+  rep.points = pexec.map<SensitivityPoint>(static_cast<int>(points.size()), [&](int i) {
+    const Perturbation& p = points[static_cast<size_t>(i)];
+    SensitivityPoint pt;
+    pt.parameter = p.parameter;
+    pt.delta = p.delta;
+    pt.value = p.value;
+    const auto pt0 = Clock::now();
+
+    const Specification pspec = perturbed_spec(spec, p);
+    const Explorer pex(tmpl, pspec);
+    EncoderOptions eopts = opts.encoder;
+    eopts.exec = opts.solver.exec.worker_view();
+    const EncodedProblem ep = pex.encode(eopts);
+    if (ep.stats.termination != util::exec::TerminationReason::kCompleted) {
+      pt.time_s = std::chrono::duration<double>(Clock::now() - pt0).count();
+      return pt;
+    }
+    const LazySeparation lazy(tmpl, ep);
+
+    milp::SolveOptions mo = opts.solver;
+    mo.exec = opts.solver.exec.worker_view();
+    lazy.install(mo);
+
+    // Warm start: complete the base topology into a full assignment of the
+    // perturbed model. No cutoff — the perturbed optimum may be worse.
+    if (rep.base.has_solution()) {
+      const auto picked = match_base_routes(ep, rep.base.architecture);
+      if (!picked.empty()) {
+        mo.mip_start = solve_with_fixed_selectors(ep, picked, mo);
+      }
+    }
+
+    const milp::MipResult res = milp::solve(ep.model, mo);
+    pt.status = res.status;
+    pt.feasible = res.has_solution();
+    if (pt.feasible) pt.objective = res.objective;
+    pt.bound = res.bound;
+    pt.gap = res.stats.gap;
+    pt.warm_used = res.stats.mip_start_used;
+    pt.time_s = std::chrono::duration<double>(Clock::now() - pt0).count();
+    return pt;
+  });
+  if (opts.solver.exec.stopped(&why)) rep.termination = why;
+
+  // Gradients per parameter: central difference over the closest feasible
+  // bracketing deltas, one-sided against the base otherwise.
+  std::vector<std::string> params;
+  for (const SensitivityPoint& pt : rep.points) {
+    if (std::find(params.begin(), params.end(), pt.parameter) == params.end()) {
+      params.push_back(pt.parameter);
+    }
+  }
+  for (const std::string& param : params) {
+    SensitivityGradient g;
+    g.parameter = param;
+    const SensitivityPoint* lo = nullptr;  // closest feasible delta < 0
+    const SensitivityPoint* hi = nullptr;  // closest feasible delta > 0
+    for (const SensitivityPoint& pt : rep.points) {
+      if (pt.parameter != param) continue;
+      if (pt.feasible) {
+        if (pt.delta < 0 && (lo == nullptr || pt.delta > lo->delta)) lo = &pt;
+        if (pt.delta > 0 && (hi == nullptr || pt.delta < hi->delta)) hi = &pt;
+      } else {
+        if (pt.delta > 0 && (!g.cliff_tighter || pt.delta < *g.cliff_tighter)) {
+          g.cliff_tighter = pt.delta;
+        }
+        if (pt.delta < 0 && (!g.cliff_looser || pt.delta > *g.cliff_looser)) {
+          g.cliff_looser = pt.delta;
+        }
+      }
+    }
+    if (lo != nullptr && hi != nullptr) {
+      g.cost_per_unit = (hi->objective - lo->objective) / (hi->delta - lo->delta);
+    } else if (rep.base.has_solution()) {
+      const SensitivityPoint* side = hi != nullptr ? hi : lo;
+      if (side != nullptr && std::abs(side->delta) > 0) {
+        g.cost_per_unit = (side->objective - rep.base.objective) / side->delta;
+      }
+    }
+    rep.gradients.push_back(std::move(g));
+  }
+
+  rep.total_time_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return rep;
+}
+
+std::string SensitivityReport::to_json() const {
+  util::obs::JsonWriter w;
+  w.begin_object();
+  w.key("base")
+      .begin_object()
+      .field("status", milp::to_string(base.status))
+      .field("termination", util::exec::to_string(base.termination));
+  w.number_field("objective", base.has_solution() ? base.objective : milp::kInf);
+  w.number_field("bound", base.bound);
+  w.number_field("gap", base.gap);
+  w.number_field("total_time_s", base.total_time_s);
+  w.end_object();
+
+  w.key("points").begin_array();
+  for (const SensitivityPoint& pt : points) {
+    w.begin_object()
+        .field("parameter", pt.parameter)
+        .field("delta", pt.delta)
+        .field("value", pt.value)
+        .field("status", milp::to_string(pt.status))
+        .field("feasible", pt.feasible)
+        .field("warm_used", pt.warm_used);
+    w.number_field("objective", pt.feasible ? pt.objective : milp::kInf);
+    w.number_field("bound", pt.bound);
+    w.number_field("gap", pt.gap);
+    w.number_field("time_s", pt.time_s);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("gradients").begin_array();
+  for (const SensitivityGradient& g : gradients) {
+    w.begin_object().field("parameter", g.parameter);
+    w.key("cost_per_unit");
+    if (g.cost_per_unit) {
+      w.value(*g.cost_per_unit);
+    } else {
+      w.null_value();
+    }
+    w.key("cliff_tighter");
+    if (g.cliff_tighter) {
+      w.value(*g.cliff_tighter);
+    } else {
+      w.null_value();
+    }
+    w.key("cliff_looser");
+    if (g.cliff_looser) {
+      w.value(*g.cliff_looser);
+    } else {
+      w.null_value();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.field("termination", util::exec::to_string(termination));
+  w.number_field("total_time_s", total_time_s);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace wnet::archex::meta

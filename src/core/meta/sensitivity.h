@@ -1,0 +1,92 @@
+#pragma once
+
+/// Sensitivity sweep around a solved instance: perturb the requirement
+/// thresholds (link-quality floor, lifetime) by a grid of deltas, re-solve
+/// each perturbed specification, and report how cost and feasibility react.
+///
+/// Each perturbation reuses the base solve's incumbent as a warm start:
+/// the base architecture's chosen paths are matched (by node sequence)
+/// into the perturbed encoding's candidate groups and completed into a
+/// full assignment via solve_with_fixed_selectors — the same probe the
+/// fixed-routing heuristic uses. No primal cutoff is carried: a perturbed
+/// optimum may legitimately be worse than the base one, so a cutoff would
+/// be unsound.
+///
+/// The report carries per-point rows plus central-difference cost
+/// gradients over the smallest feasible +/- delta pair (one-sided when
+/// only one side is feasible) and the feasibility cliff — the tightest
+/// perturbation that turned the instance infeasible. to_json() is strict
+/// JSON via util::obs::JsonWriter.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "util/exec/exec.h"
+
+namespace wnet::archex::meta {
+
+struct SensitivityOptions {
+  EncoderOptions encoder;
+  /// Per-point solver options; `solver.exec` is the request control (the
+  /// sweep spine checkpoints between points, workers poll a view).
+  milp::SolveOptions solver;
+
+  /// Deltas (dB) applied to the active link-quality threshold (min_snr_db
+  /// or min_rss_dbm — whichever the spec sets; skipped for max_ber specs
+  /// and specs with no link-quality bound). 0 need not be listed; the base
+  /// point is always solved.
+  std::vector<double> snr_deltas_db = {-2.0, -1.0, 1.0, 2.0};
+  /// Deltas (years) applied to lifetime.min_years when the spec has one.
+  std::vector<double> lifetime_deltas_years;
+
+  /// Worker threads for the per-point solves (deterministic: results are
+  /// keyed by point index).
+  int threads = 1;
+};
+
+/// One perturbed solve.
+struct SensitivityPoint {
+  std::string parameter;  ///< "min_snr_db" | "min_rss_dbm" | "min_years"
+  double delta = 0.0;
+  double value = 0.0;  ///< perturbed absolute threshold
+  milp::SolveStatus status = milp::SolveStatus::kNoSolution;
+  double objective = 0.0;
+  double bound = -milp::kInf;
+  double gap = milp::kInf;
+  bool feasible = false;
+  bool warm_used = false;  ///< base incumbent matched and accepted as MIP start
+  double time_s = 0.0;
+};
+
+/// Per-parameter cost gradient: d(objective)/d(threshold), central
+/// difference over the closest feasible bracketing deltas (one-sided when
+/// only one side exists; absent when no feasible neighbor exists).
+struct SensitivityGradient {
+  std::string parameter;
+  std::optional<double> cost_per_unit;
+  /// Tightest delta (smallest |delta|) that made the instance infeasible,
+  /// per direction; absent when every swept point stayed feasible.
+  std::optional<double> cliff_tighter;
+  std::optional<double> cliff_looser;
+};
+
+struct SensitivityReport {
+  ExplorationResult base;  ///< the unperturbed solve the sweep pivots on
+  std::vector<SensitivityPoint> points;
+  std::vector<SensitivityGradient> gradients;
+  util::exec::TerminationReason termination = util::exec::TerminationReason::kCompleted;
+  double total_time_s = 0.0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Solves the base instance, then sweeps every configured perturbation.
+/// Points whose solve was skipped by cancellation report kNoSolution with
+/// feasible=false; the report's termination says why.
+[[nodiscard]] SensitivityReport explore_sensitivity(const NetworkTemplate& tmpl,
+                                                    const Specification& spec,
+                                                    const SensitivityOptions& opts = {});
+
+}  // namespace wnet::archex::meta

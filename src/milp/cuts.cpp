@@ -60,6 +60,8 @@ bool CutPool::add(Cut cut) {
                                  }),
                   row.terms.end());
 
+  for (const auto& [id, coef] : row.terms) row.max_var = std::max(row.max_var, id);
+
   const uint64_t h = structure_hash(row.terms, row.sense);
   const auto [lo, hi] = index_.equal_range(h);
   for (auto it = lo; it != hi; ++it) {
@@ -84,6 +86,10 @@ bool CutPool::add(Cut cut) {
 
 double CutPool::violation(size_t idx, const std::vector<double>& x) const {
   const Row& row = rows_[idx];
+  // Dimension guard: a cut referencing columns the point does not have
+  // (shared pool carried back to a smaller model) is explicitly rejected —
+  // reading x[id] out of range was the old behavior and is never meaningful.
+  if (row.max_var >= static_cast<int>(x.size())) return 0.0;
   double activity = 0.0;
   for (const auto& [id, coef] : row.terms) {
     activity += coef * x[static_cast<size_t>(id)];
@@ -106,11 +112,20 @@ void CutPool::mark_active(size_t idx) {
 }
 
 std::vector<size_t> CutPool::select_violated(const std::vector<double>& x,
-                                             const CutPoolOptions& opts) {
+                                             const CutPoolOptions& opts,
+                                             int num_cols) {
+  // The LP point x carries trailing slack columns; without an explicit
+  // column count, anything indexable is considered compatible.
+  const int cols = num_cols >= 0 ? num_cols : static_cast<int>(x.size());
   std::vector<std::pair<double, size_t>> ranked;  // (violation, index)
   for (size_t i = 0; i < rows_.size(); ++i) {
     Row& row = rows_[i];
     if (row.state != CutState::kPooled) continue;
+    // Dimension-incompatible cuts are invisible to this solve: selecting
+    // one would append a row indexing columns the LP does not have, and
+    // aging one would purge a cut that is perfectly valid for the larger
+    // model it came from.
+    if (row.max_var >= cols) continue;
     const double v = violation(i, x);
     if (v >= opts.min_violation) {
       ranked.emplace_back(v, i);

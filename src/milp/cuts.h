@@ -77,21 +77,43 @@ class CutPool {
 
   /// Normalized violation of pooled cut `idx` at point `x` (indexed by var
   /// id; extra trailing entries such as LP slacks are ignored). Positive
-  /// means violated.
+  /// means violated. A cut referencing a var id beyond `x` is dimension-
+  /// incompatible with the point and reports 0 (explicit reject: such a row
+  /// can never enter this LP, so it must never veto an incumbent either).
+  /// Var ids are stable under IncrementalEncoder appends, so a pool shared
+  /// across K* ladder rungs only ever holds cuts from a *larger* model than
+  /// the one being re-solved — never cuts whose ids were remapped.
   [[nodiscard]] double violation(size_t idx, const std::vector<double>& x) const;
 
   /// Largest violation over every cut ever pooled, regardless of state.
   /// The solver's lazy gate uses this to reject an integer point that
   /// violates an already-active (or purged) row. 0 for an empty pool.
+  /// Dimension-incompatible cuts (see violation()) contribute 0.
   [[nodiscard]] double max_violation(const std::vector<double>& x) const;
 
   /// One selection round: ranks the never-activated cuts by violation at
   /// `x`, marks up to `max_cuts_per_round` most-violated ones (violation >=
   /// `min_violation`) active and returns their indices, ties broken by
   /// insertion order. Every inactive cut left unviolated ages by one round;
-  /// cuts older than `max_age` are purged.
+  /// cuts older than `max_age` are purged. Cuts referencing var ids >=
+  /// `num_cols` (a shared pool holding rows from a later, larger model) are
+  /// skipped entirely: never selected, never aged — they stay pooled for
+  /// the solve they do fit. `num_cols < 0` means no column limit beyond
+  /// x.size().
   [[nodiscard]] std::vector<size_t> select_violated(const std::vector<double>& x,
-                                                    const CutPoolOptions& opts);
+                                                    const CutPoolOptions& opts,
+                                                    int num_cols = -1);
+
+  /// Largest var id referenced by cut `idx` (-1 for a constant row). The
+  /// solver uses this to fence off cuts that do not fit the current model's
+  /// column space.
+  [[nodiscard]] int max_var_id(size_t idx) const { return rows_[idx].max_var; }
+
+  /// True when cut `idx` only references var ids < num_cols, i.e. the row
+  /// can be appended to an LP with that many structural columns.
+  [[nodiscard]] bool fits(size_t idx, int num_cols) const {
+    return rows_[idx].max_var < num_cols;
+  }
 
   /// Marks cut `idx` active (age reset, activation counted) without going
   /// through a selection round. The solver's integral gate uses this: when
@@ -124,7 +146,8 @@ class CutPool {
     double rhs = 0.0;
     std::string name;
     CutState state = CutState::kPooled;
-    int age = 0;  ///< selection rounds spent unviolated while pooled
+    int age = 0;       ///< selection rounds spent unviolated while pooled
+    int max_var = -1;  ///< largest var id in terms (dimension guard)
   };
 
   /// Buckets by structure (sorted var ids + sense), so lookup never

@@ -169,6 +169,17 @@ class BranchAndBound {
     }
   }
 
+  /// Bound-feedback hook driver: forwards monotonic improvements of the
+  /// proven global lower bound to opts_.on_bound_improved. Serial-spine
+  /// only; the published sequence is deterministic (no wall time involved).
+  void publish_bound(double b) {
+    if (!opts_.on_bound_improved) return;
+    if (b > published_bound_ + tol::kObjImprove && b > -kInf && b < kInf) {
+      published_bound_ = b;
+      opts_.on_bound_improved(b);
+    }
+  }
+
   [[nodiscard]] bool gap_closed(double lower_bound) const {
     if (!have_incumbent_) return false;
     return incumbent_obj_ - lower_bound <=
@@ -195,6 +206,7 @@ class BranchAndBound {
   std::vector<double> incumbent_x_;  // structural space
 
   double root_bound_ = -kInf;
+  double published_bound_ = -kInf;  ///< last bound sent through the hook
   std::vector<double> root_x_;   // root LP point (column space)
   std::vector<double> root_dj_;  // root reduced costs
 
@@ -218,6 +230,12 @@ class BranchAndBound {
     stats_.cuts_duplicate = ps.duplicates - pool_stats_base_.duplicates;
     stats_.cuts_purged = ps.purged - pool_stats_base_.purged;
     stats_.cuts_lp_rows = lp_.num_rows() - model_->num_constrs();
+    // Shared-pool dimension fence: pooled rows whose column ids exceed this
+    // model's var count were invisible to this solve (see CutPool::fits).
+    stats_.cuts_dim_rejected = 0;
+    for (size_t i = 0; i < pool_->size(); ++i) {
+      if (!pool_->fits(i, model_->num_vars())) ++stats_.cuts_dim_rejected;
+    }
     out.stats = stats_;
     out.stats.time_s = clock_.seconds();
   }
@@ -307,13 +325,19 @@ int BranchAndBound::separate(const std::vector<double>& x, int depth, bool integ
     // still hold feasible points.
     for (size_t i = 0; i < pool_->size(); ++i) {
       if (in_lp_[i] != 0) continue;
+      // Dimension fence: a shared-pool row from a larger model cannot enter
+      // this LP (its columns do not exist here) and must not veto the point
+      // either — violation() already reports 0 for it, this guard just
+      // makes the reject explicit before mark_active/add_row.
+      if (!pool_->fits(i, model_->num_vars())) continue;
       if (pool_->violation(i, x) >= opts_.cuts.pool.min_violation) {
         pool_->mark_active(i);
         picked.push_back(i);
       }
     }
   } else {
-    for (const size_t idx : pool_->select_violated(x, opts_.cuts.pool)) {
+    for (const size_t idx :
+         pool_->select_violated(x, opts_.cuts.pool, model_->num_vars())) {
       if (in_lp_[idx] == 0) picked.push_back(idx);
     }
   }
@@ -475,6 +499,14 @@ bool BranchAndBound::try_incumbent(const std::vector<double>& x) {
     cand.assign(x.begin(), x.begin() + model_->num_vars());
     if (!model_->is_feasible(cand, 1e-4)) return false;
   }
+  const double obj = model_->objective().evaluate(cand);
+  // Inclusive cutoff semantics: a point that TIES the cutoff (within a
+  // relative kObjImprove band) is a solution — callers passing a best-known
+  // objective get kFeasible back, not kNoSolution. Anything beyond the tie
+  // band is exactly what the cutoff asked to exclude.
+  if (obj > opts_.cutoff + tol::kObjImprove * std::max(1.0, std::abs(opts_.cutoff))) {
+    return false;
+  }
   // Lazy gate: the Model only carries the encoded rows, so a point that
   // passes is_feasible may still violate constraints a separator owns.
   // Run the separators on the candidate (this covers MIP starts, dives and
@@ -483,13 +515,12 @@ bool BranchAndBound::try_incumbent(const std::vector<double>& x) {
   // next LP re-solve cut the point off, so the search makes progress
   // instead of dropping the region.
   if (!opts_.cuts.separators.empty()) {
-    separate(cand, 0, /*integral=*/true, model_->objective().evaluate(cand));
+    separate(cand, 0, /*integral=*/true, obj);
     if (pool_->max_violation(cand) >= opts_.cuts.pool.min_violation) {
       ++stats_.lazy_rejections;
       return false;
     }
   }
-  double obj = model_->objective().evaluate(cand);
   // Same epsilon as every bound-pruning test (tol::kObjImprove): a point a
   // node prune would reject can never churn the incumbent machinery.
   if (!have_incumbent_ || obj < incumbent_obj_ - tol::kObjImprove) {
@@ -558,7 +589,15 @@ void BranchAndBound::dive(const std::shared_ptr<const BoundChange>& chain, const
       if (res.status != LpStatus::kOptimal) return;
     }
     cur = bc;
-    if (res.objective >= prune_bound() - tol::kObjImprove) return;
+    if (res.objective >= prune_bound() - tol::kObjImprove) {
+      // Inclusive cutoff-tie semantics: the dive may land exactly on the
+      // caller's cutoff (e.g. a portfolio member re-discovering the
+      // heuristic's own incumbent). If the point is integral it must be
+      // offered as an incumbent before the dive abandons it, or a solve
+      // whose optimum ties the cutoff flips kFeasible into kNoSolution.
+      if (pick_branch_var(res.x) == -1) try_incumbent(res.x);
+      return;
+    }
     warm = last_basis_;
     x = res.x;
   }
@@ -658,6 +697,7 @@ MipResult BranchAndBound::run() {
 
   // Root heuristics: caller-provided MIP start, plain rounding, then a dive.
   root_bound_ = root.objective;
+  publish_bound(root.objective);
   root_x_ = root.x;
   root_dj_ = root.reduced_costs;
   if (static_cast<int>(opts_.mip_start.size()) >= model_->num_vars()) {
@@ -695,6 +735,7 @@ MipResult BranchAndBound::run() {
     // Global lower bound = min over open nodes (their parents' bounds).
     best_open_bound = kInf;
     for (const Node& nd : stack) best_open_bound = std::min(best_open_bound, nd.parent_bound);
+    publish_bound(std::min(best_open_bound, have_incumbent_ ? incumbent_obj_ : kInf));
     if (gap_closed(best_open_bound)) break;
 
     // Mostly depth-first plunging (cheap warm starts), but every few nodes
@@ -765,6 +806,20 @@ MipResult BranchAndBound::run() {
         pc_recorded = true;
       }
       if (res.objective >= prune_bound() - tol::kObjImprove) {
+        // Same inclusive tie semantics as the dive: an integral LP point at
+        // exactly the prune bound may BE the tie-equal optimum the caller's
+        // cutoff describes — accept it before dropping the region (the
+        // incumbent filter itself rejects non-improving churn). If the lazy
+        // gate instead grew the LP, re-solve so the point is cut off rather
+        // than silently pruned.
+        if (pick_branch_var(res.x) == -1) {
+          const int rows_before = lp_.num_rows();
+          try_incumbent(res.x);
+          if (lp_.num_rows() > rows_before) {
+            res = solve_lp(&last_basis_);
+            continue;
+          }
+        }
         drop_node = true;
         break;
       }
@@ -859,6 +914,7 @@ MipResult BranchAndBound::run() {
   } else {
     out.status = exhausted ? SolveStatus::kInfeasible : SolveStatus::kNoSolution;
   }
+  publish_bound(out.bound);
   TerminationReason term = TerminationReason::kCompleted;
   if (stopped) {
     term = stop_why;
@@ -886,10 +942,17 @@ const char* to_string(SolveStatus s) {
 
 double relative_gap(double incumbent, double bound) {
   // NaN or +/-inf on either side means "no certificate on that side":
-  // the gap of an empty anytime result is infinite by convention.
+  // the gap of an empty anytime result is infinite by convention. (The
+  // negated comparisons are NaN-correct: !(nan < inf) is true.)
   if (!(incumbent < kInf) || !(bound > -kInf)) return kInf;
-  if (incumbent <= bound) return 0.0;
-  return (incumbent - bound) / std::max(1.0, std::abs(incumbent));
+  // Cut-tightened duals (and plain roundoff) can push the proven bound a
+  // hair past the incumbent; within kGapSlack that is a closed gap, never
+  // a negative one.
+  if (incumbent <= bound + tol::kGapSlack) return 0.0;
+  // Denominator honors |bound| as well as |incumbent|: a proven-optimal
+  // minimization with negative cost and an incumbent near zero must not
+  // divide a |bound|-sized residual by 1 and report a wild percentage.
+  return (incumbent - bound) / std::max({1.0, std::abs(incumbent), std::abs(bound)});
 }
 
 std::string SolveStats::to_json() const {
@@ -926,6 +989,7 @@ std::string SolveStats::to_json() const {
   w.field("cuts_lp_rows", cuts_lp_rows);
   w.field("cuts_purged", cuts_purged);
   w.field("lazy_rejections", lazy_rejections);
+  w.field("cuts_dim_rejected", cuts_dim_rejected);
   w.number_field("separation_time_s", separation_time_s);
   w.end_object();
   w.field("incumbents", incumbents);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,9 +42,15 @@ struct SolveOptions {
   /// Optional primal cutoff: prune any subtree whose LP bound cannot beat
   /// this objective, even before an incumbent exists. Incremental rungs of
   /// the K* ladder install the previous rung's optimum here so each solve
-  /// starts with a proven primal bound. When the cutoff (rather than an
-  /// incumbent) exhausts the tree, the result is kNoSolution, not
-  /// kInfeasible — feasible-but-not-better regions were pruned unseen.
+  /// starts with a proven primal bound. Tie semantics are inclusive: an
+  /// integer point whose objective *equals* the cutoff (within
+  /// tol::kObjImprove) is still accepted as an incumbent before its region
+  /// is pruned, so a caller racing heuristics (portfolio) that installs its
+  /// best-known objective as the cutoff gets kFeasible/kOptimal back when
+  /// the solver re-discovers a tie-equal optimum, never a spurious
+  /// kNoSolution. Only when the cutoff exhausts the tree with no tie-equal
+  /// point ever surfacing is the result kNoSolution (not kInfeasible —
+  /// feasible-but-not-better regions were pruned unseen).
   double cutoff = kInf;
   simplex::LpOptions lp;
 
@@ -88,6 +95,15 @@ struct SolveOptions {
   /// LP through the warm-start path (parent bases are extended with the
   /// new slacks basic) and the loop honors `exec` cancellation/budget.
   CutOptions cuts;
+
+  /// Bound-feedback hook: invoked on the serial spine whenever the proven
+  /// global dual bound improves (root LP/separation, then every node-loop
+  /// tightening past tol::kObjImprove). The portfolio runner feeds these
+  /// into the tabu member as its aspiration level and into the combined
+  /// anytime certificate's bound timeline. The callback must be cheap and
+  /// must not re-enter the solver; calls are deterministic given the same
+  /// model + options (wall time is not passed for exactly that reason).
+  std::function<void(double)> on_bound_improved;
 };
 
 /// One accepted incumbent, for the convergence timeline.
@@ -134,6 +150,8 @@ struct SolveStats {
   long cuts_lp_rows = 0;        ///< pooled cuts activated as LP rows this solve
   long cuts_purged = 0;         ///< pooled cuts aged out without activating
   long lazy_rejections = 0;     ///< integer points rejected by the lazy gate
+  long cuts_dim_rejected = 0;   ///< shared-pool cuts fenced off: their column
+                                ///< ids exceed this model's var count
   double separation_time_s = 0.0;  ///< wall time inside separators + selection
 
   long incumbents = 0;  ///< accepted incumbents (improvements only)
@@ -165,10 +183,15 @@ struct MipResult {
   }
 };
 
-/// Relative optimality gap of an incumbent against a lower bound, with the
-/// usual |incumbent|-floored-at-1 denominator. kInf when there is no
-/// incumbent (or no finite bound below it): the gap of an empty anytime
-/// result. 0 when incumbent <= bound (proven optimal within tolerance).
+/// Relative optimality gap of an incumbent against a lower bound:
+/// (incumbent - bound) / max(1, |incumbent|, |bound|). kInf when there is
+/// no incumbent or no finite bound (NaN on either side counts as missing).
+/// 0 when incumbent <= bound + tol::kGapSlack — a bound nudged past the
+/// incumbent by cut-tightened duals still reads as proven optimal, never a
+/// negative gap. The denominator floors at 1 but also honors |bound|, so a
+/// proven-optimal minimization with negative cost (incumbent -c, bound
+/// one roundoff below) reports ~0, not the wild percentage the old
+/// |incumbent|-only floor produced when the incumbent sat near zero.
 [[nodiscard]] double relative_gap(double incumbent, double bound);
 
 /// Solves a MILP by LP-based branch-and-bound: dual-simplex warm restarts

@@ -144,10 +144,12 @@ class CancellationSource {
 class ResourceBudget {
  public:
   ResourceBudget() = default;
-  ResourceBudget(long max_bb_nodes, long max_yen_candidates, long max_encode_rows)
+  ResourceBudget(long max_bb_nodes, long max_yen_candidates, long max_encode_rows,
+                 long max_meta_iterations = -1)
       : max_bb_nodes_(max_bb_nodes),
         max_yen_candidates_(max_yen_candidates),
-        max_encode_rows_(max_encode_rows) {}
+        max_encode_rows_(max_encode_rows),
+        max_meta_iterations_(max_meta_iterations) {}
 
   /// Each charge_* records usage and returns false once the cap is passed
   /// (the n-th unit that would exceed the cap is refused).
@@ -156,6 +158,11 @@ class ResourceBudget {
     return charge(used_yen_candidates_, max_yen_candidates_, n);
   }
   bool charge_encode_rows(long n) { return charge(used_encode_rows_, max_encode_rows_, n); }
+  /// Metaheuristic iterations (one tabu move evaluation round); meters the
+  /// meta layer the way charge_bb_nodes meters the exact search.
+  bool charge_meta_iterations(long n = 1) {
+    return charge(used_meta_iterations_, max_meta_iterations_, n);
+  }
 
   /// True once any charge was refused. Serial spines poll this after a
   /// fork-join section to turn worker-side refusals into a termination.
@@ -169,6 +176,9 @@ class ResourceBudget {
   }
   [[nodiscard]] long encode_rows_used() const {
     return used_encode_rows_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long meta_iterations_used() const {
+    return used_meta_iterations_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -184,9 +194,11 @@ class ResourceBudget {
   long max_bb_nodes_ = -1;
   long max_yen_candidates_ = -1;
   long max_encode_rows_ = -1;
+  long max_meta_iterations_ = -1;
   std::atomic<long> used_bb_nodes_{0};
   std::atomic<long> used_yen_candidates_{0};
   std::atomic<long> used_encode_rows_{0};
+  std::atomic<long> used_meta_iterations_{0};
   std::atomic<bool> exhausted_{false};
 };
 

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "milp/cuts.h"
+#include "milp/model.h"
+#include "milp/solver.h"
+#include "milp/tol.h"
+
+// Regression suite for the shared-pool dimension hazard: a CutPool shared
+// across solves of different models can hold rows whose variable ids exceed
+// a smaller model's column count. Before the guard, violation() indexed the
+// LP point out of bounds (an ASan-visible OOB read) and the solver could
+// activate a row referencing columns the LP does not have. Now such rows
+// are fenced off (violation 0, never selected) and counted in
+// SolveStats::cuts_dim_rejected.
+
+namespace wnet::milp {
+namespace {
+
+Var v(int id) { return Var{id}; }
+
+Cut make_cut(const std::vector<std::pair<int, double>>& terms, Sense sense, double rhs) {
+  Cut c;
+  for (const auto& [id, coef] : terms) c.expr.add_term(v(id), coef);
+  c.sense = sense;
+  c.rhs = rhs;
+  return c;
+}
+
+/// Knapsack-style binary model over n vars: minimize sum(c_i x_i) subject
+/// to sum(x_i) >= need. Optimum picks the `need` cheapest vars.
+Model covering_model(int n, int need) {
+  Model m;
+  LinExpr obj;
+  LinExpr cover;
+  for (int i = 0; i < n; ++i) {
+    const Var x = m.add_binary("x" + std::to_string(i));
+    obj.add_term(x, 1.0 + 0.1 * i);
+    cover.add_term(x, 1.0);
+  }
+  m.add_ge(std::move(cover), static_cast<double>(need));
+  m.minimize(std::move(obj));
+  return m;
+}
+
+TEST(SharedPoolDimension, ViolationIsZeroBeyondPointSize) {
+  CutPool pool;
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}, {7, 1.0}}, Sense::kLe, 1.0)));
+  ASSERT_EQ(pool.max_var_id(0), 7);
+  EXPECT_FALSE(pool.fits(0, 4));
+  EXPECT_TRUE(pool.fits(0, 8));
+
+  // A 4-var point cannot evaluate a row touching var 7: explicit reject,
+  // not an out-of-bounds read.
+  const std::vector<double> x4{1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(pool.violation(0, x4), 0.0);
+  EXPECT_TRUE(pool.select_violated(x4, CutPoolOptions{}, 4).empty());
+
+  // The same row scores normally once the point is wide enough.
+  const std::vector<double> x8{1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0};
+  EXPECT_GT(pool.violation(0, x8), 0.5);
+}
+
+TEST(SharedPoolDimension, SelectionSkipsOversizedRowsWithoutAgingThem) {
+  CutPool pool;
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}, {9, 1.0}}, Sense::kLe, 1.0)));  // oversized
+  ASSERT_TRUE(pool.add(make_cut({{0, 1.0}, {1, 1.0}}, Sense::kLe, 1.0)));  // fits
+
+  CutPoolOptions popts;
+  popts.max_age = 2;
+  const std::vector<double> x{1.0, 1.0};
+  const auto sel = pool.select_violated(x, popts, 2);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0], 1u);  // only the fitting row is selectable
+  EXPECT_EQ(pool.state(1), CutState::kActive);
+
+  // Many more rounds: the oversized row is invisible — never selected, and
+  // (critically) never aged toward purge. It stays pooled for the larger
+  // model it came from.
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_TRUE(pool.select_violated(x, popts, 2).empty()) << "round " << round;
+  }
+  EXPECT_EQ(pool.state(0), CutState::kPooled);
+}
+
+TEST(SharedPoolDimension, GrownModelCutsAreFencedOffSmallerResolve) {
+  // One pool shared across a model "ladder" driven in the hazardous
+  // direction: solve the LARGE model first (pooling cuts over its high var
+  // ids), then re-solve a SMALL model with the same pool. Before the guard
+  // this read out of bounds under ASan; now the small solve must match its
+  // pool-free optimum and report the fenced rows.
+  const Model small = covering_model(4, 2);
+  const Model large = covering_model(12, 6);
+
+  CutPool pool;
+  // Separator that proposes a globally valid row of whichever model it
+  // sees — including one touching the large model's last var.
+  const SeparationCallback sep = [](const SeparationContext& ctx, CutPool& p) {
+    const int n = static_cast<int>(ctx.x.size());
+    if (n >= 12) {
+      // sum(x_i) >= need is valid; propose the last-var flavored version
+      // x_10 + x_11 <= 2 (trivially valid) plus a binding cover subset.
+      (void)p.add(make_cut({{10, 1.0}, {11, 1.0}}, Sense::kLe, 2.0));
+      (void)p.add(make_cut({{0, 1.0}, {11, 1.0}}, Sense::kLe, 2.0));
+    }
+  };
+
+  SolveOptions lopts;
+  lopts.cuts.separators.push_back(sep);
+  lopts.cuts.shared_pool = &pool;
+  const MipResult rl = solve(large, lopts);
+  ASSERT_TRUE(rl.has_solution());
+  ASSERT_GT(pool.size(), 0u);
+
+  // Baseline small-model optimum without any pool.
+  const MipResult base = solve(small);
+  ASSERT_TRUE(base.has_solution());
+
+  SolveOptions sopts;
+  sopts.cuts.separators.push_back(sep);  // proposes nothing for n=4
+  sopts.cuts.shared_pool = &pool;
+  const MipResult rs = solve(small, sopts);
+  ASSERT_TRUE(rs.has_solution());
+  EXPECT_NEAR(rs.objective, base.objective, 1e-9);
+  EXPECT_GT(rs.stats.cuts_dim_rejected, 0);
+}
+
+TEST(SharedPoolDimension, LadderGrowthKeepsEarlierCutsUsable) {
+  // The intended sharing direction: cuts pooled on a small model stay
+  // usable when the model grows (var ids are stable under appends). The
+  // grown solve must report zero dimension rejections for them.
+  const Model small = covering_model(4, 2);
+  const Model large = covering_model(12, 6);
+
+  CutPool pool;
+  const SeparationCallback sep = [](const SeparationContext& ctx, CutPool& p) {
+    if (static_cast<int>(ctx.x.size()) >= 4) {
+      (void)p.add(make_cut({{0, 1.0}, {3, 1.0}}, Sense::kLe, 2.0));
+    }
+  };
+
+  SolveOptions sopts;
+  sopts.cuts.separators.push_back(sep);
+  sopts.cuts.shared_pool = &pool;
+  const MipResult rs = solve(small, sopts);
+  ASSERT_TRUE(rs.has_solution());
+  ASSERT_GT(pool.size(), 0u);
+
+  SolveOptions lopts;
+  lopts.cuts.shared_pool = &pool;
+  const MipResult rl = solve(large, lopts);
+  ASSERT_TRUE(rl.has_solution());
+  EXPECT_EQ(rl.stats.cuts_dim_rejected, 0);
+
+  const MipResult base = solve(large);
+  ASSERT_TRUE(base.has_solution());
+  EXPECT_NEAR(rl.objective, base.objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace wnet::milp

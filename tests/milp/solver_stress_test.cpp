@@ -188,5 +188,112 @@ TEST(SolverStress, StatsJsonContainsCounters) {
   EXPECT_NE(js.find("\"incumbent_timeline\""), std::string::npos);
 }
 
+// --- Cutoff tie semantics -------------------------------------------------
+//
+// The cutoff contract is inclusive: passing a best-known objective as the
+// cutoff must get kFeasible/kOptimal back when the optimum equals it, not
+// kNoSolution. The historic bug pruned tie-equal integral points before
+// checking integrality: min y+z s.t. y+z >= 1 has a fractional root LP
+// (0.5, 0.5), the dive fixes one var, the child LP lands integral exactly
+// at the cutoff — and was dropped.
+
+/// min y + z  s.t.  y + z >= 1, binaries. Optimum 1, attained only at a
+/// point whose objective ties any cutoff of 1.
+Model tie_model() {
+  Model m;
+  const Var y = m.add_binary("y");
+  const Var z = m.add_binary("z");
+  m.add_ge(LinExpr(y) + LinExpr(z), 1.0);
+  m.minimize(LinExpr(y) + LinExpr(z));
+  return m;
+}
+
+TEST(CutoffTie, TieEqualOptimumIsFoundWithoutStart) {
+  const Model m = tie_model();
+  SolveOptions opts;
+  opts.cutoff = 1.0;  // exactly the optimum
+  const MipResult r = solve(m, opts);
+  ASSERT_TRUE(r.has_solution());
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+}
+
+TEST(CutoffTie, TieEqualMipStartIsAccepted) {
+  const Model m = tie_model();
+  SolveOptions opts;
+  opts.cutoff = 1.0;
+  opts.mip_start = {1.0, 0.0};
+  const MipResult r = solve(m, opts);
+  ASSERT_TRUE(r.has_solution());
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+  EXPECT_TRUE(r.stats.mip_start_used);
+}
+
+TEST(CutoffTie, StrictlyBelowOptimumStaysNoSolution) {
+  // The other side of the tie must hold too: a cutoff strictly below the
+  // optimum (beyond tolerance) proves "nothing better exists".
+  const Model m = tie_model();
+  SolveOptions opts;
+  opts.cutoff = 1.0 - 1e-3;
+  const MipResult r = solve(m, opts);
+  EXPECT_EQ(r.status, SolveStatus::kNoSolution);
+  EXPECT_FALSE(r.has_solution());
+  // The exhausted-under-cutoff proof publishes the cutoff as the bound.
+  EXPECT_NEAR(r.bound, opts.cutoff, 1e-9);
+}
+
+TEST(CutoffTie, RandomModelsTieCutoffNeverLosesTheOptimum) {
+  int checked = 0;
+  for (unsigned seed = 1; seed <= 20; ++seed) {
+    const Model m = random_model(seed, 7, 0, 5);
+    const MipResult ref = solve(m);
+    if (!ref.has_solution()) continue;
+
+    SolveOptions opts;
+    opts.cutoff = ref.objective;  // inclusive tie on every instance
+    const MipResult r = solve(m, opts);
+    ASSERT_TRUE(r.has_solution()) << "seed " << seed;
+    EXPECT_NEAR(r.objective, ref.objective, 1e-6 * std::max(1.0, std::abs(ref.objective)))
+        << "seed " << seed;
+    ++checked;
+  }
+  EXPECT_GE(checked, 10);
+}
+
+// --- relative_gap edge cases ----------------------------------------------
+
+TEST(RelativeGap, NegativeObjectivesUseMagnitudeFloor) {
+  // Minimization with negative cost: incumbent -100, bound -110. The old
+  // |incumbent|-only denominator was fine here, but an incumbent near zero
+  // with a large-magnitude negative bound exploded. The denominator honors
+  // max(1, |incumbent|, |bound|).
+  EXPECT_NEAR(relative_gap(-100.0, -110.0), 10.0 / 110.0, 1e-12);
+  EXPECT_NEAR(relative_gap(-0.5, -10.0), 9.5 / 10.0, 1e-12);
+  EXPECT_NEAR(relative_gap(0.0, -4.0), 1.0, 1e-12);
+}
+
+TEST(RelativeGap, BoundOvershootReadsAsProvenOptimal) {
+  // Cut-tightened duals can nudge the bound a rounding error past the
+  // incumbent; that is a proof, not a negative gap.
+  EXPECT_EQ(relative_gap(5.0, 5.0), 0.0);
+  EXPECT_EQ(relative_gap(5.0, 5.0 + 1e-13), 0.0);
+  EXPECT_EQ(relative_gap(-7.0, -7.0 + 1e-13), 0.0);
+  EXPECT_GE(relative_gap(5.0, 5.0 - 1e-6), 0.0);
+}
+
+TEST(RelativeGap, MissingSidesAreInfinite) {
+  EXPECT_EQ(relative_gap(kInf, 0.0), kInf);
+  EXPECT_EQ(relative_gap(0.0, -kInf), kInf);
+  EXPECT_EQ(relative_gap(kInf, -kInf), kInf);
+  const double nan = std::nan("");
+  EXPECT_EQ(relative_gap(nan, 0.0), kInf);
+  EXPECT_EQ(relative_gap(0.0, nan), kInf);
+}
+
+TEST(RelativeGap, PositiveCaseMatchesDefinition) {
+  EXPECT_NEAR(relative_gap(10.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(relative_gap(0.5, 0.25), 0.25, 1e-12);
+}
+
 }  // namespace
 }  // namespace wnet::milp
