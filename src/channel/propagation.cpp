@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/rng.h"
+#include "util/simd/simd.h"
 
 namespace wnet::channel {
 
@@ -21,12 +22,25 @@ double fspl_db(double d_m, double f_hz) {
 
 }  // namespace
 
+void PropagationModel::path_loss_batch(geom::Vec2 tx, const double* xs,
+                                       const double* ys, int n, double* out) const {
+  for (int i = 0; i < n; ++i) out[i] = path_loss_db(tx, {xs[i], ys[i]});
+}
+
 FreeSpaceModel::FreeSpaceModel(double frequency_hz) : frequency_hz_(frequency_hz) {
   if (frequency_hz <= 0) throw std::invalid_argument("FreeSpaceModel: frequency must be > 0");
 }
 
 double FreeSpaceModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
   return fspl_db(tx.dist(rx), frequency_hz_);
+}
+
+void FreeSpaceModel::path_loss_batch(geom::Vec2 tx, const double* xs,
+                                     const double* ys, int n, double* out) const {
+  // Distances via the SIMD kernel (bit-identical to Vec2::dist — squaring
+  // absorbs the reversed subtraction direction exactly), log tail scalar.
+  util::simd::kernels().pair_distances(xs, ys, n, tx.x, tx.y, out);
+  for (int i = 0; i < n; ++i) out[i] = fspl_db(out[i], frequency_hz_);
 }
 
 LogDistanceModel::LogDistanceModel(double frequency_hz, double exponent, double d0_m)
@@ -41,12 +55,28 @@ double LogDistanceModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
   return pl_d0_db_ + 10.0 * exponent_ * std::log10(d / d0_m_);
 }
 
+void LogDistanceModel::path_loss_batch(geom::Vec2 tx, const double* xs,
+                                       const double* ys, int n, double* out) const {
+  util::simd::kernels().pair_distances(xs, ys, n, tx.x, tx.y, out);
+  for (int i = 0; i < n; ++i) {
+    const double d = std::max(out[i], d0_m_);
+    out[i] = pl_d0_db_ + 10.0 * exponent_ * std::log10(d / d0_m_);
+  }
+}
+
 MultiWallModel::MultiWallModel(double frequency_hz, double exponent,
                                const geom::FloorPlan& plan, double d0_m)
     : base_(frequency_hz, exponent, d0_m), plan_(&plan) {}
 
 double MultiWallModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
   return base_.path_loss_db(tx, rx) + plan_->wall_loss_db(tx, rx);
+}
+
+void MultiWallModel::path_loss_batch(geom::Vec2 tx, const double* xs,
+                                     const double* ys, int n, double* out) const {
+  base_.path_loss_batch(tx, xs, ys, n, out);
+  // wall_loss_db itself runs the SIMD wall-classify kernel over the plan.
+  for (int i = 0; i < n; ++i) out[i] += plan_->wall_loss_db(tx, {xs[i], ys[i]});
 }
 
 namespace {
@@ -86,6 +116,12 @@ double ShadowingModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
   return base_->path_loss_db(tx, rx) + shadowing_db(tx, rx);
 }
 
+void ShadowingModel::path_loss_batch(geom::Vec2 tx, const double* xs,
+                                     const double* ys, int n, double* out) const {
+  base_->path_loss_batch(tx, xs, ys, n, out);
+  for (int i = 0; i < n; ++i) out[i] += shadowing_db(tx, {xs[i], ys[i]});
+}
+
 ItuIndoorModel::ItuIndoorModel(double frequency_hz, double power_coefficient)
     : fixed_term_db_(20.0 * std::log10(frequency_hz / 1e6) - 28.0), n_(power_coefficient) {
   if (frequency_hz <= 0) throw std::invalid_argument("ItuIndoorModel: frequency must be > 0");
@@ -97,6 +133,15 @@ ItuIndoorModel::ItuIndoorModel(double frequency_hz, double power_coefficient)
 double ItuIndoorModel::path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const {
   const double d = std::max(tx.dist(rx), 1.0);
   return fixed_term_db_ + n_ * std::log10(d);
+}
+
+void ItuIndoorModel::path_loss_batch(geom::Vec2 tx, const double* xs,
+                                     const double* ys, int n, double* out) const {
+  util::simd::kernels().pair_distances(xs, ys, n, tx.x, tx.y, out);
+  for (int i = 0; i < n; ++i) {
+    const double d = std::max(out[i], 1.0);
+    out[i] = fixed_term_db_ + n_ * std::log10(d);
+  }
 }
 
 TwoRayModel::TwoRayModel(double frequency_hz, double tx_height_m, double rx_height_m)

@@ -18,6 +18,15 @@ class PropagationModel {
 
   /// Path loss in dB (positive; larger = worse) from `tx` to `rx`.
   [[nodiscard]] virtual double path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const = 0;
+
+  /// Batch evaluation: out[i] = path loss from `tx` to (xs[i], ys[i]).
+  /// Bit-identical to calling path_loss_db per point — overrides route the
+  /// distance computation through the SIMD pair-distance kernel (whose
+  /// subtract/square/sum/sqrt sequence reproduces Vec2::dist exactly) and
+  /// keep the transcendental tail scalar per point. The base implementation
+  /// is a plain loop for models without a vectorized form.
+  virtual void path_loss_batch(geom::Vec2 tx, const double* xs, const double* ys,
+                               int n, double* out) const;
 };
 
 /// Free-space path loss: FSPL(d) = 20log10(d) + 20log10(f) - 147.55 dB.
@@ -27,6 +36,9 @@ class FreeSpaceModel final : public PropagationModel {
   explicit FreeSpaceModel(double frequency_hz);
 
   [[nodiscard]] double path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const override;
+
+  void path_loss_batch(geom::Vec2 tx, const double* xs, const double* ys, int n,
+                       double* out) const override;
 
   [[nodiscard]] double frequency_hz() const { return frequency_hz_; }
 
@@ -42,6 +54,9 @@ class LogDistanceModel final : public PropagationModel {
   LogDistanceModel(double frequency_hz, double exponent, double d0_m = 1.0);
 
   [[nodiscard]] double path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const override;
+
+  void path_loss_batch(geom::Vec2 tx, const double* xs, const double* ys, int n,
+                       double* out) const override;
 
   [[nodiscard]] double exponent() const { return exponent_; }
 
@@ -62,6 +77,9 @@ class MultiWallModel final : public PropagationModel {
 
   [[nodiscard]] double path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const override;
 
+  void path_loss_batch(geom::Vec2 tx, const double* xs, const double* ys, int n,
+                       double* out) const override;
+
  private:
   LogDistanceModel base_;
   const geom::FloorPlan* plan_;
@@ -76,6 +94,9 @@ class ItuIndoorModel final : public PropagationModel {
   explicit ItuIndoorModel(double frequency_hz, double power_coefficient = 30.0);
 
   [[nodiscard]] double path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const override;
+
+  void path_loss_batch(geom::Vec2 tx, const double* xs, const double* ys, int n,
+                       double* out) const override;
 
  private:
   double fixed_term_db_;
@@ -94,6 +115,9 @@ class ShadowingModel final : public PropagationModel {
   ShadowingModel(const PropagationModel& base, double sigma_db, uint64_t seed);
 
   [[nodiscard]] double path_loss_db(geom::Vec2 tx, geom::Vec2 rx) const override;
+
+  void path_loss_batch(geom::Vec2 tx, const double* xs, const double* ys, int n,
+                       double* out) const override;
 
   /// The shadowing offset alone (dB, positive = deeper fade).
   [[nodiscard]] double shadowing_db(geom::Vec2 tx, geom::Vec2 rx) const;

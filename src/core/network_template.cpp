@@ -40,9 +40,21 @@ void NetworkTemplate::ensure_pl_cache() const {
   if (cache_valid_.load(std::memory_order_relaxed)) return;
   const size_t n = nodes_.size();
   pl_cache_.assign(n * n, 0.0);
+  // One batched model call per source row over the j > i suffix (the
+  // positions are gathered once into SoA arrays); bit-identical to the old
+  // pairwise loop — see PropagationModel::path_loss_batch.
+  std::vector<double> xs(n), ys(n);
   for (size_t i = 0; i < n; ++i) {
+    xs[i] = nodes_[i].position.x;
+    ys[i] = nodes_[i].position.y;
+  }
+  std::vector<double> row(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const int len = static_cast<int>(n - i - 1);
+    model_->path_loss_batch(nodes_[i].position, xs.data() + i + 1, ys.data() + i + 1,
+                            len, row.data());
     for (size_t j = i + 1; j < n; ++j) {
-      const double pl = model_->path_loss_db(nodes_[i].position, nodes_[j].position);
+      const double pl = row[j - i - 1];
       pl_cache_[i * n + j] = pl;
       pl_cache_[j * n + i] = pl;
     }

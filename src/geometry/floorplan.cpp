@@ -1,8 +1,11 @@
 #include "geometry/floorplan.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/simd/simd.h"
 #include "util/strings.h"
 
 namespace wnet::geom {
@@ -43,22 +46,59 @@ WallMaterial material_from_name(std::string_view name) {
 
 }  // namespace
 
+namespace {
+
+/// Matches the default eps of segments_intersect; the kernel fast path and
+/// the scalar fallback must use the same tolerance.
+constexpr double kCrossEps = 1e-12;
+constexpr int kClassifyChunk = 256;
+
+}  // namespace
+
 double FloorPlan::wall_loss_db(Vec2 a, Vec2 b) const {
+  // SIMD classify over wall chunks. Class 0/1 (all four orientations
+  // decisively nonzero) equals segments_intersect exactly — the collinear
+  // clauses there only fire when some orientation is zero — and class 2
+  // falls back to the full scalar test.
   const Segment link{a, b};
   double loss = 0.0;
-  for (const Wall& w : walls_) {
-    if (segments_intersect(link, w.span)) loss += w.loss_db;
+  uint8_t cls[kClassifyChunk];
+  const int n = static_cast<int>(walls_.size());
+  for (int off = 0; off < n; off += kClassifyChunk) {
+    const int len = std::min(kClassifyChunk, n - off);
+    util::simd::kernels().segment_classify(a.x, a.y, b.x, b.y, wax_.data() + off,
+                                           way_.data() + off, wbx_.data() + off,
+                                           wby_.data() + off, len, kCrossEps, cls);
+    for (int i = 0; i < len; ++i) {
+      if (cls[i] == 1 ||
+          (cls[i] == 2 &&
+           segments_intersect(link, walls_[static_cast<size_t>(off + i)].span))) {
+        loss += loss_[static_cast<size_t>(off + i)];
+      }
+    }
   }
   return loss;
 }
 
 int FloorPlan::walls_crossed(Vec2 a, Vec2 b) const {
   const Segment link{a, b};
-  int n = 0;
-  for (const Wall& w : walls_) {
-    if (segments_intersect(link, w.span)) ++n;
+  int n_crossed = 0;
+  uint8_t cls[kClassifyChunk];
+  const int n = static_cast<int>(walls_.size());
+  for (int off = 0; off < n; off += kClassifyChunk) {
+    const int len = std::min(kClassifyChunk, n - off);
+    util::simd::kernels().segment_classify(a.x, a.y, b.x, b.y, wax_.data() + off,
+                                           way_.data() + off, wbx_.data() + off,
+                                           wby_.data() + off, len, kCrossEps, cls);
+    for (int i = 0; i < len; ++i) {
+      if (cls[i] == 1 ||
+          (cls[i] == 2 &&
+           segments_intersect(link, walls_[static_cast<size_t>(off + i)].span))) {
+        ++n_crossed;
+      }
+    }
   }
-  return n;
+  return n_crossed;
 }
 
 FloorPlan parse_floorplan(const std::string& text) {

@@ -40,9 +40,18 @@ class FloorPlan {
   FloorPlan() = default;
   FloorPlan(double width_m, double height_m) : width_(width_m), height_(height_m) {}
 
-  void add_wall(Wall w) { walls_.push_back(w); }
+  void add_wall(Wall w) {
+    walls_.push_back(w);
+    // Structure-of-arrays mirror of the wall endpoints/losses, kept in sync
+    // here so the crossing tests can run through the SIMD classify kernel.
+    wax_.push_back(w.span.a.x);
+    way_.push_back(w.span.a.y);
+    wbx_.push_back(w.span.b.x);
+    wby_.push_back(w.span.b.y);
+    loss_.push_back(w.loss_db);
+  }
   void add_wall(Vec2 a, Vec2 b, WallMaterial m) {
-    walls_.push_back({{a, b}, m, default_wall_loss_db(m)});
+    add_wall({{a, b}, m, default_wall_loss_db(m)});
   }
 
   [[nodiscard]] const std::vector<Wall>& walls() const { return walls_; }
@@ -65,6 +74,10 @@ class FloorPlan {
   double width_ = 0.0;
   double height_ = 0.0;
   std::vector<Wall> walls_;
+  // SoA wall endpoints + per-wall loss, appended in add_wall. FloorPlan is
+  // shared read-only across worker threads, so the crossing tests use stack
+  // scratch, never mutable members.
+  std::vector<double> wax_, way_, wbx_, wby_, loss_;
 };
 
 /// Parses the plain-text floor-plan format:

@@ -18,7 +18,12 @@ struct Vec2 {
   [[nodiscard]] double dot(Vec2 o) const { return x * o.x + y * o.y; }
   /// z-component of the 3-D cross product; sign gives orientation.
   [[nodiscard]] double cross(Vec2 o) const { return x * o.y - y * o.x; }
-  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  /// sqrt(x^2 + y^2), deliberately NOT std::hypot: sqrt is IEEE-exact on
+  /// every platform while hypot's rounding varies across libm versions, and
+  /// the SIMD wall-crossing / distance kernels (util/simd) must reproduce
+  /// this value bit-for-bit. Coordinates are meters, so the overflow range
+  /// hypot protects against is unreachable.
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
   [[nodiscard]] double dist(Vec2 o) const { return (*this - o).norm(); }
 };
 

@@ -1,7 +1,10 @@
 #include "milp/presolve.h"
 
 #include <cmath>
+#include <cstdint>
 #include <deque>
+
+#include "util/simd/simd.h"
 
 namespace wnet::milp {
 
@@ -42,15 +45,17 @@ int tighten_row(const RowSystem& rs, int row, std::vector<double>& lb, std::vect
   const Sense sense = rs.sense[static_cast<size_t>(row)];
   const double rhs = rs.rhs[static_cast<size_t>(row)];
 
-  // Row activity bounds including every term.
+  // Row activity bounds including every term, as the SIMD min/max kernel:
+  // with lb <= ub and a != 0 (zero coefficients are dropped at RowSystem
+  // construction), min(a*lb, a*ub) equals the branchy a >= 0 selection
+  // bit-for-bit, and the gathered 4-lane accumulation is identical across
+  // dispatch levels.
+  static_assert(sizeof(int) == sizeof(int32_t));
   double act_lo = 0.0;
   double act_hi = 0.0;
-  for (int t = begin; t < end; ++t) {
-    const double a = rs.coef[static_cast<size_t>(t)];
-    const size_t j = static_cast<size_t>(rs.col[static_cast<size_t>(t)]);
-    act_lo += a >= 0 ? a * lb[j] : a * ub[j];
-    act_hi += a >= 0 ? a * ub[j] : a * lb[j];
-  }
+  util::simd::kernels().row_activity(
+      reinterpret_cast<const int32_t*>(rs.col.data()) + begin, rs.coef.data() + begin,
+      end - begin, lb.data(), ub.data(), &act_lo, &act_hi);
 
   // Quick infeasibility / redundancy screening.
   if (sense != Sense::kGe && act_lo > rhs + tol) return -1;

@@ -5,6 +5,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "util/simd/simd.h"
 #include "util/stopwatch.h"
 
 namespace wnet::milp::simplex {
@@ -390,10 +391,12 @@ LpResult DualSimplex::run() {
     // --- Pivot: leaving goes to its violated bound, entering becomes basic.
     const double delta = best_viol;           // signed distance past the bound
     const double step = delta / alpha_rq;     // change of the entering value
-    for (int pos = 0; pos < m; ++pos) {
-      const int col = basis_.basic[static_cast<size_t>(pos)];
-      values_[static_cast<size_t>(col)] -= w[static_cast<size_t>(pos)] * step;
-    }
+    // values_[basic[pos]] -= w[pos] * step as a kernel scatter (basic
+    // positions are distinct by construction).
+    static_assert(sizeof(int) == sizeof(int32_t));
+    util::simd::kernels().scatter_axpy(
+        reinterpret_cast<const int32_t*>(basis_.basic.data()), w.data(), m, -step,
+        values_.data());
     values_[static_cast<size_t>(q)] += step;
     values_[static_cast<size_t>(leaving_col)] =
         sigma > 0 ? lp_->ub()[static_cast<size_t>(leaving_col)]
@@ -419,10 +422,11 @@ LpResult DualSimplex::run() {
       // pricing pass per iteration; drift is repaired at refactorization.
       const double theta = dj_[static_cast<size_t>(q)] / alpha_rq;
       if (theta != 0.0) {
-        for (int j = 0; j < n; ++j) {
-          const double a_j = alphas_[static_cast<size_t>(j)];
-          if (a_j != 0.0) dj_[static_cast<size_t>(j)] -= theta * a_j;
-        }
+        // Branchless dense kernel: dj += (-theta) * alphas. The zero-alpha
+        // guard the scalar loop used to carry is dropped — adding an exact
+        // ±0 product leaves dj unchanged through every comparison
+        // downstream, and the straight-line form vectorizes.
+        util::simd::kernels().dense_axpy(dj_.data(), alphas_.data(), -theta, n);
       }
       dj_[static_cast<size_t>(q)] = 0.0;
       dj_[static_cast<size_t>(leaving_col)] = -theta;

@@ -1,26 +1,49 @@
 #include "milp/simplex/lu.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <functional>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
 
+#include "util/simd/simd.h"
+
 namespace wnet::milp::simplex {
+
+namespace {
+using util::simd::kernels;
+}  // namespace
+
+void BasisLu::debug_check_solve(const std::vector<double>& v) const {
+#ifndef NDEBUG
+  assert(static_cast<int>(v.size()) >= m_ &&
+         "BasisLu solve: dense operand smaller than basis dimension");
+#else
+  (void)v;
+#endif
+}
 
 bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis_cols,
                         double singular_tol) {
   m_ = static_cast<int>(basis_cols.size());
   if (a.num_rows() != m_) throw std::invalid_argument("BasisLu: basis must be square");
 
-  l_cols_.assign(static_cast<size_t>(m_), {});
-  u_cols_.assign(static_cast<size_t>(m_), {});
+  l_rows_.clear();
+  l_vals_.clear();
+  l_steps_.clear();
+  l_start_.assign(static_cast<size_t>(m_) + 1, 0);
+  u_rows_.clear();
+  u_vals_.clear();
+  u_start_.assign(static_cast<size_t>(m_) + 1, 0);
   u_diag_.assign(static_cast<size_t>(m_), 0.0);
   p_.assign(static_cast<size_t>(m_), -1);
   pinv_.assign(static_cast<size_t>(m_), -1);
   q_.resize(static_cast<size_t>(m_));
   etas_.clear();
+  eta_rows_.clear();
+  eta_vals_.clear();
   work_.assign(static_cast<size_t>(m_), 0.0);
   work2_.assign(static_cast<size_t>(m_), 0.0);
 
@@ -42,7 +65,8 @@ bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis_col
 
   for (int k = 0; k < m_; ++k) {
     // Scatter the k-th factored column and enqueue already-pivoted rows.
-    for (const Entry& e : a.column(basis_cols[static_cast<size_t>(q_[static_cast<size_t>(k)])])) {
+    for (const Entry& e :
+         a.column(basis_cols[static_cast<size_t>(q_[static_cast<size_t>(k)])])) {
       x[static_cast<size_t>(e.row)] = e.value;
       const int t = pinv_[static_cast<size_t>(e.row)];
       if (t >= 0 && !queued[static_cast<size_t>(t)]) {
@@ -51,7 +75,6 @@ bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis_col
       }
     }
 
-    auto& ucol = u_cols_[static_cast<size_t>(k)];
     while (!steps.empty()) {
       const int t = steps.top();
       steps.pop();
@@ -60,16 +83,26 @@ bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis_col
       const double xv = x[static_cast<size_t>(prow)];
       x[static_cast<size_t>(prow)] = 0.0;  // consumed into U
       if (xv == 0.0) continue;             // numerically cancelled
-      ucol.push_back({t, xv});
-      for (const Entry& le : l_cols_[static_cast<size_t>(t)]) {
-        x[static_cast<size_t>(le.row)] -= le.value * xv;
-        const int ts = pinv_[static_cast<size_t>(le.row)];
+      u_rows_.push_back(t);
+      u_vals_.push_back(xv);
+      // Eliminate with L column t: x -= xv * L_t (kernel scatter — row
+      // indices within a column are distinct), then enqueue newly reached
+      // pivoted rows. Splitting the original fused loop is exact: the
+      // enqueue tests depend only on pinv_/queued, never on x values, and
+      // the heap pops in step order regardless of push order.
+      const int64_t s = l_start_[static_cast<size_t>(t)];
+      const int len = static_cast<int>(l_start_[static_cast<size_t>(t) + 1] - s);
+      kernels().scatter_axpy(l_rows_.data() + s, l_vals_.data() + s, len, -xv,
+                             x.data());
+      for (int i = 0; i < len; ++i) {
+        const int ts = pinv_[static_cast<size_t>(l_rows_[static_cast<size_t>(s + i)])];
         if (ts >= 0 && !queued[static_cast<size_t>(ts)]) {
           queued[static_cast<size_t>(ts)] = 1;
           steps.push(ts);
         }
       }
     }
+    u_start_[static_cast<size_t>(k) + 1] = static_cast<int64_t>(u_rows_.size());
 
     // Partial pivoting over not-yet-pivoted rows.
     int pivot_row = -1;
@@ -94,54 +127,69 @@ bool BasisLu::factorize(const SparseMatrix& a, const std::vector<int>& basis_col
     u_diag_[static_cast<size_t>(k)] = pivot;
     x[static_cast<size_t>(pivot_row)] = 0.0;
 
-    auto& lcol = l_cols_[static_cast<size_t>(k)];
     for (int i = 0; i < m_; ++i) {
       const double v = x[static_cast<size_t>(i)];
       if (v == 0.0) continue;
       x[static_cast<size_t>(i)] = 0.0;
       if (pinv_[static_cast<size_t>(i)] >= 0) continue;  // stale zero-cancelled entry
-      lcol.push_back({i, v / pivot});
+      l_rows_.push_back(i);
+      l_vals_.push_back(v / pivot);
     }
+    l_start_[static_cast<size_t>(k) + 1] = static_cast<int64_t>(l_rows_.size());
+  }
+
+  // Step index of every L entry's row (all rows end up pivoted), so the
+  // BTRAN L^T pass can gather straight from step space.
+  l_steps_.resize(l_rows_.size());
+  for (size_t i = 0; i < l_rows_.size(); ++i) {
+    l_steps_[i] = pinv_[static_cast<size_t>(l_rows_[i])];
   }
   return true;
 }
 
 void BasisLu::ftran(std::vector<double>& x) const {
+  debug_check_solve(x);
   // Forward: y = L^{-1} P x, working in original-row space.
   for (int t = 0; t < m_; ++t) {
     const double v = x[static_cast<size_t>(p_[static_cast<size_t>(t)])];
     if (v == 0.0) continue;
-    for (const Entry& le : l_cols_[static_cast<size_t>(t)]) {
-      x[static_cast<size_t>(le.row)] -= le.value * v;
-    }
+    const int64_t s = l_start_[static_cast<size_t>(t)];
+    const int len = static_cast<int>(l_start_[static_cast<size_t>(t) + 1] - s);
+    kernels().scatter_axpy(l_rows_.data() + s, l_vals_.data() + s, len, -v, x.data());
   }
   // Gather into step space.
   std::vector<double>& y = work2_;
-  for (int t = 0; t < m_; ++t) y[static_cast<size_t>(t)] = x[static_cast<size_t>(p_[static_cast<size_t>(t)])];
+  for (int t = 0; t < m_; ++t) {
+    y[static_cast<size_t>(t)] = x[static_cast<size_t>(p_[static_cast<size_t>(t)])];
+  }
 
   // Backward: z = U^{-1} y (column-oriented back substitution).
   for (int k = m_ - 1; k >= 0; --k) {
     const double zk = y[static_cast<size_t>(k)] / u_diag_[static_cast<size_t>(k)];
     y[static_cast<size_t>(k)] = zk;
     if (zk == 0.0) continue;
-    for (const Entry& ue : u_cols_[static_cast<size_t>(k)]) {
-      y[static_cast<size_t>(ue.row)] -= ue.value * zk;
-    }
+    const int64_t s = u_start_[static_cast<size_t>(k)];
+    const int len = static_cast<int>(u_start_[static_cast<size_t>(k) + 1] - s);
+    kernels().scatter_axpy(u_rows_.data() + s, u_vals_.data() + s, len, -zk, y.data());
   }
 
   // Un-permute columns: x[basis position q_[k]] = z[k].
-  for (int k = 0; k < m_; ++k) x[static_cast<size_t>(q_[static_cast<size_t>(k)])] = y[static_cast<size_t>(k)];
+  for (int k = 0; k < m_; ++k) {
+    x[static_cast<size_t>(q_[static_cast<size_t>(k)])] = y[static_cast<size_t>(k)];
+  }
 
   // Apply eta transformations in application order.
   for (const Eta& e : etas_) {
     const double xr = x[static_cast<size_t>(e.pos)] / e.pivot;
     x[static_cast<size_t>(e.pos)] = xr;
     if (xr == 0.0) continue;
-    for (const Entry& en : e.other) x[static_cast<size_t>(en.row)] -= en.value * xr;
+    kernels().scatter_axpy(eta_rows_.data() + e.start, eta_vals_.data() + e.start,
+                           e.len, -xr, x.data());
   }
 }
 
 void BasisLu::ftran_unit(std::vector<double>& x, int row, double value) const {
+  debug_check_solve(x);
   x[static_cast<size_t>(row)] = value;
   // queued_ is self-cleaning (flags drop on pop), so only (re)size it here.
   if (queued_.size() != static_cast<size_t>(m_)) queued_.assign(static_cast<size_t>(m_), 0);
@@ -169,9 +217,11 @@ void BasisLu::ftran_unit(std::vector<double>& x, int row, double value) const {
     kmax = t;
     const double v = x[static_cast<size_t>(p_[static_cast<size_t>(t)])];
     if (v == 0.0) continue;  // numerically cancelled
-    for (const Entry& le : l_cols_[static_cast<size_t>(t)]) {
-      x[static_cast<size_t>(le.row)] -= le.value * v;
-      push_step(pinv_[static_cast<size_t>(le.row)]);
+    const int64_t s = l_start_[static_cast<size_t>(t)];
+    const int len = static_cast<int>(l_start_[static_cast<size_t>(t) + 1] - s);
+    kernels().scatter_axpy(l_rows_.data() + s, l_vals_.data() + s, len, -v, x.data());
+    for (int i = 0; i < len; ++i) {
+      push_step(pinv_[static_cast<size_t>(l_rows_[static_cast<size_t>(s + i)])]);
     }
   }
 
@@ -189,9 +239,9 @@ void BasisLu::ftran_unit(std::vector<double>& x, int row, double value) const {
     const double zk = y[static_cast<size_t>(k)] / u_diag_[static_cast<size_t>(k)];
     y[static_cast<size_t>(k)] = zk;
     if (zk == 0.0) continue;
-    for (const Entry& ue : u_cols_[static_cast<size_t>(k)]) {
-      y[static_cast<size_t>(ue.row)] -= ue.value * zk;
-    }
+    const int64_t s = u_start_[static_cast<size_t>(k)];
+    const int len = static_cast<int>(u_start_[static_cast<size_t>(k) + 1] - s);
+    kernels().scatter_axpy(u_rows_.data() + s, u_vals_.data() + s, len, -zk, y.data());
   }
 
   // Un-permute columns; x above was restored to all-zero, so positions past
@@ -205,43 +255,52 @@ void BasisLu::ftran_unit(std::vector<double>& x, int row, double value) const {
     const double xr = x[static_cast<size_t>(e.pos)] / e.pivot;
     x[static_cast<size_t>(e.pos)] = xr;
     if (xr == 0.0) continue;
-    for (const Entry& en : e.other) x[static_cast<size_t>(en.row)] -= en.value * xr;
+    kernels().scatter_axpy(eta_rows_.data() + e.start, eta_vals_.data() + e.start,
+                           e.len, -xr, x.data());
   }
 }
 
 void BasisLu::btran(std::vector<double>& y) const {
-  // Etas transposed, newest first: y <- E^{-T} y.
+  debug_check_solve(y);
+  // Etas transposed, newest first: y <- E^{-T} y. The dot is the 4-lane
+  // kernel (acc = y[pos] - Σ lanes), bit-identical across dispatch levels.
   for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-    double acc = y[static_cast<size_t>(it->pos)];
-    for (const Entry& en : it->other) acc -= en.value * y[static_cast<size_t>(en.row)];
-    y[static_cast<size_t>(it->pos)] = acc / it->pivot;
+    const double dot = kernels().gather_dot(eta_rows_.data() + it->start,
+                                            eta_vals_.data() + it->start, it->len,
+                                            y.data());
+    y[static_cast<size_t>(it->pos)] = (y[static_cast<size_t>(it->pos)] - dot) / it->pivot;
   }
 
   // Permute into step space: c_q[k] = y[q_[k]].
   std::vector<double>& w = work2_;
-  for (int k = 0; k < m_; ++k) w[static_cast<size_t>(k)] = y[static_cast<size_t>(q_[static_cast<size_t>(k)])];
+  for (int k = 0; k < m_; ++k) {
+    w[static_cast<size_t>(k)] = y[static_cast<size_t>(q_[static_cast<size_t>(k)])];
+  }
 
   // Solve U^T w' = c_q forward over steps (U stored by column).
   for (int k = 0; k < m_; ++k) {
-    double acc = w[static_cast<size_t>(k)];
-    for (const Entry& ue : u_cols_[static_cast<size_t>(k)]) {
-      acc -= ue.value * w[static_cast<size_t>(ue.row)];
-    }
-    w[static_cast<size_t>(k)] = acc / u_diag_[static_cast<size_t>(k)];
+    const int64_t s = u_start_[static_cast<size_t>(k)];
+    const int len = static_cast<int>(u_start_[static_cast<size_t>(k) + 1] - s);
+    const double dot =
+        kernels().gather_dot(u_rows_.data() + s, u_vals_.data() + s, len, w.data());
+    w[static_cast<size_t>(k)] =
+        (w[static_cast<size_t>(k)] - dot) / u_diag_[static_cast<size_t>(k)];
   }
 
   // Solve L^T t = w backward; L column entries live in original-row space,
-  // their step index is pinv_.
+  // l_steps_ carries their precomputed step indices for the gather.
   for (int k = m_ - 1; k >= 0; --k) {
-    double acc = w[static_cast<size_t>(k)];
-    for (const Entry& le : l_cols_[static_cast<size_t>(k)]) {
-      acc -= le.value * w[static_cast<size_t>(pinv_[static_cast<size_t>(le.row)])];
-    }
-    w[static_cast<size_t>(k)] = acc;
+    const int64_t s = l_start_[static_cast<size_t>(k)];
+    const int len = static_cast<int>(l_start_[static_cast<size_t>(k) + 1] - s);
+    const double dot =
+        kernels().gather_dot(l_steps_.data() + s, l_vals_.data() + s, len, w.data());
+    w[static_cast<size_t>(k)] = w[static_cast<size_t>(k)] - dot;
   }
 
   // Un-permute rows: y[p_[k]] = t[k].
-  for (int k = 0; k < m_; ++k) y[static_cast<size_t>(p_[static_cast<size_t>(k)])] = w[static_cast<size_t>(k)];
+  for (int k = 0; k < m_; ++k) {
+    y[static_cast<size_t>(p_[static_cast<size_t>(k)])] = w[static_cast<size_t>(k)];
+  }
 }
 
 bool BasisLu::update(int pos, const std::vector<double>& w, double pivot_tol) {
@@ -250,21 +309,18 @@ bool BasisLu::update(int pos, const std::vector<double>& w, double pivot_tol) {
   Eta e;
   e.pos = pos;
   e.pivot = pivot;
+  e.start = static_cast<int64_t>(eta_rows_.size());
   for (int i = 0; i < m_; ++i) {
     if (i == pos) continue;
     const double v = w[static_cast<size_t>(i)];
-    if (v != 0.0) e.other.push_back({i, v});
+    if (v != 0.0) {
+      eta_rows_.push_back(i);
+      eta_vals_.push_back(v);
+    }
   }
-  etas_.push_back(std::move(e));
+  e.len = static_cast<int>(static_cast<int64_t>(eta_rows_.size()) - e.start);
+  etas_.push_back(e);
   return true;
-}
-
-size_t BasisLu::fill() const {
-  size_t n = 0;
-  for (const auto& c : l_cols_) n += c.size();
-  for (const auto& c : u_cols_) n += c.size();
-  for (const auto& e : etas_) n += e.other.size() + 1;
-  return n;
 }
 
 }  // namespace wnet::milp::simplex

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "milp/simplex/sparse.h"
@@ -13,6 +14,13 @@ namespace wnet::milp::simplex {
 /// Spaces: FTRAN input is indexed by constraint row, output by *basis
 /// position*; BTRAN input by basis position, output by constraint row.
 /// Eta updates live purely in basis-position space.
+///
+/// Storage is structure-of-arrays: L, U and the eta file each keep one flat
+/// int32 index pool and one flat double value pool with per-column start
+/// offsets (columns are built strictly in factorization order, so no
+/// capacity slack is needed). The split arrays feed the util/simd
+/// gather/scatter kernels; all solves are bit-identical across dispatch
+/// levels (see util/simd/simd.h for the lane-order contract).
 class BasisLu {
  public:
   /// Factorizes B = A[:, basis_cols]. Columns are pre-ordered by increasing
@@ -49,27 +57,41 @@ class BasisLu {
   [[nodiscard]] int dim() const { return m_; }
 
   /// Total nonzeros in L + U + etas (refactorization trigger heuristic).
-  [[nodiscard]] size_t fill() const;
+  [[nodiscard]] size_t fill() const {
+    return l_rows_.size() + u_rows_.size() + eta_rows_.size() + etas_.size();
+  }
 
  private:
   struct Eta {
-    int pos;                   ///< replaced basis position
-    double pivot;              ///< w[pos]
-    std::vector<Entry> other;  ///< w[i] for i != pos, nonzero
+    int pos;        ///< replaced basis position
+    double pivot;   ///< w[pos]
+    int64_t start;  ///< offset into eta_rows_/eta_vals_
+    int len;        ///< number of off-pivot entries
   };
+
+  void debug_check_solve(const std::vector<double>& v) const;
 
   int m_ = 0;
   // L: column t holds entries (original row i, value) with pinv_[i] > t;
-  // implicit unit diagonal at row p_[t].
-  std::vector<std::vector<Entry>> l_cols_;
+  // implicit unit diagonal at row p_[t]. l_steps_ mirrors l_rows_ mapped
+  // through pinv_ (filled once factorization completes) so the BTRAN L^T
+  // pass can gather directly in step space.
+  std::vector<int32_t> l_rows_;
+  std::vector<double> l_vals_;
+  std::vector<int32_t> l_steps_;
+  std::vector<int64_t> l_start_;  ///< size m_ + 1
   // U: column k holds strictly-upper entries (step t < k, value); diagonal
   // stored separately.
-  std::vector<std::vector<Entry>> u_cols_;
+  std::vector<int32_t> u_rows_;
+  std::vector<double> u_vals_;
+  std::vector<int64_t> u_start_;  ///< size m_ + 1
   std::vector<double> u_diag_;
-  std::vector<int> p_;       ///< p_[step] = original row
-  std::vector<int> pinv_;    ///< pinv_[original row] = step
-  std::vector<int> q_;       ///< q_[step] = basis position of factored column
+  std::vector<int> p_;     ///< p_[step] = original row
+  std::vector<int> pinv_;  ///< pinv_[original row] = step
+  std::vector<int> q_;     ///< q_[step] = basis position of factored column
   std::vector<Eta> etas_;
+  std::vector<int32_t> eta_rows_;  ///< basis-position space
+  std::vector<double> eta_vals_;
 
   mutable std::vector<double> work_;   ///< dense scratch, size m
   mutable std::vector<double> work2_;  ///< dense scratch, size m

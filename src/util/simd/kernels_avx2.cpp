@@ -1,0 +1,225 @@
+/// AVX2 kernels. One 256-bit register carries all four logical lanes;
+/// the reduction (lane0 + lane2) + (lane1 + lane3) is exactly the
+/// low128+high128 add followed by a horizontal pair add. Compiled with
+/// -mavx2 (NOT -mfma) and -ffp-contract=off, so multiply-adds stay two
+/// roundings and match the scalar reference bit-for-bit.
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "util/simd/simd.h"
+
+namespace wnet::util::simd {
+namespace {
+
+inline double reduce_lanes(__m256d acc) {
+  // {l0+l2, l1+l3} then (l0+l2) + (l1+l3).
+  const __m128d lohi = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                                  _mm256_extractf128_pd(acc, 1));
+  return _mm_cvtsd_f64(_mm_add_sd(lohi, _mm_unpackhi_pd(lohi, lohi)));
+}
+
+double gather_dot(const int32_t* rows, const double* values, int n,
+                  const double* dense) {
+  __m256d acc = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+    const __m256d d = _mm256_i32gather_pd(dense, idx, 8);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(values + i), d));
+  }
+  if (i == n) return reduce_lanes(acc);
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (int l = 0; i < n; ++i, ++l) lanes[l] += values[i] * dense[rows[i]];
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+void scatter_axpy(const int32_t* rows, const double* values, int n,
+                  double scale, double* dense) {
+  const __m256d s = _mm256_set1_pd(scale);
+  int i = 0;
+  alignas(32) double prod[4];
+  for (; i + 4 <= n; i += 4) {
+    _mm256_store_pd(prod, _mm256_mul_pd(s, _mm256_loadu_pd(values + i)));
+    dense[rows[i]] += prod[0];
+    dense[rows[i + 1]] += prod[1];
+    dense[rows[i + 2]] += prod[2];
+    dense[rows[i + 3]] += prod[3];
+  }
+  for (; i < n; ++i) dense[rows[i]] += scale * values[i];
+}
+
+void dense_axpy(double* y, const double* x, double a, int n) {
+  const __m256d s = _mm256_set1_pd(a);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d r =
+        _mm256_add_pd(_mm256_loadu_pd(y + i), _mm256_mul_pd(s, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(y + i, r);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void row_activity(const int32_t* cols, const double* coef, int n,
+                  const double* lb, const double* ub, double* act_lo,
+                  double* act_hi) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + i));
+    const __m256d a = _mm256_loadu_pd(coef + i);
+    const __m256d pl = _mm256_mul_pd(a, _mm256_i32gather_pd(lb, idx, 8));
+    const __m256d pu = _mm256_mul_pd(a, _mm256_i32gather_pd(ub, idx, 8));
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_min_pd(pl, pu));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_max_pd(pl, pu));
+  }
+  alignas(32) double lo[4], hi[4];
+  _mm256_store_pd(lo, acc_lo);
+  _mm256_store_pd(hi, acc_hi);
+  for (int l = 0; i < n; ++i, ++l) {
+    const double pl = coef[i] * lb[cols[i]];
+    const double pu = coef[i] * ub[cols[i]];
+    lo[l] += pl < pu ? pl : pu;
+    hi[l] += pl > pu ? pl : pu;
+  }
+  *act_lo = (lo[0] + lo[2]) + (lo[1] + lo[3]);
+  *act_hi = (hi[0] + hi[2]) + (hi[1] + hi[3]);
+}
+
+void segment_classify(double sax, double say, double sbx, double sby,
+                      const double* wax, const double* way, const double* wbx,
+                      const double* wby, int n, double eps, uint8_t* out) {
+  const double dlx = sbx - sax;
+  const double dly = sby - say;
+  const double nl = std::sqrt(dlx * dlx + dly * dly);
+  const __m256d vsax = _mm256_set1_pd(sax), vsay = _mm256_set1_pd(say);
+  const __m256d vsbx = _mm256_set1_pd(sbx), vsby = _mm256_set1_pd(sby);
+  const __m256d vdlx = _mm256_set1_pd(dlx), vdly = _mm256_set1_pd(dly);
+  const __m256d base_l = _mm256_max_pd(_mm256_set1_pd(1.0), _mm256_set1_pd(nl));
+  const __m256d veps = _mm256_set1_pd(eps);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d signmask = _mm256_set1_pd(-0.0);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ax = _mm256_loadu_pd(wax + i), ay = _mm256_loadu_pd(way + i);
+    const __m256d bx = _mm256_loadu_pd(wbx + i), by = _mm256_loadu_pd(wby + i);
+    const __m256d r1x = _mm256_sub_pd(ax, vsax), r1y = _mm256_sub_pd(ay, vsay);
+    const __m256d r2x = _mm256_sub_pd(bx, vsax), r2y = _mm256_sub_pd(by, vsay);
+    const __m256d c1 =
+        _mm256_sub_pd(_mm256_mul_pd(vdlx, r1y), _mm256_mul_pd(vdly, r1x));
+    const __m256d c2 =
+        _mm256_sub_pd(_mm256_mul_pd(vdlx, r2y), _mm256_mul_pd(vdly, r2x));
+    const __m256d n1 = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(r1x, r1x), _mm256_mul_pd(r1y, r1y)));
+    const __m256d n2 = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(r2x, r2x), _mm256_mul_pd(r2y, r2y)));
+    const __m256d dwx = _mm256_sub_pd(bx, ax), dwy = _mm256_sub_pd(by, ay);
+    const __m256d r3x = _mm256_sub_pd(vsax, ax), r3y = _mm256_sub_pd(vsay, ay);
+    const __m256d r4x = _mm256_sub_pd(vsbx, ax), r4y = _mm256_sub_pd(vsby, ay);
+    const __m256d c3 =
+        _mm256_sub_pd(_mm256_mul_pd(dwx, r3y), _mm256_mul_pd(dwy, r3x));
+    const __m256d c4 =
+        _mm256_sub_pd(_mm256_mul_pd(dwx, r4y), _mm256_mul_pd(dwy, r4x));
+    const __m256d nw = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dwx, dwx), _mm256_mul_pd(dwy, dwy)));
+    const __m256d n3 = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(r3x, r3x), _mm256_mul_pd(r3y, r3y)));
+    const __m256d n4 = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(r4x, r4x), _mm256_mul_pd(r4y, r4y)));
+    const __m256d base_w = _mm256_max_pd(one, nw);
+    const __m256d t1 = _mm256_mul_pd(veps, _mm256_max_pd(base_l, n1));
+    const __m256d t2 = _mm256_mul_pd(veps, _mm256_max_pd(base_l, n2));
+    const __m256d t3 = _mm256_mul_pd(veps, _mm256_max_pd(base_w, n3));
+    const __m256d t4 = _mm256_mul_pd(veps, _mm256_max_pd(base_w, n4));
+    const __m256d g1 = _mm256_cmp_pd(c1, t1, _CMP_GT_OQ);
+    const __m256d l1 = _mm256_cmp_pd(c1, _mm256_xor_pd(t1, signmask), _CMP_LT_OQ);
+    const __m256d g2 = _mm256_cmp_pd(c2, t2, _CMP_GT_OQ);
+    const __m256d l2 = _mm256_cmp_pd(c2, _mm256_xor_pd(t2, signmask), _CMP_LT_OQ);
+    const __m256d g3 = _mm256_cmp_pd(c3, t3, _CMP_GT_OQ);
+    const __m256d l3 = _mm256_cmp_pd(c3, _mm256_xor_pd(t3, signmask), _CMP_LT_OQ);
+    const __m256d g4 = _mm256_cmp_pd(c4, t4, _CMP_GT_OQ);
+    const __m256d l4 = _mm256_cmp_pd(c4, _mm256_xor_pd(t4, signmask), _CMP_LT_OQ);
+    const __m256d nz =
+        _mm256_and_pd(_mm256_and_pd(_mm256_or_pd(g1, l1), _mm256_or_pd(g2, l2)),
+                      _mm256_and_pd(_mm256_or_pd(g3, l3), _mm256_or_pd(g4, l4)));
+    const __m256d diff12 =
+        _mm256_or_pd(_mm256_and_pd(g1, l2), _mm256_and_pd(l1, g2));
+    const __m256d diff34 =
+        _mm256_or_pd(_mm256_and_pd(g3, l4), _mm256_and_pd(l3, g4));
+    const __m256d crossm = _mm256_and_pd(diff12, diff34);
+    const int nzm = _mm256_movemask_pd(nz);
+    const int crm = _mm256_movemask_pd(crossm);
+    for (int l = 0; l < 4; ++l) {
+      out[i + l] = ((nzm >> l) & 1) == 0 ? uint8_t{2}
+                                         : (((crm >> l) & 1) ? uint8_t{1} : uint8_t{0});
+    }
+  }
+  for (; i < n; ++i) {
+    const double ax = wax[i], ay = way[i], bx = wbx[i], by = wby[i];
+    const double r1x = ax - sax, r1y = ay - say;
+    const double r2x = bx - sax, r2y = by - say;
+    const double c1 = dlx * r1y - dly * r1x;
+    const double c2 = dlx * r2y - dly * r2x;
+    const double n1 = std::sqrt(r1x * r1x + r1y * r1y);
+    const double n2 = std::sqrt(r2x * r2x + r2y * r2y);
+    const double dwx = bx - ax, dwy = by - ay;
+    const double r3x = sax - ax, r3y = say - ay;
+    const double r4x = sbx - ax, r4y = sby - ay;
+    const double c3 = dwx * r3y - dwy * r3x;
+    const double c4 = dwx * r4y - dwy * r4x;
+    const double nw = std::sqrt(dwx * dwx + dwy * dwy);
+    const double n3 = std::sqrt(r3x * r3x + r3y * r3y);
+    const double n4 = std::sqrt(r4x * r4x + r4y * r4y);
+    const auto scale_of = [](double dn, double rn) {
+      const double m = 1.0 > dn ? 1.0 : dn;
+      return m > rn ? m : rn;
+    };
+    const double t1 = eps * scale_of(nl, n1), t2 = eps * scale_of(nl, n2);
+    const double t3 = eps * scale_of(nw, n3), t4 = eps * scale_of(nw, n4);
+    const bool g1 = c1 > t1, l1 = c1 < -t1;
+    const bool g2 = c2 > t2, l2 = c2 < -t2;
+    const bool g3 = c3 > t3, l3 = c3 < -t3;
+    const bool g4 = c4 > t4, l4 = c4 < -t4;
+    const bool zero_any =
+        (!g1 && !l1) || (!g2 && !l2) || (!g3 && !l3) || (!g4 && !l4);
+    const bool diff12 = (g1 && l2) || (l1 && g2);
+    const bool diff34 = (g3 && l4) || (l3 && g4);
+    out[i] = zero_any ? uint8_t{2} : (diff12 && diff34 ? uint8_t{1} : uint8_t{0});
+  }
+}
+
+void pair_distances(const double* xs, const double* ys, int n, double x0,
+                    double y0, double* out) {
+  const __m256d vx0 = _mm256_set1_pd(x0), vy0 = _mm256_set1_pd(y0);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), vx0);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + i), vy0);
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_sqrt_pd(_mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy))));
+  }
+  for (; i < n; ++i) {
+    const double dx = xs[i] - x0;
+    const double dy = ys[i] - y0;
+    out[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+const Kernels kAvx2Kernels = {
+    gather_dot, scatter_axpy, dense_axpy, row_activity, segment_classify,
+    pair_distances,
+};
+}  // namespace detail
+
+}  // namespace wnet::util::simd
+
+#endif  // x86

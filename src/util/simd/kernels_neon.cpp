@@ -1,0 +1,226 @@
+/// NEON (aarch64) kernels. float64x2_t is 2-wide, so the four logical
+/// lanes live in two registers — {lane0, lane1} and {lane2, lane3} — and
+/// reduce as (lane0 + lane2) + (lane1 + lane3), matching the scalar
+/// reference. min/max deliberately use compare+select (vclt/vbsl) instead
+/// of vminq_f64/vmaxq_f64: the NEON min/max instructions order -0.0 below
+/// +0.0, which differs from the x86 MINPD selection rule the determinism
+/// contract pins. Compiled with -ffp-contract=off so vmul+vadd never fuse
+/// into vfma.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+#include "util/simd/simd.h"
+
+namespace wnet::util::simd {
+namespace {
+
+inline float64x2_t gather2(const double* base, int32_t i0, int32_t i1) {
+  return vcombine_f64(vld1_f64(base + i0), vld1_f64(base + i1));
+}
+
+double gather_dot(const int32_t* rows, const double* values, int n,
+                  const double* dense) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t d01 = gather2(dense, rows[i], rows[i + 1]);
+    const float64x2_t d23 = gather2(dense, rows[i + 2], rows[i + 3]);
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(values + i), d01));
+    acc23 = vaddq_f64(acc23, vmulq_f64(vld1q_f64(values + i + 2), d23));
+  }
+  double lanes[4];
+  vst1q_f64(lanes, acc01);
+  vst1q_f64(lanes + 2, acc23);
+  for (int l = 0; i < n; ++i, ++l) lanes[l] += values[i] * dense[rows[i]];
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+void scatter_axpy(const int32_t* rows, const double* values, int n,
+                  double scale, double* dense) {
+  const float64x2_t s = vdupq_n_f64(scale);
+  int i = 0;
+  double prod[4];
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f64(prod, vmulq_f64(s, vld1q_f64(values + i)));
+    vst1q_f64(prod + 2, vmulq_f64(s, vld1q_f64(values + i + 2)));
+    dense[rows[i]] += prod[0];
+    dense[rows[i + 1]] += prod[1];
+    dense[rows[i + 2]] += prod[2];
+    dense[rows[i + 3]] += prod[3];
+  }
+  for (; i < n; ++i) dense[rows[i]] += scale * values[i];
+}
+
+void dense_axpy(double* y, const double* x, double a, int n) {
+  const float64x2_t s = vdupq_n_f64(a);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), vmulq_f64(s, vld1q_f64(x + i))));
+    vst1q_f64(y + i + 2,
+              vaddq_f64(vld1q_f64(y + i + 2), vmulq_f64(s, vld1q_f64(x + i + 2))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+// MINPD-rule select: min(x, y) = x < y ? x : y (second operand on ties).
+inline float64x2_t min_sel(float64x2_t x, float64x2_t y) {
+  return vbslq_f64(vcltq_f64(x, y), x, y);
+}
+inline float64x2_t max_sel(float64x2_t x, float64x2_t y) {
+  return vbslq_f64(vcgtq_f64(x, y), x, y);
+}
+
+void row_activity(const int32_t* cols, const double* coef, int n,
+                  const double* lb, const double* ub, double* act_lo,
+                  double* act_hi) {
+  float64x2_t lo01 = vdupq_n_f64(0.0), lo23 = vdupq_n_f64(0.0);
+  float64x2_t hi01 = vdupq_n_f64(0.0), hi23 = vdupq_n_f64(0.0);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t a01 = vld1q_f64(coef + i);
+    const float64x2_t a23 = vld1q_f64(coef + i + 2);
+    const float64x2_t pl01 = vmulq_f64(a01, gather2(lb, cols[i], cols[i + 1]));
+    const float64x2_t pu01 = vmulq_f64(a01, gather2(ub, cols[i], cols[i + 1]));
+    const float64x2_t pl23 = vmulq_f64(a23, gather2(lb, cols[i + 2], cols[i + 3]));
+    const float64x2_t pu23 = vmulq_f64(a23, gather2(ub, cols[i + 2], cols[i + 3]));
+    lo01 = vaddq_f64(lo01, min_sel(pl01, pu01));
+    lo23 = vaddq_f64(lo23, min_sel(pl23, pu23));
+    hi01 = vaddq_f64(hi01, max_sel(pl01, pu01));
+    hi23 = vaddq_f64(hi23, max_sel(pl23, pu23));
+  }
+  double lo[4], hi[4];
+  vst1q_f64(lo, lo01);
+  vst1q_f64(lo + 2, lo23);
+  vst1q_f64(hi, hi01);
+  vst1q_f64(hi + 2, hi23);
+  for (int l = 0; i < n; ++i, ++l) {
+    const double pl = coef[i] * lb[cols[i]];
+    const double pu = coef[i] * ub[cols[i]];
+    lo[l] += pl < pu ? pl : pu;
+    hi[l] += pl > pu ? pl : pu;
+  }
+  *act_lo = (lo[0] + lo[2]) + (lo[1] + lo[3]);
+  *act_hi = (hi[0] + hi[2]) + (hi[1] + hi[3]);
+}
+
+void segment_classify(double sax, double say, double sbx, double sby,
+                      const double* wax, const double* way, const double* wbx,
+                      const double* wby, int n, double eps, uint8_t* out) {
+  const double dlx = sbx - sax;
+  const double dly = sby - say;
+  const double nl = std::sqrt(dlx * dlx + dly * dly);
+  const float64x2_t vsax = vdupq_n_f64(sax), vsay = vdupq_n_f64(say);
+  const float64x2_t vsbx = vdupq_n_f64(sbx), vsby = vdupq_n_f64(sby);
+  const float64x2_t vdlx = vdupq_n_f64(dlx), vdly = vdupq_n_f64(dly);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t base_l = max_sel(one, vdupq_n_f64(nl));
+  const float64x2_t veps = vdupq_n_f64(eps);
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t ax = vld1q_f64(wax + i), ay = vld1q_f64(way + i);
+    const float64x2_t bx = vld1q_f64(wbx + i), by = vld1q_f64(wby + i);
+    const float64x2_t r1x = vsubq_f64(ax, vsax), r1y = vsubq_f64(ay, vsay);
+    const float64x2_t r2x = vsubq_f64(bx, vsax), r2y = vsubq_f64(by, vsay);
+    const float64x2_t c1 = vsubq_f64(vmulq_f64(vdlx, r1y), vmulq_f64(vdly, r1x));
+    const float64x2_t c2 = vsubq_f64(vmulq_f64(vdlx, r2y), vmulq_f64(vdly, r2x));
+    const float64x2_t n1 =
+        vsqrtq_f64(vaddq_f64(vmulq_f64(r1x, r1x), vmulq_f64(r1y, r1y)));
+    const float64x2_t n2 =
+        vsqrtq_f64(vaddq_f64(vmulq_f64(r2x, r2x), vmulq_f64(r2y, r2y)));
+    const float64x2_t dwx = vsubq_f64(bx, ax), dwy = vsubq_f64(by, ay);
+    const float64x2_t r3x = vsubq_f64(vsax, ax), r3y = vsubq_f64(vsay, ay);
+    const float64x2_t r4x = vsubq_f64(vsbx, ax), r4y = vsubq_f64(vsby, ay);
+    const float64x2_t c3 = vsubq_f64(vmulq_f64(dwx, r3y), vmulq_f64(dwy, r3x));
+    const float64x2_t c4 = vsubq_f64(vmulq_f64(dwx, r4y), vmulq_f64(dwy, r4x));
+    const float64x2_t nw =
+        vsqrtq_f64(vaddq_f64(vmulq_f64(dwx, dwx), vmulq_f64(dwy, dwy)));
+    const float64x2_t n3 =
+        vsqrtq_f64(vaddq_f64(vmulq_f64(r3x, r3x), vmulq_f64(r3y, r3y)));
+    const float64x2_t n4 =
+        vsqrtq_f64(vaddq_f64(vmulq_f64(r4x, r4x), vmulq_f64(r4y, r4y)));
+    const float64x2_t base_w = max_sel(one, nw);
+    const float64x2_t t1 = vmulq_f64(veps, max_sel(base_l, n1));
+    const float64x2_t t2 = vmulq_f64(veps, max_sel(base_l, n2));
+    const float64x2_t t3 = vmulq_f64(veps, max_sel(base_w, n3));
+    const float64x2_t t4 = vmulq_f64(veps, max_sel(base_w, n4));
+    const uint64x2_t g1 = vcgtq_f64(c1, t1), l1 = vcltq_f64(c1, vnegq_f64(t1));
+    const uint64x2_t g2 = vcgtq_f64(c2, t2), l2 = vcltq_f64(c2, vnegq_f64(t2));
+    const uint64x2_t g3 = vcgtq_f64(c3, t3), l3 = vcltq_f64(c3, vnegq_f64(t3));
+    const uint64x2_t g4 = vcgtq_f64(c4, t4), l4 = vcltq_f64(c4, vnegq_f64(t4));
+    const uint64x2_t nz = vandq_u64(vandq_u64(vorrq_u64(g1, l1), vorrq_u64(g2, l2)),
+                                    vandq_u64(vorrq_u64(g3, l3), vorrq_u64(g4, l4)));
+    const uint64x2_t diff12 = vorrq_u64(vandq_u64(g1, l2), vandq_u64(l1, g2));
+    const uint64x2_t diff34 = vorrq_u64(vandq_u64(g3, l4), vandq_u64(l3, g4));
+    const uint64x2_t crossm = vandq_u64(diff12, diff34);
+    const uint64_t nz0 = vgetq_lane_u64(nz, 0), nz1 = vgetq_lane_u64(nz, 1);
+    const uint64_t cr0 = vgetq_lane_u64(crossm, 0), cr1 = vgetq_lane_u64(crossm, 1);
+    out[i] = nz0 == 0 ? uint8_t{2} : (cr0 ? uint8_t{1} : uint8_t{0});
+    out[i + 1] = nz1 == 0 ? uint8_t{2} : (cr1 ? uint8_t{1} : uint8_t{0});
+  }
+  for (; i < n; ++i) {
+    const double ax = wax[i], ay = way[i], bx = wbx[i], by = wby[i];
+    const double r1x = ax - sax, r1y = ay - say;
+    const double r2x = bx - sax, r2y = by - say;
+    const double c1 = dlx * r1y - dly * r1x;
+    const double c2 = dlx * r2y - dly * r2x;
+    const double n1 = std::sqrt(r1x * r1x + r1y * r1y);
+    const double n2 = std::sqrt(r2x * r2x + r2y * r2y);
+    const double dwx = bx - ax, dwy = by - ay;
+    const double r3x = sax - ax, r3y = say - ay;
+    const double r4x = sbx - ax, r4y = sby - ay;
+    const double c3 = dwx * r3y - dwy * r3x;
+    const double c4 = dwx * r4y - dwy * r4x;
+    const double nw = std::sqrt(dwx * dwx + dwy * dwy);
+    const double n3 = std::sqrt(r3x * r3x + r3y * r3y);
+    const double n4 = std::sqrt(r4x * r4x + r4y * r4y);
+    const auto scale_of = [](double dn, double rn) {
+      const double m = 1.0 > dn ? 1.0 : dn;
+      return m > rn ? m : rn;
+    };
+    const double t1 = eps * scale_of(nl, n1), t2 = eps * scale_of(nl, n2);
+    const double t3 = eps * scale_of(nw, n3), t4 = eps * scale_of(nw, n4);
+    const bool g1 = c1 > t1, l1 = c1 < -t1;
+    const bool g2 = c2 > t2, l2 = c2 < -t2;
+    const bool g3 = c3 > t3, l3 = c3 < -t3;
+    const bool g4 = c4 > t4, l4 = c4 < -t4;
+    const bool zero_any =
+        (!g1 && !l1) || (!g2 && !l2) || (!g3 && !l3) || (!g4 && !l4);
+    const bool diff12 = (g1 && l2) || (l1 && g2);
+    const bool diff34 = (g3 && l4) || (l3 && g4);
+    out[i] = zero_any ? uint8_t{2} : (diff12 && diff34 ? uint8_t{1} : uint8_t{0});
+  }
+}
+
+void pair_distances(const double* xs, const double* ys, int n, double x0,
+                    double y0, double* out) {
+  const float64x2_t vx0 = vdupq_n_f64(x0), vy0 = vdupq_n_f64(y0);
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t dx = vsubq_f64(vld1q_f64(xs + i), vx0);
+    const float64x2_t dy = vsubq_f64(vld1q_f64(ys + i), vy0);
+    vst1q_f64(out + i, vsqrtq_f64(vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy))));
+  }
+  for (; i < n; ++i) {
+    const double dx = xs[i] - x0;
+    const double dy = ys[i] - y0;
+    out[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+const Kernels kNeonKernels = {
+    gather_dot, scatter_axpy, dense_axpy, row_activity, segment_classify,
+    pair_distances,
+};
+}  // namespace detail
+
+}  // namespace wnet::util::simd
+
+#endif  // __aarch64__

@@ -1,0 +1,178 @@
+/// Runtime dispatch for the SIMD kernel table. Resolution order: the
+/// WNET_SIMD environment variable if set to a level this build + CPU can
+/// run (unknown or unavailable values fall back with a one-line stderr
+/// warning — never a crash), otherwise the widest supported level.
+
+#include "util/simd/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace wnet::util::simd {
+namespace {
+
+bool level_compiled(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse2:
+#if defined(WNET_SIMD_HAVE_SSE2)
+      return true;
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#if defined(WNET_SIMD_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if defined(WNET_SIMD_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool cpu_supports(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return true;  // SSE2 is part of the x86-64 baseline.
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if defined(__aarch64__)
+      return true;  // AdvSIMD is mandatory on aarch64.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Kernels* table_for(Level level) {
+  switch (level) {
+#if defined(WNET_SIMD_HAVE_SSE2)
+    case Level::kSse2:
+      return &detail::kSse2Kernels;
+#endif
+#if defined(WNET_SIMD_HAVE_AVX2)
+    case Level::kAvx2:
+      return &detail::kAvx2Kernels;
+#endif
+#if defined(WNET_SIMD_HAVE_NEON)
+    case Level::kNeon:
+      return &detail::kNeonKernels;
+#endif
+    default:
+      return &detail::kScalarKernels;
+  }
+}
+
+std::atomic<const Kernels*> g_table{&detail::kScalarKernels};
+std::atomic<Level> g_level{Level::kScalar};
+std::once_flag g_init_once;
+
+void init_dispatch() {
+  Level chosen = widest_supported();
+  const char* env = std::getenv("WNET_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    Level requested;
+    if (!parse_level(env, &requested)) {
+      std::fprintf(stderr,
+                   "[wnet.simd] WNET_SIMD=%s not recognized; using %s\n", env,
+                   level_name(chosen));
+    } else if (!level_compiled(requested) || !cpu_supports(requested)) {
+      std::fprintf(stderr,
+                   "[wnet.simd] WNET_SIMD=%s unavailable on this build/CPU; "
+                   "using %s\n",
+                   env, level_name(chosen));
+    } else {
+      chosen = requested;
+    }
+  }
+  g_table.store(table_for(chosen), std::memory_order_release);
+  g_level.store(chosen, std::memory_order_release);
+}
+
+void ensure_init() { std::call_once(g_init_once, init_dispatch); }
+
+}  // namespace
+
+const Kernels& kernels() {
+  ensure_init();
+  return *g_table.load(std::memory_order_acquire);
+}
+
+Level active_level() {
+  ensure_init();
+  return g_level.load(std::memory_order_acquire);
+}
+
+bool set_level(Level level) {
+  ensure_init();
+  if (!level_compiled(level) || !cpu_supports(level)) return false;
+  g_table.store(table_for(level), std::memory_order_release);
+  g_level.store(level, std::memory_order_release);
+  return true;
+}
+
+std::vector<Level> supported_levels() {
+  std::vector<Level> out;
+  for (Level level : {Level::kScalar, Level::kSse2, Level::kAvx2, Level::kNeon}) {
+    if (level_compiled(level) && cpu_supports(level)) out.push_back(level);
+  }
+  return out;
+}
+
+Level widest_supported() {
+  Level widest = Level::kScalar;
+  for (Level level : supported_levels()) widest = level;
+  return widest;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+bool parse_level(const std::string& name, Level* out) {
+  if (name == "scalar") {
+    *out = Level::kScalar;
+  } else if (name == "sse2") {
+    *out = Level::kSse2;
+  } else if (name == "avx2") {
+    *out = Level::kAvx2;
+  } else if (name == "neon") {
+    *out = Level::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace wnet::util::simd

@@ -1,0 +1,154 @@
+#pragma once
+
+/// Runtime CPU-dispatched SIMD kernels for the hot inner loops: simplex
+/// gather dot-products and scatter updates (SparseMatrix / BasisLu), the
+/// presolve row-activity accumulation, wall-crossing segment classification
+/// and batched path-loss distance evaluation.
+///
+/// Dispatch model
+/// --------------
+/// A single function-pointer table (`Kernels`) is selected once per process:
+/// the widest ISA the host supports among the variants compiled in (AVX2 >
+/// SSE2 > scalar on x86-64, NEON > scalar on aarch64), overridable with the
+/// `WNET_SIMD` environment variable (`scalar`, `sse2`, `avx2`, `neon`) or
+/// programmatically via `set_level()`. The scalar variant is always
+/// available and is the reference implementation.
+///
+/// Determinism contract
+/// --------------------
+/// Every kernel is specified as a fixed computation over four logical
+/// lanes with a fixed reduction order, and every ISA variant implements
+/// that specification operation-for-operation. Outputs are therefore
+/// bit-identical across scalar/SSE2/AVX2/NEON — the repo's byte-identical
+/// report guarantee extends across dispatch levels, not just thread counts.
+/// Concretely:
+///
+///  - Accumulating kernels (`gather_dot`, `row_activity`): logical lane
+///    `l` sums the elements `i` with `i % 4 == l` in increasing `i`; the
+///    final reduction is `(lane0 + lane2) + (lane1 + lane3)` (the natural
+///    order for a 256-bit extract-high/add-low as well as for two 128-bit
+///    registers). The tail (`n % 4` trailing elements) is folded into
+///    lanes `0..n%4-1` after the vector loop, exactly one extra addend per
+///    lane.
+///  - Element-wise kernels (`scatter_axpy`, `dense_axpy`, `pair_distances`,
+///    `segment_classify`): one IEEE rounding per arithmetic step, never
+///    fused. All kernel translation units are compiled with
+///    `-ffp-contract=off` and the vector variants use explicit non-FMA
+///    instructions, so a multiply-add is always round(round(a*b) + c).
+///  - min/max follow the x86 MINPD/MAXPD selection rule
+///    `min(x,y) = x < y ? x : y` (second operand on ties/NaN); the NEON
+///    variant implements this with compare+select rather than `vminq_f64`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wnet::util::simd {
+
+/// Dispatch levels, ordered narrow to wide. kNeon and kSse2/kAvx2 are
+/// mutually exclusive per architecture; only levels compiled in AND
+/// supported by the host CPU are selectable.
+enum class Level : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Kernel table. All pointers are always non-null.
+struct Kernels {
+  /// Σ values[i] * dense[rows[i]] with the 4-lane accumulation order.
+  double (*gather_dot)(const int32_t* rows, const double* values, int n,
+                       const double* dense);
+
+  /// dense[rows[i]] += scale * values[i] for each i. Row indices must be
+  /// distinct (CSC columns / LU columns are); each element performs one
+  /// rounded multiply then one rounded add.
+  void (*scatter_axpy)(const int32_t* rows, const double* values, int n,
+                       double scale, double* dense);
+
+  /// y[i] += a * x[i] for i in [0, n); branchless, one mul + one add per
+  /// element regardless of zeros.
+  void (*dense_axpy)(double* y, const double* x, double a, int n);
+
+  /// Row-activity range for presolve: accumulates
+  ///   lo_lane += min(a*lb, a*ub),  hi_lane += max(a*lb, a*ub)
+  /// over the row's columns with the 4-lane order, where lb/ub are
+  /// gathered via cols[i]. min/max use the MINPD selection rule.
+  void (*row_activity)(const int32_t* cols, const double* coef, int n,
+                       const double* lb, const double* ub, double* act_lo,
+                       double* act_hi);
+
+  /// Classifies each wall segment (wa[i] -> wb[i]) against the link
+  /// segment (sa -> sb) using the repo's eps-scaled orientation test:
+  ///   out[i] = 0  definitely no proper crossing
+  ///   out[i] = 1  definitely a proper crossing (all four orientations
+  ///               nonzero and o1 != o2 && o3 != o4)
+  ///   out[i] = 2  some orientation is zero within tolerance — caller
+  ///               must fall back to the exact scalar segments_intersect.
+  void (*segment_classify)(double sax, double say, double sbx, double sby,
+                           const double* wax, const double* way,
+                           const double* wbx, const double* wby, int n,
+                           double eps, uint8_t* out);
+
+  /// out[i] = sqrt((xs[i]-x0)^2 + (ys[i]-y0)^2), one rounding per step
+  /// (sub, mul, add, IEEE sqrt — bit-exact on every ISA).
+  void (*pair_distances)(const double* xs, const double* ys, int n, double x0,
+                         double y0, double* out);
+};
+
+/// The active kernel table (never null; scalar before first dispatch
+/// resolution completes). Cheap: one atomic acquire load.
+const Kernels& kernels();
+
+/// Currently active dispatch level.
+Level active_level();
+
+/// Forces a dispatch level. Returns false (and leaves the level unchanged)
+/// if the level was not compiled in or the host CPU lacks it. Thread-safe,
+/// but intended for startup / tests — switching mid-solve is benign for
+/// correctness (all levels are bit-identical) yet confusing for telemetry.
+bool set_level(Level level);
+
+/// Levels usable on this host (compiled in + CPU-supported), narrow to wide.
+std::vector<Level> supported_levels();
+
+/// Widest usable level on this host.
+Level widest_supported();
+
+/// "scalar" / "sse2" / "avx2" / "neon".
+const char* level_name(Level level);
+
+/// Inverse of level_name; returns false on unknown names.
+bool parse_level(const std::string& name, Level* out);
+
+/// RAII forcing of a dispatch level (tests, benchmark pairs). Restores the
+/// previous level on destruction. `ok()` is false if the level was
+/// unavailable, in which case nothing changed.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level level) : prev_(active_level()), ok_(set_level(level)) {}
+  ~ScopedLevel() {
+    if (ok_) set_level(prev_);
+  }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  Level prev_;
+  bool ok_;
+};
+
+namespace detail {
+/// Per-ISA tables, defined in the kernels_<isa>.cpp translation units.
+/// Declared unconditionally (the extern declarations also give the
+/// definitions external linkage); the dispatcher only references the ones
+/// whose TUs are compiled in, gated by WNET_SIMD_HAVE_* defines.
+extern const Kernels kScalarKernels;
+extern const Kernels kSse2Kernels;
+extern const Kernels kAvx2Kernels;
+extern const Kernels kNeonKernels;
+}  // namespace detail
+
+}  // namespace wnet::util::simd

@@ -1,0 +1,438 @@
+/// Differential tests for the runtime SIMD dispatch layer: every compiled
+/// kernel variant must be bit-identical to the scalar reference — that is
+/// the contract that lets the repo's byte-identical report guarantee span
+/// dispatch levels. Each kernel is driven over a large randomized corpus
+/// under every supported level and compared bitwise (not within-epsilon)
+/// against the scalar result; the LU and full-solver replays then confirm
+/// the identity survives composition through the simplex stack.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "geometry/floorplan.h"
+#include "geometry/segment.h"
+#include "milp/simplex/lu.h"
+#include "milp/simplex/sparse.h"
+#include "milp/solver.h"
+#include "milp/test_models.h"
+#include "util/simd/simd.h"
+
+namespace wnet::util::simd {
+namespace {
+
+uint64_t bits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+/// All supported levels other than scalar — the variants under test.
+std::vector<Level> vector_levels() {
+  std::vector<Level> out;
+  for (Level l : supported_levels()) {
+    if (l != Level::kScalar) out.push_back(l);
+  }
+  return out;
+}
+
+/// Random sparse column: `len` distinct row indices below `dim` (sorted,
+/// as CSC columns are) with signed values spanning many magnitudes.
+struct SparseColumn {
+  std::vector<int32_t> rows;
+  std::vector<double> values;
+};
+
+SparseColumn random_column(std::mt19937_64& rng, int dim, int len) {
+  std::vector<int> all(static_cast<size_t>(dim));
+  std::iota(all.begin(), all.end(), 0);
+  std::shuffle(all.begin(), all.end(), rng);
+  all.resize(static_cast<size_t>(len));
+  std::sort(all.begin(), all.end());
+  std::uniform_real_distribution<double> mag(-8.0, 8.0);
+  SparseColumn c;
+  for (int r : all) {
+    c.rows.push_back(static_cast<int32_t>(r));
+    c.values.push_back(std::ldexp(mag(rng), static_cast<int>(mag(rng))));
+  }
+  return c;
+}
+
+std::vector<double> random_dense(std::mt19937_64& rng, int n) {
+  std::uniform_real_distribution<double> mag(-8.0, 8.0);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) x = std::ldexp(mag(rng), static_cast<int>(mag(rng)));
+  return v;
+}
+
+TEST(SimdDispatch, ScalarAlwaysSupported) {
+  const std::vector<Level> levels = supported_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), Level::kScalar);
+  EXPECT_EQ(widest_supported(), levels.back());
+}
+
+TEST(SimdDispatch, LevelNamesRoundTrip) {
+  for (Level l : {Level::kScalar, Level::kSse2, Level::kAvx2, Level::kNeon}) {
+    Level parsed;
+    ASSERT_TRUE(parse_level(level_name(l), &parsed)) << level_name(l);
+    EXPECT_EQ(parsed, l);
+  }
+  Level ignored;
+  EXPECT_FALSE(parse_level("avx512", &ignored));
+  EXPECT_FALSE(parse_level("", &ignored));
+}
+
+TEST(SimdDispatch, ScopedLevelRestores) {
+  const Level before = active_level();
+  {
+    ScopedLevel forced(Level::kScalar);
+    ASSERT_TRUE(forced.ok());
+    EXPECT_EQ(active_level(), Level::kScalar);
+  }
+  EXPECT_EQ(active_level(), before);
+}
+
+TEST(SimdDispatch, UnsupportedLevelRejected) {
+#if defined(__aarch64__)
+  const Level foreign = Level::kAvx2;
+#else
+  const Level foreign = Level::kNeon;
+#endif
+  const Level before = active_level();
+  EXPECT_FALSE(set_level(foreign));
+  EXPECT_EQ(active_level(), before);
+}
+
+TEST(SimdDispatch, GatherDotBitwiseEqualAcrossLevels) {
+  std::mt19937_64 rng(20260808);
+  const int kDim = 512;
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int len = static_cast<int>(rng() % 65);  // 0..64 covers tails 0..3
+    const SparseColumn c = random_column(rng, kDim, len);
+    const std::vector<double> dense = random_dense(rng, kDim);
+    ScopedLevel scalar(Level::kScalar);
+    const double ref = kernels().gather_dot(c.rows.data(), c.values.data(), len,
+                                            dense.data());
+    for (Level l : vector_levels()) {
+      ScopedLevel forced(l);
+      ASSERT_TRUE(forced.ok());
+      const double got = kernels().gather_dot(c.rows.data(), c.values.data(), len,
+                                              dense.data());
+      ASSERT_EQ(bits(ref), bits(got))
+          << level_name(l) << " trial " << trial << " len " << len;
+    }
+  }
+}
+
+TEST(SimdDispatch, ScatterAxpyBitwiseEqualAcrossLevels) {
+  std::mt19937_64 rng(777);
+  const int kDim = 512;
+  std::uniform_real_distribution<double> sc(-4.0, 4.0);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int len = static_cast<int>(rng() % 65);
+    const SparseColumn c = random_column(rng, kDim, len);
+    const std::vector<double> base = random_dense(rng, kDim);
+    const double scale = sc(rng);
+    std::vector<double> ref = base;
+    {
+      ScopedLevel scalar(Level::kScalar);
+      kernels().scatter_axpy(c.rows.data(), c.values.data(), len, scale, ref.data());
+    }
+    for (Level l : vector_levels()) {
+      ScopedLevel forced(l);
+      ASSERT_TRUE(forced.ok());
+      std::vector<double> got = base;
+      kernels().scatter_axpy(c.rows.data(), c.values.data(), len, scale, got.data());
+      for (int i = 0; i < kDim; ++i) {
+        ASSERT_EQ(bits(ref[static_cast<size_t>(i)]), bits(got[static_cast<size_t>(i)]))
+            << level_name(l) << " trial " << trial << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, DenseAxpyBitwiseEqualAcrossLevels) {
+  std::mt19937_64 rng(31337);
+  std::uniform_real_distribution<double> sc(-4.0, 4.0);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int n = static_cast<int>(rng() % 130);
+    const std::vector<double> x = random_dense(rng, n);
+    const std::vector<double> base = random_dense(rng, n);
+    const double a = sc(rng);
+    std::vector<double> ref = base;
+    {
+      ScopedLevel scalar(Level::kScalar);
+      kernels().dense_axpy(ref.data(), x.data(), a, n);
+    }
+    for (Level l : vector_levels()) {
+      ScopedLevel forced(l);
+      ASSERT_TRUE(forced.ok());
+      std::vector<double> got = base;
+      kernels().dense_axpy(got.data(), x.data(), a, n);
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(bits(ref[static_cast<size_t>(i)]), bits(got[static_cast<size_t>(i)]))
+            << level_name(l) << " trial " << trial << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, RowActivityBitwiseEqualAcrossLevels) {
+  std::mt19937_64 rng(4242);
+  const int kDim = 300;
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int len = static_cast<int>(rng() % 49);
+    const SparseColumn c = random_column(rng, kDim, len);
+    std::vector<double> lb = random_dense(rng, kDim);
+    std::vector<double> ub = lb;
+    for (double& u : ub) u += 1.0;
+    double ref_lo = 0.0, ref_hi = 0.0;
+    {
+      ScopedLevel scalar(Level::kScalar);
+      kernels().row_activity(c.rows.data(), c.values.data(), len, lb.data(), ub.data(),
+                             &ref_lo, &ref_hi);
+    }
+    for (Level l : vector_levels()) {
+      ScopedLevel forced(l);
+      ASSERT_TRUE(forced.ok());
+      double lo = 0.0, hi = 0.0;
+      kernels().row_activity(c.rows.data(), c.values.data(), len, lb.data(), ub.data(),
+                             &lo, &hi);
+      ASSERT_EQ(bits(ref_lo), bits(lo)) << level_name(l) << " trial " << trial;
+      ASSERT_EQ(bits(ref_hi), bits(hi)) << level_name(l) << " trial " << trial;
+    }
+  }
+}
+
+TEST(SimdDispatch, PairDistancesBitwiseEqualAcrossLevels) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> pos(-100.0, 100.0);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int n = static_cast<int>(rng() % 70);
+    std::vector<double> xs(static_cast<size_t>(n)), ys(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      xs[static_cast<size_t>(i)] = pos(rng);
+      ys[static_cast<size_t>(i)] = pos(rng);
+    }
+    const double x0 = pos(rng), y0 = pos(rng);
+    std::vector<double> ref(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+    {
+      ScopedLevel scalar(Level::kScalar);
+      kernels().pair_distances(xs.data(), ys.data(), n, x0, y0, ref.data());
+    }
+    for (Level l : vector_levels()) {
+      ScopedLevel forced(l);
+      ASSERT_TRUE(forced.ok());
+      kernels().pair_distances(xs.data(), ys.data(), n, x0, y0, got.data());
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(bits(ref[static_cast<size_t>(i)]), bits(got[static_cast<size_t>(i)]))
+            << level_name(l) << " trial " << trial << " i " << i;
+      }
+    }
+    // The kernel must also reproduce Vec2::dist exactly (the propagation
+    // batch API's bit-identity hinges on it).
+    for (int i = 0; i < n; ++i) {
+      const geom::Vec2 a{x0, y0};
+      const geom::Vec2 b{xs[static_cast<size_t>(i)], ys[static_cast<size_t>(i)]};
+      ASSERT_EQ(bits(a.dist(b)), bits(ref[static_cast<size_t>(i)]));
+    }
+  }
+}
+
+TEST(SimdDispatch, SegmentClassifyMatchesScalarAndOracle) {
+  std::mt19937_64 rng(2718);
+  // Half the corpus on a coarse integer grid to force collinear/touching
+  // configurations (class 2), half continuous for the decisive fast path.
+  std::uniform_real_distribution<double> cont(-10.0, 10.0);
+  std::uniform_int_distribution<int> grid(-4, 4);
+  constexpr double kEps = 1e-12;
+  for (int trial = 0; trial < 1000; ++trial) {
+    const bool coarse = (trial % 2) == 0;
+    const auto coord = [&] {
+      return coarse ? static_cast<double>(grid(rng)) : cont(rng);
+    };
+    const double sax = coord(), say = coord(), sbx = coord(), sby = coord();
+    const int n = static_cast<int>(rng() % 10);
+    std::vector<double> wax(static_cast<size_t>(n)), way(static_cast<size_t>(n)),
+        wbx(static_cast<size_t>(n)), wby(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      wax[static_cast<size_t>(i)] = coord();
+      way[static_cast<size_t>(i)] = coord();
+      wbx[static_cast<size_t>(i)] = coord();
+      wby[static_cast<size_t>(i)] = coord();
+    }
+    std::vector<uint8_t> ref(static_cast<size_t>(n), 0), got(static_cast<size_t>(n), 0);
+    {
+      ScopedLevel scalar(Level::kScalar);
+      kernels().segment_classify(sax, say, sbx, sby, wax.data(), way.data(), wbx.data(),
+                                 wby.data(), n, kEps, ref.data());
+    }
+    for (Level l : vector_levels()) {
+      ScopedLevel forced(l);
+      ASSERT_TRUE(forced.ok());
+      kernels().segment_classify(sax, say, sbx, sby, wax.data(), way.data(), wbx.data(),
+                                 wby.data(), n, kEps, got.data());
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(ref[static_cast<size_t>(i)], got[static_cast<size_t>(i)])
+            << level_name(l) << " trial " << trial << " i " << i;
+      }
+    }
+    // Resolution against the exact oracle: class 0/1 must already be the
+    // answer; class 2 defers to segments_intersect.
+    const geom::Segment link{{sax, say}, {sbx, sby}};
+    for (int i = 0; i < n; ++i) {
+      const geom::Segment wall{{wax[static_cast<size_t>(i)], way[static_cast<size_t>(i)]},
+                               {wbx[static_cast<size_t>(i)], wby[static_cast<size_t>(i)]}};
+      const bool oracle = geom::segments_intersect(link, wall);
+      const uint8_t c = ref[static_cast<size_t>(i)];
+      const bool resolved = c == 1 || (c == 2 && oracle);
+      ASSERT_EQ(oracle, resolved) << "trial " << trial << " wall " << i
+                                  << " class " << static_cast<int>(c);
+    }
+  }
+}
+
+TEST(SimdDispatch, LuSolvesBitwiseEqualAcrossLevels) {
+  using milp::simplex::BasisLu;
+  using milp::simplex::Entry;
+  using milp::simplex::SparseMatrix;
+  std::mt19937_64 rng(5150);
+  std::uniform_real_distribution<double> val(-3.0, 3.0);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int m = 8 + static_cast<int>(rng() % 40);
+    // Diagonally dominant random matrix: always factorizable, enough
+    // off-diagonal fill to make the L/U kernel passes non-trivial.
+    SparseMatrix a(m, 0);
+    for (int j = 0; j < m; ++j) {
+      std::vector<Entry> col;
+      for (int i = 0; i < m; ++i) {
+        if (i == j) {
+          col.push_back({i, static_cast<double>(m) + val(rng)});
+        } else if (rng() % 4 == 0) {
+          col.push_back({i, val(rng)});
+        }
+      }
+      a.add_column(col);
+    }
+    std::vector<int> basis(static_cast<size_t>(m));
+    std::iota(basis.begin(), basis.end(), 0);
+
+    const std::vector<double> rhs = random_dense(rng, m);
+    const int unit_row = static_cast<int>(rng() % static_cast<uint64_t>(m));
+    const double unit_val = val(rng) + 4.0;
+
+    std::vector<double> ref_f, ref_u, ref_b;
+    int ref_updates = 0;
+    {
+      ScopedLevel scalar(Level::kScalar);
+      BasisLu lu;
+      ASSERT_TRUE(lu.factorize(a, basis));
+      ref_f = rhs;
+      lu.ftran(ref_f);
+      // Exercise the eta file too: replace a basis position by the ftran
+      // image, then solve again through the update.
+      ASSERT_TRUE(lu.update(trial % m, ref_f));
+      ref_updates = lu.num_updates();
+      ref_u.assign(static_cast<size_t>(m), 0.0);
+      lu.ftran_unit(ref_u, unit_row, unit_val);
+      ref_b = rhs;
+      lu.btran(ref_b);
+    }
+    for (Level l : vector_levels()) {
+      ScopedLevel forced(l);
+      ASSERT_TRUE(forced.ok());
+      BasisLu lu;
+      ASSERT_TRUE(lu.factorize(a, basis));
+      std::vector<double> f = rhs;
+      lu.ftran(f);
+      ASSERT_TRUE(lu.update(trial % m, f));
+      ASSERT_EQ(lu.num_updates(), ref_updates);
+      std::vector<double> u(static_cast<size_t>(m), 0.0);
+      lu.ftran_unit(u, unit_row, unit_val);
+      std::vector<double> b = rhs;
+      lu.btran(b);
+      for (int i = 0; i < m; ++i) {
+        ASSERT_EQ(bits(ref_f[static_cast<size_t>(i)]), bits(f[static_cast<size_t>(i)]))
+            << level_name(l) << " ftran trial " << trial << " i " << i;
+        ASSERT_EQ(bits(ref_u[static_cast<size_t>(i)]), bits(u[static_cast<size_t>(i)]))
+            << level_name(l) << " ftran_unit trial " << trial << " i " << i;
+        ASSERT_EQ(bits(ref_b[static_cast<size_t>(i)]), bits(b[static_cast<size_t>(i)]))
+            << level_name(l) << " btran trial " << trial << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, FloorPlanCrossingsInvariantAcrossLevels) {
+  const geom::FloorPlan plan = geom::make_office_floor(80.0, 45.0, 8);
+  std::mt19937_64 rng(60221023);
+  std::uniform_real_distribution<double> px(0.0, 80.0), py(0.0, 45.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const geom::Vec2 a{px(rng), py(rng)};
+    const geom::Vec2 b{px(rng), py(rng)};
+    double ref_loss;
+    int ref_crossed;
+    {
+      ScopedLevel scalar(Level::kScalar);
+      ref_loss = plan.wall_loss_db(a, b);
+      ref_crossed = plan.walls_crossed(a, b);
+    }
+    for (Level l : vector_levels()) {
+      ScopedLevel forced(l);
+      ASSERT_TRUE(forced.ok());
+      ASSERT_EQ(bits(ref_loss), bits(plan.wall_loss_db(a, b))) << level_name(l);
+      ASSERT_EQ(ref_crossed, plan.walls_crossed(a, b)) << level_name(l);
+    }
+  }
+}
+
+/// End-to-end replay: the full branch-and-bound (presolve, propagation,
+/// dual simplex with warm starts, cuts) must produce identical results and
+/// identical search statistics under forced-scalar and forced-widest
+/// dispatch — the solver-level corollary of the kernel bit-identity.
+TEST(SimdDispatch, SolverReplayIdenticalScalarVsWidest) {
+  const Level widest = widest_supported();
+  if (widest == Level::kScalar) {
+    GTEST_SKIP() << "host has no vector ISA compiled in";
+  }
+  for (unsigned seed = 1; seed <= 12; ++seed) {
+    const milp::Model m = milp::tests::random_model(seed, 6, 4, 8);
+    milp::SolveOptions opts;
+    milp::MipResult ref, got;
+    {
+      ScopedLevel scalar(Level::kScalar);
+      ref = milp::solve(m, opts);
+      EXPECT_EQ(ref.stats.simd_level, "scalar");
+    }
+    {
+      ScopedLevel forced(widest);
+      ASSERT_TRUE(forced.ok());
+      got = milp::solve(m, opts);
+      EXPECT_EQ(got.stats.simd_level, level_name(widest));
+    }
+    ASSERT_EQ(ref.status, got.status) << "seed " << seed;
+    ASSERT_EQ(bits(ref.objective), bits(got.objective)) << "seed " << seed;
+    ASSERT_EQ(bits(ref.bound), bits(got.bound)) << "seed " << seed;
+    ASSERT_EQ(ref.stats.nodes, got.stats.nodes) << "seed " << seed;
+    ASSERT_EQ(ref.stats.lp_iterations, got.stats.lp_iterations) << "seed " << seed;
+    ASSERT_EQ(ref.stats.propagation_tightenings, got.stats.propagation_tightenings)
+        << "seed " << seed;
+    ASSERT_EQ(ref.stats.propagation_prunes, got.stats.propagation_prunes)
+        << "seed " << seed;
+    ASSERT_EQ(ref.stats.incumbents, got.stats.incumbents) << "seed " << seed;
+    ASSERT_EQ(ref.x.size(), got.x.size()) << "seed " << seed;
+    for (size_t i = 0; i < ref.x.size(); ++i) {
+      ASSERT_EQ(bits(ref.x[i]), bits(got.x[i])) << "seed " << seed << " var " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wnet::util::simd
