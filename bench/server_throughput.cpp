@@ -1,0 +1,202 @@
+// Solve-daemon throughput and cold-vs-warm latency harness (EXPERIMENTS.md,
+// "Solve server"). Runs an in-process SolveService — same code path as the
+// wnetd binary minus stdio — and measures three things:
+//
+//   1. cold:  first solve of a request key (builds encoder, runs the ladder)
+//   2. warm:  the identical request again; must be answered from the session
+//             cache with a byte-identical canonical object and strictly lower
+//             wall clock (the harness FAILS otherwise — it is the in-process
+//             cold-vs-warm gate the CI smoke job runs)
+//   3. fleet: N distinct requests over 1..W workers; requests-per-second and
+//             a canonical-divergence check across worker counts
+//
+// --json emits one machine-readable summary object for CI.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/protocol.h"
+#include "server/solve_service.h"
+#include "util/obs/json.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace wnet;
+using namespace wnet::server;
+
+namespace {
+
+/// Collects every JSONL line the service emits; index results by request id.
+struct Collector {
+  std::vector<std::string> lines;
+  EventSink sink() {
+    return [this](const std::string& line) { lines.push_back(line); };
+  }
+  /// The `result` event for `id`, or empty.
+  [[nodiscard]] std::string result_line(const std::string& id) const {
+    for (const auto& l : lines) {
+      const auto v = util::obs::json_parse(l);
+      if (v && v->get_string("event", "") == "result" && v->get_string("id", "") == id) return l;
+    }
+    return {};
+  }
+};
+
+/// Raw canonical sub-object text of a result line (for byte comparison).
+std::string canonical_of(const std::string& result_line) {
+  const auto a = result_line.find("\"canonical\": ");
+  const auto b = result_line.rfind(", \"cache_hit\":");
+  if (a == std::string::npos || b == std::string::npos || b <= a) return {};
+  const auto start = a + std::string("\"canonical\": ").size();
+  return result_line.substr(start, b - start);
+}
+
+double wall_of(const std::string& result_line) {
+  const auto v = util::obs::json_parse(result_line);
+  return v ? v->get_number("wall_time_s", -1.0) : -1.0;
+}
+
+Request make_request(const std::string& id, const std::string& tmpl, std::vector<int> ladder,
+                     double time_limit_s) {
+  Request r;
+  r.op = Request::Op::kSolve;
+  r.id = id;
+  r.template_key = tmpl;
+  r.ladder = std::move(ladder);
+  r.time_limit_s = time_limit_s;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv,
+                   {{"template", "scalable:40x15"},
+                    {"requests", "8"},
+                    {"max-workers", "4"},
+                    {"time-limit", "30"},
+                    {"json", "0"}});
+  const std::string tmpl = args.gets("template");
+  const int requests = args.geti("requests");
+  const int max_workers = args.geti("max-workers");
+  const double limit = args.getd("time-limit");
+  const std::vector<int> ladder = {1, 3};
+
+  TemplateRegistry registry;
+  if (!registry.known(tmpl)) {
+    std::fprintf(stderr, "unknown template: %s\n", tmpl.c_str());
+    return 2;
+  }
+
+  // --- cold vs warm: the cache gate --------------------------------------
+  Collector cw;
+  double cold_s = 0.0, warm_s = 0.0;
+  std::string cold_canonical, warm_canonical;
+  bool warm_hit = false;
+  {
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    SolveService svc(registry, cfg, cw.sink());
+    svc.submit(make_request("cold", tmpl, ladder, limit));
+    svc.wait_idle();
+    svc.submit(make_request("warm", tmpl, ladder, limit));
+    svc.wait_idle();
+    svc.shutdown();
+  }
+  {
+    const std::string cold_line = cw.result_line("cold");
+    const std::string warm_line = cw.result_line("warm");
+    if (cold_line.empty() || warm_line.empty()) {
+      std::fprintf(stderr, "FAIL: missing result event(s)\n");
+      return 1;
+    }
+    cold_s = wall_of(cold_line);
+    warm_s = wall_of(warm_line);
+    cold_canonical = canonical_of(cold_line);
+    warm_canonical = canonical_of(warm_line);
+    const auto wv = util::obs::json_parse(warm_line);
+    warm_hit = wv && wv->get_bool("cache_hit", false);
+  }
+  bool ok = true;
+  if (!warm_hit) {
+    std::fprintf(stderr, "FAIL: warm request was not a cache hit\n");
+    ok = false;
+  }
+  if (warm_canonical.empty() || warm_canonical != cold_canonical) {
+    std::fprintf(stderr, "FAIL: warm canonical differs from cold\n");
+    ok = false;
+  }
+  if (!(warm_s < cold_s)) {
+    std::fprintf(stderr, "FAIL: warm wall %.6fs not below cold %.6fs\n", warm_s, cold_s);
+    ok = false;
+  }
+
+  // --- fleet throughput over worker counts -------------------------------
+  // Distinct request keys (different ladders) so nothing is served from
+  // cache; every worker count must produce the same canonical per key.
+  util::Table t({"workers", "requests", "wall_s", "req_per_s"});
+  std::map<std::string, std::string> reference;  // id -> canonical @ workers=1
+  std::vector<double> fleet_wall;
+  for (int workers = 1; workers <= max_workers; workers *= 2) {
+    Collector fleet;
+    util::Stopwatch sw;
+    {
+      ServiceConfig cfg;
+      cfg.workers = workers;
+      cfg.queue_limit = requests + 1;
+      SolveService svc(registry, cfg, fleet.sink());
+      for (int i = 0; i < requests; ++i) {
+        // Ladder {1}, {1,2}, {1,2,3}, ... : distinct cache keys, shared prefix.
+        std::vector<int> lad;
+        for (int k = 1; k <= 1 + i % 4; ++k) lad.push_back(k);
+        Request r = make_request("req" + std::to_string(i), tmpl, lad, limit);
+        r.use_cache = false;
+        svc.submit(r);
+      }
+      svc.wait_idle();
+      svc.shutdown();
+    }
+    const double wall = sw.seconds();
+    fleet_wall.push_back(wall);
+    t.add_row({std::to_string(workers), std::to_string(requests), util::fmt_double(wall, 3),
+               util::fmt_double(requests / wall, 2)});
+    for (int i = 0; i < requests; ++i) {
+      const std::string id = "req" + std::to_string(i);
+      const std::string canon = canonical_of(fleet.result_line(id));
+      if (canon.empty()) {
+        std::fprintf(stderr, "FAIL: no result for %s at workers=%d\n", id.c_str(), workers);
+        ok = false;
+      } else if (workers == 1) {
+        reference[id] = canon;
+      } else if (reference[id] != canon) {
+        std::fprintf(stderr, "FAIL: canonical divergence for %s at workers=%d\n", id.c_str(),
+                     workers);
+        ok = false;
+      }
+    }
+  }
+
+  if (args.getb("json")) {
+    util::obs::JsonWriter w;
+    w.begin_object()
+        .field("template", tmpl)
+        .number_field("cold_s", cold_s)
+        .number_field("warm_s", warm_s)
+        .field("warm_cache_hit", warm_hit)
+        .field("canonical_match", warm_canonical == cold_canonical && !warm_canonical.empty())
+        .field("requests", requests);
+    w.key("fleet_wall_s").begin_array();
+    for (const double s : fleet_wall) w.value(s);
+    w.end_array().field("ok", ok);
+    std::printf("%s\n", w.end_object().take().c_str());
+  } else {
+    std::printf("template: %s | ladder {1,3}\n", tmpl.c_str());
+    std::printf("cold: %.4fs  warm: %.6fs  speedup: %.0fx  cache_hit: %s  canonical: %s\n",
+                cold_s, warm_s, warm_s > 0 ? cold_s / warm_s : 0.0, warm_hit ? "yes" : "no",
+                warm_canonical == cold_canonical ? "identical" : "DIVERGED");
+    bench::print_table("fleet throughput", t);
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Exploration-as-a-service quickstart: embed the solve daemon's SolveService
+// in-process (the wnetd binary is the same engine behind stdin/stdout).
+//
+//   ./service_quickstart
+//
+// Submits three requests against a built-in paper workload and prints the
+// JSONL event stream as it arrives:
+//
+//   1. "first"  — a cold solve of the scalable:30x10 instance, ladder {1, 3}
+//   2. "again"  — the identical request; answered from the session cache
+//                 (watch cache_hit and wall_time_s in its result event)
+//   3. "longer" — extends the ladder to {1, 3, 5}; the cached session is
+//                 resumed, so only the new rung costs anything
+//
+#include <cstdio>
+
+#include "server/protocol.h"
+#include "server/solve_service.h"
+
+using namespace wnet::server;
+
+int main() {
+  TemplateRegistry registry;  // built-ins resolve lazily, on first use
+
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  SolveService service(registry, cfg,
+                       [](const std::string& line) { std::printf("%s\n", line.c_str()); });
+
+  // Requests normally arrive as JSONL lines over stdin; submit_line is the
+  // exact wire path wnetd uses.
+  service.submit_line(
+      R"({"op": "solve", "id": "first", "template": "scalable:30x10", "ladder": [1, 3]})");
+  service.wait_idle();
+
+  service.submit_line(
+      R"({"op": "solve", "id": "again", "template": "scalable:30x10", "ladder": [1, 3]})");
+  service.wait_idle();
+
+  service.submit_line(
+      R"({"op": "solve", "id": "longer", "template": "scalable:30x10", "ladder": [1, 3, 5]})");
+  service.wait_idle();
+
+  service.submit_line(R"({"op": "stats"})");
+  service.shutdown();
+  return 0;
+}

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Integration smoke for the wnetd solve daemon (CI "server smoke" job).
+
+Drives the real binary over its stdin/stdout JSONL wire protocol and checks
+the contracts the unit tests pin in-process:
+
+  phase 1  serial reference: one worker, a request plus its exact duplicate.
+           The duplicate must be a cache hit with a byte-identical canonical
+           object and strictly lower wall clock.
+  phase 2  concurrency: four workers, several concurrent requests, one of
+           them cancelled mid-solve. The cancelled request must still emit a
+           structured result (termination "cancelled"), and every surviving
+           request's canonical object must match the phase-1 serial
+           reference byte for byte.
+  phase 3  admission: one worker, queue limit 1, dispatch saturated by a
+           long request -> the overflow request is rejected with a
+           structured queue_full event; a duplicate id is rejected with
+           duplicate_id.
+
+Every line the daemon writes (all phases) must re-parse as strict JSON.
+
+Usage: server_smoke.py path/to/wnetd
+"""
+
+import json
+import subprocess
+import sys
+import time
+
+FAILURES = []
+
+
+def check(cond, label):
+    tag = "ok" if cond else "FAIL"
+    print(f"  [{tag}] {label}")
+    if not cond:
+        FAILURES.append(label)
+
+
+def run_daemon(binary, args, lines, delays=None, timeout=120):
+    """Feed request lines (with optional per-line delays) and collect events."""
+    proc = subprocess.Popen(
+        [binary] + args,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    delays = delays or [0.0] * len(lines)
+    try:
+        for line, delay in zip(lines, delays):
+            if delay:
+                time.sleep(delay)
+            proc.stdin.write(line + "\n")
+            proc.stdin.flush()
+        proc.stdin.close()
+    except BrokenPipeError:
+        pass  # daemon already drained a shutdown request
+    out = proc.stdout.read()
+    proc.wait(timeout=timeout)
+    check(proc.returncode == 0, f"daemon exit code 0 (got {proc.returncode})")
+    events = []
+    for raw in out.splitlines():
+        try:
+            events.append(json.loads(raw))
+        except json.JSONDecodeError:
+            check(False, f"line is strict JSON: {raw[:120]!r}")
+    return out, events
+
+
+def result_of(events, rid):
+    for e in events:
+        if e.get("event") == "result" and e.get("id") == rid:
+            return e
+    return None
+
+
+def canonical_text(raw_out, rid):
+    """Raw canonical substring of a result line, for byte comparison."""
+    for line in raw_out.splitlines():
+        if f'"id": "{rid}"' in line and '"event": "result"' in line:
+            a = line.find('"canonical": ')
+            b = line.rfind(', "cache_hit":')
+            if a >= 0 and b > a:
+                return line[a + len('"canonical": '):b]
+    return None
+
+
+def solve(rid, ladder=(1, 3), **kw):
+    req = {"op": "solve", "id": rid, "template": "scalable:30x10",
+           "ladder": list(ladder)}
+    req.update(kw)
+    return json.dumps(req)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    wnetd = sys.argv[1]
+
+    print("phase 1: serial reference + cache-hit duplicate")
+    out1, ev1 = run_daemon(wnetd, ["--workers", "1"], [
+        solve("ref"),
+        solve("dup"),
+        json.dumps({"op": "stats"}),
+        json.dumps({"op": "shutdown"}),
+    ])
+    ref, dup = result_of(ev1, "ref"), result_of(ev1, "dup")
+    check(ref is not None and dup is not None, "both results emitted")
+    if ref and dup:
+        check(not ref["cache_hit"], "first request is a cold miss")
+        check(dup["cache_hit"], "duplicate request is a cache hit")
+        check(dup["reused_rungs"] == 2, "duplicate replayed both rungs")
+        check(canonical_text(out1, "ref") == canonical_text(out1, "dup"),
+              "duplicate canonical is byte-identical")
+        check(dup["wall_time_s"] < ref["wall_time_s"],
+              f"warm wall {dup['wall_time_s']:.2e}s < cold {ref['wall_time_s']:.2e}s")
+    check(any(e.get("event") == "stats" for e in ev1), "stats event answered")
+    check(any(e.get("event") == "shutdown" for e in ev1), "shutdown event emitted")
+    reference = canonical_text(out1, "ref")
+
+    print("phase 2: concurrent requests + mid-solve cancel")
+    # Three normal requests and one long one that gets cancelled after it has
+    # had time to start. use_cache off so every solve is a real computation.
+    lines = [
+        solve("a", use_cache=False),
+        solve("b", use_cache=False),
+        solve("victim", ladder=(1, 3, 5, 8, 12, 16), use_cache=False),
+        solve("c", use_cache=False),
+        json.dumps({"op": "cancel", "id": "victim"}),
+        json.dumps({"op": "shutdown"}),
+    ]
+    out2, ev2 = run_daemon(wnetd, ["--workers", "4"], lines,
+                           delays=[0, 0, 0, 0, 0.05, 0])
+    for rid in ("a", "b", "c"):
+        r = result_of(ev2, rid)
+        check(r is not None, f"survivor {rid} emitted a result")
+        check(canonical_text(out2, rid) == reference,
+              f"survivor {rid} canonical matches the serial reference")
+    victim = result_of(ev2, "victim")
+    check(victim is not None, "cancelled request still emitted a result")
+    if victim:
+        term = victim["canonical"]["termination"]
+        check(term in ("cancelled", "completed"),
+              f"victim termination is structured (got {term!r})")
+    check(any(e.get("event") == "cancel_ack" for e in ev2), "cancel acknowledged")
+
+    print("phase 3: admission control")
+    # One worker, queue depth 1: a long-running request occupies the worker,
+    # the next queues, the one after that must be rejected queue_full. A
+    # reused id is rejected duplicate_id.
+    lines = [
+        solve("slow", ladder=(1, 3, 5, 8, 12), use_cache=False),
+        solve("queued", use_cache=False),
+        solve("overflow", use_cache=False),
+        solve("slow"),  # id still queued or running -> duplicate_id
+        json.dumps({"op": "shutdown"}),
+    ]
+    _, ev3 = run_daemon(wnetd, ["--workers", "1", "--queue", "1"], lines,
+                        delays=[0, 0.05, 0, 0, 0])
+    rejects = {e["id"]: e["reason"] for e in ev3 if e.get("event") == "rejected"}
+    check(rejects.get("overflow") == "queue_full", "overflow rejected queue_full")
+    check(rejects.get("slow") == "duplicate_id", "reused id rejected duplicate_id")
+    check(result_of(ev3, "slow") is not None and result_of(ev3, "queued") is not None,
+          "admitted requests still completed")
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} check(s) failed:")
+        for f in FAILURES:
+            print(f"  - {f}")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1455,6 +1455,10 @@ void IncrementalEncoder::invalidate() {
   impl_->last_was_delta = false;
 }
 
+void IncrementalEncoder::set_exec(const util::exec::ExecControl& exec) {
+  impl_->opts.exec = exec;
+}
+
 EncodedProblem& IncrementalEncoder::problem() {
   if (!impl_->build) throw std::logic_error("IncrementalEncoder::problem() before encode_k()");
   return impl_->build->problem();

@@ -151,6 +151,14 @@ class IncrementalEncoder {
   /// see (e.g. the caller mutated the spec's replica counts).
   void invalidate();
 
+  /// Replaces the session's execution control. A cached session outlives
+  /// the request that created it; the next request must attach its OWN
+  /// deadline/token/budget before delta-extending, or a stale (possibly
+  /// already-tripped) control from the previous request would govern the
+  /// new work. The live Build reads options through the session, so the
+  /// new control takes effect immediately.
+  void set_exec(const util::exec::ExecControl& exec);
+
   [[nodiscard]] EncodedProblem& problem();
   [[nodiscard]] const EncoderOptions& options() const;
 

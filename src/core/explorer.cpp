@@ -163,6 +163,51 @@ ExplorationResult Explorer::explore(const EncoderOptions& eopts,
   return out;
 }
 
+ExplorationResult Explorer::explore_rung(IncrementalEncoder& session, int k, RungCarry& carry,
+                                         const milp::SolveOptions& sopts) const {
+  util::Stopwatch rung_clock;
+  util::obs::ScopedSpan rung_span("kstar/rung", "explore");
+  rung_span.arg("k", k);
+  ExplorationResult er;
+  EncodedProblem& ep = session.encode_k(k);
+  er.encode_stats = ep.stats;
+  if (ep.stats.termination != util::exec::TerminationReason::kCompleted) {
+    // Stopped (or aborted) encode: report the reason, never solve.
+    er.termination = ep.stats.termination;
+    er.total_time_s = rung_clock.seconds();
+    return er;
+  }
+  milp::SolveOptions so = sopts;
+  if (session.options().lazy_separation) {
+    // Rebuilt per rung: a delta extend grows the candidate list, and the
+    // separator snapshot must cover every selector of the current model.
+    LazySeparation(*tmpl_, ep).install(so);
+  }
+  if (so.mip_start.empty()) {
+    std::vector<double> ext = session.extend_assignment(carry.x);
+    if (!ext.empty()) {
+      so.mip_start = std::move(ext);
+      so.cutoff = carry.objective;
+    } else {
+      so.mip_start = fixed_routing_start(ep, so);
+    }
+  }
+  const milp::MipResult res = milp::solve(ep.model, so);
+  er.status = res.status;
+  er.solve_stats = res.stats;
+  er.termination = res.stats.termination;
+  er.bound = res.stats.bound;
+  er.gap = res.stats.gap;
+  if (res.has_solution()) {
+    er.objective = res.objective;
+    er.architecture = decode_solution(ep, *tmpl_, *spec_, res.x);
+    carry.x = res.x;
+    carry.objective = res.objective;
+  }
+  er.total_time_s = rung_clock.seconds();
+  return er;
+}
+
 Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& kopts,
                                                     EncoderOptions eopts,
                                                     const milp::SolveOptions& sopts) const {
@@ -204,51 +249,7 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
   if (kopts.threads <= 1 && kopts.incremental) {
     session = std::make_unique<IncrementalEncoder>(*tmpl_, *spec_, eopts);
   }
-  std::vector<double> carry_x;
-  double carry_obj = milp::kInf;
-  const auto explore_rung = [&](int k) {
-    util::Stopwatch rung_clock;
-    util::obs::ScopedSpan rung_span("kstar/rung", "explore");
-    rung_span.arg("k", k);
-    ExplorationResult er;
-    EncodedProblem& ep = session->encode_k(k);
-    er.encode_stats = ep.stats;
-    if (ep.stats.termination != util::exec::TerminationReason::kCompleted) {
-      // Stopped (or aborted) encode: report the reason, never solve.
-      er.termination = ep.stats.termination;
-      er.total_time_s = rung_clock.seconds();
-      return er;
-    }
-    milp::SolveOptions so = sopts;
-    if (eopts.lazy_separation) {
-      // Rebuilt per rung: a delta extend grows the candidate list, and the
-      // separator snapshot must cover every selector of the current model.
-      LazySeparation(*tmpl_, ep).install(so);
-    }
-    if (so.mip_start.empty()) {
-      std::vector<double> ext = session->extend_assignment(carry_x);
-      if (!ext.empty()) {
-        so.mip_start = std::move(ext);
-        so.cutoff = carry_obj;
-      } else {
-        so.mip_start = fixed_routing_start(ep, so);
-      }
-    }
-    const milp::MipResult res = milp::solve(ep.model, so);
-    er.status = res.status;
-    er.solve_stats = res.stats;
-    er.termination = res.stats.termination;
-    er.bound = res.stats.bound;
-    er.gap = res.stats.gap;
-    if (res.has_solution()) {
-      er.objective = res.objective;
-      er.architecture = decode_solution(ep, *tmpl_, *spec_, res.x);
-      carry_x = res.x;
-      carry_obj = res.objective;
-    }
-    er.total_time_s = rung_clock.seconds();
-    return er;
-  };
+  RungCarry carry;
 
   double best_obj = milp::kInf;
   for (int i = 0; i < n; ++i) {
@@ -264,7 +265,7 @@ Explorer::KStarSearchResult Explorer::search_k_star(const KStarSearchOptions& ko
     if (kopts.threads > 1) {
       r = std::move(evaluated[static_cast<size_t>(i)]);
     } else if (session) {
-      r = explore_rung(k);
+      r = explore_rung(*session, k, carry, sopts);
     } else {
       eopts.k_star = k;
       util::obs::ScopedSpan rung_span("kstar/rung", "explore");

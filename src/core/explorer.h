@@ -100,6 +100,32 @@ class Explorer {
     return search_k_star(KStarSearchOptions{});
   }
 
+  /// Incumbent carried across the rungs of one incremental ladder: the
+  /// previous rung's assignment (extended over appended variables as a MIP
+  /// start) and its objective (installed as a primal cutoff). Starts empty;
+  /// explore_rung updates it whenever a rung finds a solution.
+  struct RungCarry {
+    std::vector<double> x;
+    double objective = milp::kInf;
+  };
+
+  /// One rung of an incremental K* ladder against a caller-owned session:
+  /// delta-extends (or builds) the session's model to k_star = k, installs
+  /// the carried incumbent as MIP start + cutoff (falling back to the
+  /// fixed-routing heuristic when the carry does not extend), solves, and
+  /// updates `carry` on success. This is the building block search_k_star's
+  /// serial incremental path and the solve daemon's session cache share:
+  /// the daemon keeps the session (and the carry) alive across requests so
+  /// repeated or extended ladders resume instead of re-deriving.
+  ///
+  /// The session must have been constructed against this explorer's
+  /// template and specification; its options govern lazy separation and
+  /// encoding mode. Respects `sopts.exec` for cancellation/deadlines — on a
+  /// stopped encode the rung reports the reason and never solves.
+  [[nodiscard]] ExplorationResult explore_rung(IncrementalEncoder& session, int k,
+                                               RungCarry& carry,
+                                               const milp::SolveOptions& sopts) const;
+
   /// Counterexample-guided robust exploration (core/faults/robust.cpp).
   struct RobustExploreOptions {
     EncoderOptions encoder;

@@ -1,5 +1,6 @@
 #include "core/spec/parser.h"
 
+#include <cmath>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -40,16 +41,31 @@ struct ParseCtx {
     if (!v) fail("expected a number, got: " + tok);
     return *v;
   }
+
+  /// Count arguments (max_hops, min_reachable_devices) must be positive
+  /// integers. The old static_cast<int> silently truncated `3.9` to 3 and
+  /// let zero/negative counts through into the encoder, which matters now
+  /// that the solve server ingests untrusted spec text.
+  [[nodiscard]] int positive_count(const std::string& tok, const char* what) const {
+    const double v = number(tok);
+    if (!(v >= 1.0) || v > 1e9 || v != std::floor(v)) {
+      fail(std::string(what) + " must be a positive integer, got: " + tok);
+    }
+    return static_cast<int>(v);
+  }
 };
 
 /// Splits "fn(a, b, c)" into fn and argument list; returns false if the
-/// line is not a call.
+/// line is not a call. The closing paren must end the line (modulo trailing
+/// whitespace): `max_hops(r, 3) oops` used to parse clean with the garbage
+/// ignored.
 bool parse_call(std::string_view line, std::string* fn, std::vector<std::string>* args) {
   const auto open = line.find('(');
   const auto close = line.rfind(')');
   if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
     return false;
   }
+  if (!util::trim(line.substr(close + 1)).empty()) return false;
   *fn = std::string(util::trim(line.substr(0, open)));
   const auto inner = line.substr(open + 1, close - open - 1);
   args->clear();
@@ -82,10 +98,15 @@ Specification parse(const std::string& text, const NetworkTemplate& tmpl) {
     const std::string line{util::trim(raw)};
     if (line.empty()) continue;
 
-    // Objective line has its own key=value syntax.
-    if (util::starts_with(line, "objective")) {
+    // Objective line has its own key=value syntax. The keyword must end on
+    // a word boundary — a raw prefix match used to treat `objectivexyz
+    // cost=1` as an objective line.
+    if (util::starts_with(line, "objective") &&
+        (line.size() == 9 || line[9] == ' ' || line[9] == '\t')) {
+      const auto terms = util::split_ws(line.substr(9));
+      if (terms.empty()) ctx.fail("objective needs at least one key=value term");
       out.objective = Objective{0.0, 0.0, 0.0};
-      for (const auto& tok : util::split_ws(line.substr(9))) {
+      for (const auto& tok : terms) {
         const auto kv = util::split(tok, '=');
         if (kv.size() != 2) ctx.fail("objective expects key=value, got: " + tok);
         const double w = ctx.number(kv[1]);
@@ -138,7 +159,7 @@ Specification parse(const std::string& text, const NetworkTemplate& tmpl) {
       }
     } else if (fn == "max_hops") {
       if (args.size() != 2) ctx.fail("max_hops(<route>, <n>)");
-      find_path(args[0]).max_hops = static_cast<int>(ctx.number(args[1]));
+      find_path(args[0]).max_hops = ctx.positive_count(args[1], "max_hops bound");
     } else if (fn == "min_signal_to_noise") {
       if (args.size() != 1) ctx.fail("min_signal_to_noise(<db>)");
       out.link_quality.min_snr_db = ctx.number(args[0]);
@@ -158,7 +179,7 @@ Specification parse(const std::string& text, const NetworkTemplate& tmpl) {
     } else if (fn == "min_reachable_devices") {
       if (args.size() != 2) ctx.fail("min_reachable_devices(<n>, <rss>)");
       if (!out.localization) out.localization.emplace();
-      out.localization->min_anchors = static_cast<int>(ctx.number(args[0]));
+      out.localization->min_anchors = ctx.positive_count(args[0], "min_reachable_devices count");
       out.localization->min_rss_dbm = ctx.number(args[1]);
     } else if (fn == "max_bit_error_rate") {
       if (args.size() != 1) ctx.fail("max_bit_error_rate(<ber>)");

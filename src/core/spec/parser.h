@@ -28,7 +28,10 @@ namespace wnet::archex::spec {
 ///   report_period(<seconds>)
 ///
 /// Throws std::runtime_error with a line number on any malformed input or
-/// unknown node/route name.
+/// unknown node/route name. Count arguments (max_hops bound, the
+/// min_reachable_devices count) must be positive integers — fractional or
+/// non-positive values are rejected, not truncated — and a call must end at
+/// its closing paren (no trailing garbage).
 [[nodiscard]] Specification parse(const std::string& text, const NetworkTemplate& tmpl);
 
 }  // namespace wnet::archex::spec

@@ -1,0 +1,279 @@
+#include "server/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "milp/solver.h"
+#include "util/obs/json.h"
+
+namespace wnet::server {
+
+using util::obs::JsonValue;
+using util::obs::JsonWriter;
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+/// Ladder entries ride the same rules as spec count arguments: positive
+/// integers only, never truncated.
+bool parse_ladder(const JsonValue& v, std::vector<int>* out, std::string* error) {
+  for (const JsonValue& item : v.items()) {
+    if (!item.is_number()) return fail(error, "ladder entries must be numbers");
+    const double d = item.as_number();
+    if (!(d >= 1.0) || d > 1e9 || d != std::floor(d)) {
+      return fail(error, "ladder entries must be positive integers");
+    }
+    const int k = static_cast<int>(d);
+    if (!out->empty() && k <= out->back()) {
+      return fail(error, "ladder must be strictly increasing");
+    }
+    out->push_back(k);
+  }
+  if (out->empty()) return fail(error, "ladder must not be empty");
+  return true;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, Request* out, std::string* error) {
+  std::string parse_err;
+  const std::optional<JsonValue> doc = util::obs::json_parse(line, &parse_err);
+  if (!doc) return fail(error, "invalid JSON: " + parse_err);
+  if (!doc->is_object()) return fail(error, "request must be a JSON object");
+
+  const std::string op = doc->get_string("op", "");
+  if (op == "solve") {
+    out->op = Request::Op::kSolve;
+  } else if (op == "cancel") {
+    out->op = Request::Op::kCancel;
+  } else if (op == "stats") {
+    out->op = Request::Op::kStats;
+    return true;
+  } else if (op == "shutdown") {
+    out->op = Request::Op::kShutdown;
+    return true;
+  } else {
+    return fail(error, op.empty() ? "missing op" : "unknown op: " + op);
+  }
+
+  out->id = doc->get_string("id", "");
+  if (out->id.empty()) return fail(error, "missing request id");
+  if (out->op == Request::Op::kCancel) return true;
+
+  out->template_key = doc->get_string("template", "");
+  if (out->template_key.empty()) return fail(error, "solve needs a template");
+  out->tenant = doc->get_string("tenant", "");
+  out->spec_text = doc->get_string("spec", "");
+  out->time_limit_s = doc->get_number("time_limit_s", 0.0);
+  out->max_bb_nodes = static_cast<long>(doc->get_number("max_bb_nodes", -1.0));
+  out->use_cache = doc->get_bool("use_cache", true);
+
+  if (const JsonValue* ladder = doc->find("ladder"); ladder != nullptr) {
+    if (!ladder->is_array()) return fail(error, "ladder must be an array");
+    if (!parse_ladder(*ladder, &out->ladder, error)) return false;
+  }
+  if (const JsonValue* obj = doc->find("objective"); obj != nullptr) {
+    if (!obj->is_object()) return fail(error, "objective must be an object");
+    archex::Objective o;
+    o.weight_cost = obj->get_number("cost", 0.0);
+    o.weight_energy = obj->get_number("energy", 0.0);
+    o.weight_dsod = obj->get_number("dsod", 0.0);
+    if (o.weight_cost == 0.0 && o.weight_energy == 0.0 && o.weight_dsod == 0.0) {
+      return fail(error, "objective override needs a nonzero weight");
+    }
+    out->objective = o;
+  }
+  return true;
+}
+
+void TemplateRegistry::register_scenario(
+    const std::string& key, std::unique_ptr<archex::workloads::Scenario> scenario) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cache_[key] = std::move(scenario);
+}
+
+namespace {
+
+/// scalable:<nodes>x<devices> with both counts positive and devices < nodes.
+bool parse_scalable_key(const std::string& key, int* nodes, int* devices) {
+  int n = 0;
+  int d = 0;
+  int consumed = 0;
+  if (std::sscanf(key.c_str(), "scalable:%dx%d%n", &n, &d, &consumed) != 2) return false;
+  if (static_cast<size_t>(consumed) != key.size()) return false;
+  if (n < 2 || d < 1 || d >= n || n > 2000) return false;
+  *nodes = n;
+  *devices = d;
+  return true;
+}
+
+std::unique_ptr<archex::workloads::Scenario> build_builtin(const std::string& key) {
+  using namespace archex::workloads;
+  if (key == "data_collection") return make_data_collection({});
+  if (key == "localization") return make_localization({});
+  int nodes = 0;
+  int devices = 0;
+  if (parse_scalable_key(key, &nodes, &devices)) {
+    ScalableConfig cfg;
+    cfg.total_nodes = nodes;
+    cfg.end_devices = devices;
+    return make_scalable(cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool TemplateRegistry::known(const std::string& key) const {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (cache_.count(key) != 0) return true;
+  }
+  if (key == "data_collection" || key == "localization") return true;
+  int nodes = 0;
+  int devices = 0;
+  return parse_scalable_key(key, &nodes, &devices);
+}
+
+const archex::workloads::Scenario* TemplateRegistry::get(const std::string& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second.get();
+  }
+  // Built-ins construct outside the lock (template synthesis is not free);
+  // a racing duplicate build keeps the first-inserted scenario so handed-out
+  // pointers stay stable.
+  std::unique_ptr<archex::workloads::Scenario> built = build_builtin(key);
+  if (built == nullptr) return nullptr;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(key, std::move(built));
+  return it->second.get();
+}
+
+namespace {
+
+JsonWriter event_head(std::string_view event, const std::string& id) {
+  JsonWriter w;
+  w.begin_object().field("event", event);
+  if (!id.empty()) w.field("id", id);
+  return w;
+}
+
+}  // namespace
+
+std::string event_accepted(const std::string& id, int queue_depth) {
+  JsonWriter w = event_head("accepted", id);
+  w.field("queue_depth", queue_depth);
+  return w.end_object().take();
+}
+
+std::string event_rejected(const std::string& id, const std::string& reason,
+                           const std::string& error) {
+  JsonWriter w = event_head("rejected", id);
+  w.field("reason", reason);
+  if (!error.empty()) w.field("error", error);
+  return w.end_object().take();
+}
+
+std::string event_rung(const std::string& id, int k, const archex::ExplorationResult& r,
+                       bool cache_hit) {
+  JsonWriter w = event_head("rung", id);
+  w.field("k", k)
+      .field("status", milp::to_string(r.status))
+      .field("termination", util::exec::to_string(r.termination));
+  if (r.has_solution()) w.number_field("objective", r.objective);
+  w.number_field("bound", r.bound).number_field("gap", r.gap);
+  w.field("cache_hit", cache_hit)
+      .field("reused_candidates", r.encode_stats.reused_candidates)
+      .number_field("time_s", cache_hit ? 0.0 : r.total_time_s);
+  return w.end_object().take();
+}
+
+std::string event_incumbent(const std::string& id, int k, double objective) {
+  JsonWriter w = event_head("incumbent", id);
+  w.field("k", k).number_field("objective", objective);
+  return w.end_object().take();
+}
+
+std::string event_bound(const std::string& id, int k, double bound) {
+  JsonWriter w = event_head("bound", id);
+  w.field("k", k).number_field("bound", bound);
+  return w.end_object().take();
+}
+
+std::string event_failed(const std::string& id, const std::string& error) {
+  JsonWriter w = event_head("failed", id);
+  w.field("error", error);
+  return w.end_object().take();
+}
+
+std::string event_cancel_ack(const std::string& id, bool found) {
+  JsonWriter w = event_head("cancel_ack", id);
+  w.field("found", found);
+  return w.end_object().take();
+}
+
+std::string canonical_result_json(const archex::Explorer::KStarSearchResult& kr) {
+  JsonWriter w;
+  w.begin_object()
+      .field("status", milp::to_string(kr.best.status))
+      .field("chosen_k", kr.chosen_k);
+  if (kr.best.has_solution()) {
+    w.field("objective", kr.best.objective);
+  } else {
+    w.key("objective").null_value();
+  }
+  w.field("termination", util::exec::to_string(kr.termination));
+  w.key("rungs").begin_array();
+  for (const auto& [k, r] : kr.trace) {
+    w.begin_object()
+        .field("k", k)
+        .field("status", milp::to_string(r.status))
+        .field("objective", r.has_solution() ? r.objective : milp::kInf)  // inf -> null
+        .field("bound", r.bound)
+        .field("gap", r.gap)
+        .end_object();
+  }
+  w.end_array();
+  w.key("architecture");
+  if (kr.best.has_solution()) {
+    const archex::NetworkArchitecture& arch = kr.best.architecture;
+    w.begin_object().field("cost", arch.total_cost_usd);
+    w.key("nodes").begin_array();
+    for (const archex::DeployedNode& n : arch.nodes) {
+      w.begin_object().field("node", n.node).field("component", n.component).end_object();
+    }
+    w.end_array();
+    w.key("routes").begin_array();
+    for (const archex::ChosenRoute& r : arch.routes) {
+      w.begin_object().field("route", r.route_index).field("replica", r.replica);
+      w.key("path").begin_array();
+      for (const int node : r.path.nodes) w.value(node);
+      w.end_array().end_object();
+    }
+    w.end_array().end_object();
+  } else {
+    w.null_value();
+  }
+  return w.end_object().take();
+}
+
+std::string event_result(const std::string& id, const std::string& canonical_json, bool cache_hit,
+                         int reused_rungs, int reused_candidates, double wall_time_s,
+                         double queue_wait_s) {
+  JsonWriter w = event_head("result", id);
+  w.key("canonical").raw(canonical_json);
+  w.field("cache_hit", cache_hit)
+      .field("reused_rungs", reused_rungs)
+      .field("reused_candidates", reused_candidates)
+      .number_field("wall_time_s", wall_time_s)
+      .number_field("queue_wait_s", queue_wait_s);
+  return w.end_object().take();
+}
+
+}  // namespace wnet::server

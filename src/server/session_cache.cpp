@@ -1,0 +1,112 @@
+#include "server/session_cache.h"
+
+#include <algorithm>
+
+#include "core/encode/encoded_problem.h"
+#include "util/obs/json.h"
+
+namespace wnet::server {
+
+size_t estimate_session_bytes(const CachedSession& cs) {
+  size_t bytes = sizeof(CachedSession);
+  // problem() throws before the first encode_k; an unencoded session has no
+  // recorded rungs.
+  if (cs.session != nullptr && !cs.rung_ks.empty()) {
+    // The standing MILP dominates: coefficient triplets, variable and row
+    // records, plus every kept candidate path.
+    const archex::EncodedProblem& ep = cs.session->problem();
+    bytes += ep.stats.nonzeros * 16;
+    bytes += static_cast<size_t>(ep.stats.num_vars) * 48;
+    bytes += static_cast<size_t>(ep.stats.num_constrs) * 64;
+    for (const archex::CandidatePath& c : ep.candidates) {
+      bytes += 64 + c.path.nodes.size() * 8 + c.path.edges.size() * 8;
+    }
+  }
+  bytes += cs.carry.x.size() * 8;
+  for (const archex::ExplorationResult& r : cs.rung_results) {
+    bytes += 256 + r.architecture.nodes.size() * 16 + r.architecture.links.size() * 24;
+    for (const archex::ChosenRoute& route : r.architecture.routes) {
+      bytes += 48 + route.path.nodes.size() * 8 + route.path.edges.size() * 8;
+    }
+  }
+  return bytes;
+}
+
+uint64_t cache_key_hash(const std::string& key_text) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const unsigned char c : key_text) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string make_cache_key(const std::string& template_key, const std::string& spec_text,
+                           double weight_cost, double weight_energy, double weight_dsod) {
+  using util::obs::JsonWriter;
+  std::string key = template_key;
+  key += '\x1f';
+  key += spec_text;
+  key += '\x1f';
+  // Locale-immune, shortest-round-trip weight formatting so equal weights
+  // always produce equal keys.
+  key += JsonWriter::format_double(weight_cost);
+  key += ',';
+  key += JsonWriter::format_double(weight_energy);
+  key += ',';
+  key += JsonWriter::format_double(weight_dsod);
+  return key;
+}
+
+std::unique_ptr<CachedSession> SessionCache::checkout(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  std::unique_ptr<CachedSession> entry = std::move(it->second.entry);
+  bytes_ -= it->second.bytes;
+  map_.erase(it);
+  ++hits_;
+  return entry;
+}
+
+void SessionCache::checkin(const std::string& key, std::unique_ptr<CachedSession> entry) {
+  if (entry == nullptr) return;
+  const size_t bytes = estimate_session_bytes(*entry);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > max_bytes_) return;  // larger than the whole budget: drop
+  auto& slot = map_[key];
+  if (slot.entry != nullptr) bytes_ -= slot.bytes;  // same-key race: latest wins
+  slot.entry = std::move(entry);
+  slot.bytes = bytes;
+  slot.last_used = ++use_seq_;
+  bytes_ += bytes;
+  evict_to_fit_locked();
+}
+
+void SessionCache::evict_to_fit_locked() {
+  while (bytes_ > max_bytes_ && map_.size() > 1) {
+    auto victim = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    bytes_ -= victim->second.bytes;
+    map_.erase(victim);
+    ++evictions_;
+  }
+}
+
+SessionCache::Stats SessionCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = map_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace wnet::server

@@ -1,0 +1,112 @@
+#pragma once
+
+// Content-addressed cache of resumable exploration sessions.
+//
+// A solve request is keyed by everything that determines its results:
+// template key, spec text (empty = the template's default) and the
+// objective override. Against one key the daemon keeps the live
+// IncrementalEncoder session (resumable Yen enumerators + the standing
+// MILP), the rung carry (previous incumbent / cutoff) and the per-rung
+// ExplorationResults already computed — so a repeated request replays its
+// rungs at ~zero cost and an *extended* ladder (same prefix, more rungs)
+// delta-extends instead of re-deriving.
+//
+// Soundness: replayed rung results are byte-identical to what a cold solve
+// of the same request would produce (the serial incremental ladder is
+// deterministic, and only sessions whose every rung completed naturally are
+// ever checked in), so the canonical result of a request is invariant to
+// cache state. Concurrency is by exclusive checkout: an entry leaves the
+// map while a request uses it, a concurrent same-key request simply misses
+// and computes fresh (same answer, more work). Cancelled / deadline-stopped
+// sessions are never checked in — their encoder may hold a partial model.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/requirements.h"
+
+namespace wnet::server {
+
+/// One cached (or in-flight) exploration session. Owns the Specification
+/// the Explorer and IncrementalEncoder reference, so the bundle is
+/// self-contained once the template (registry-owned, process lifetime) is
+/// fixed. Not movable: `explorer`/`session` hold pointers into `spec`.
+struct CachedSession {
+  archex::Specification spec;
+  std::unique_ptr<archex::Explorer> explorer;
+  std::unique_ptr<archex::IncrementalEncoder> session;
+  archex::Explorer::RungCarry carry;
+
+  /// Rungs computed so far, in ladder order: rung_ks[i] was explored with
+  /// result rung_results[i]. A request whose ladder starts with a prefix of
+  /// rung_ks replays those rungs verbatim.
+  std::vector<int> rung_ks;
+  std::vector<archex::ExplorationResult> rung_results;
+
+  CachedSession() = default;
+  CachedSession(const CachedSession&) = delete;
+  CachedSession& operator=(const CachedSession&) = delete;
+};
+
+/// Rough heap footprint of a session, for the cache's byte budget: model
+/// sizes from the encode stats plus candidate paths and carried vectors.
+[[nodiscard]] size_t estimate_session_bytes(const CachedSession& cs);
+
+/// FNV-1a of the canonical key text; surfaced in telemetry so operators can
+/// correlate requests without logging spec bodies.
+[[nodiscard]] uint64_t cache_key_hash(const std::string& key_text);
+
+/// The canonical key text: template key, spec text and objective override
+/// joined with separators that cannot occur inside any component.
+[[nodiscard]] std::string make_cache_key(const std::string& template_key,
+                                         const std::string& spec_text, double weight_cost,
+                                         double weight_energy, double weight_dsod);
+
+class SessionCache {
+ public:
+  explicit SessionCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Removes and returns the entry for `key` (exclusive ownership), or
+  /// nullptr on a miss. The caller MUST either check the entry back in or
+  /// drop it; either way the cache stays consistent.
+  [[nodiscard]] std::unique_ptr<CachedSession> checkout(const std::string& key);
+
+  /// Inserts (or replaces) the entry for `key` and evicts least-recently
+  /// used entries until the byte budget holds. An entry larger than the
+  /// whole budget is dropped on the floor.
+  void checkin(const std::string& key, std::unique_ptr<CachedSession> entry);
+
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<CachedSession> entry;
+    size_t bytes = 0;
+    uint64_t last_used = 0;
+  };
+
+  void evict_to_fit_locked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot> map_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  uint64_t use_seq_ = 0;
+  long hits_ = 0;
+  long misses_ = 0;
+  long evictions_ = 0;
+};
+
+}  // namespace wnet::server

@@ -1,0 +1,145 @@
+#pragma once
+
+// Exploration-as-a-service: a long-lived, multi-tenant solve daemon core.
+//
+// SolveService multiplexes a stream of exploration requests over a shared
+// ThreadPool. Each admitted request runs one serial incremental K* ladder
+// (per-request solves are single-threaded; daemon-level parallelism comes
+// from running many requests concurrently), governed by its own
+// util::exec control: a deadline from the request's time limit, a
+// cancellation token linked to the service root (one shutdown cancels
+// everything in flight) and a ResourceBudget over its B&B node cap.
+// Incremental progress streams through the EventSink as strict JSONL.
+//
+// Admission control: a bounded queue (queue_full and duplicate ids are
+// rejected with structured events), fair-share dispatch (the runnable
+// request whose tenant holds the fewest running slots goes first, ties by
+// arrival order) and cancel-by-request-id that works on queued and running
+// requests alike — a queued-then-cancelled request still produces a
+// deterministic `result` event with termination "cancelled".
+//
+// Determinism contract (pinned by the differential tests): the canonical
+// sub-object of every `result` event is byte-identical for any worker
+// count and any cache state. Per-request ladders are serial and replayed
+// cache rungs equal their cold recomputation, so neither concurrency nor
+// the session cache can leak into results — only into wall clock.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "server/protocol.h"
+#include "server/session_cache.h"
+#include "util/exec/exec.h"
+#include "util/thread_pool.h"
+
+namespace wnet::server {
+
+struct ServiceConfig {
+  int workers = 2;            ///< concurrent solve slots
+  int queue_limit = 32;       ///< max queued (not yet running) requests
+  size_t cache_max_bytes = 256u << 20;
+  double default_time_limit_s = 60.0;  ///< for requests that set none
+  double max_time_limit_s = 600.0;     ///< requests are clamped to this
+  /// Start with dispatch paused: requests queue (and can be rejected or
+  /// cancelled) but nothing runs until resume(). Tests use this to make
+  /// admission decisions independent of solve timing.
+  bool start_paused = false;
+};
+
+/// Receives every emitted JSONL event line (no trailing newline). Called
+/// from worker threads, one call per line, serialized by the service — the
+/// sink never sees interleaved lines.
+using EventSink = std::function<void(const std::string&)>;
+
+class SolveService {
+ public:
+  /// `registry` must outlive the service.
+  SolveService(TemplateRegistry& registry, ServiceConfig cfg, EventSink sink);
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Parses and performs one request line: solve requests go through
+  /// admission, cancel/stats are answered inline, shutdown begins a drain.
+  /// Malformed lines emit a `rejected` event with reason "bad_request".
+  /// Returns false once the service should accept no further lines (a
+  /// shutdown request was seen).
+  bool submit_line(const std::string& line);
+
+  /// Programmatic admission of a solve request; emits accepted/rejected.
+  /// Returns true iff admitted.
+  bool submit(const Request& req);
+
+  /// Trips the cancellation source of a queued or running request. Safe
+  /// from any thread; emits nothing (submit_line emits the ack).
+  bool cancel(const std::string& id);
+
+  /// Trips the service root: every queued and running request cancels (each
+  /// still emits its structured partial result). New submissions are
+  /// unaffected — pair with shutdown() for a hard stop.
+  void cancel_all();
+
+  /// Releases dispatch when start_paused was set.
+  void resume();
+
+  /// Blocks until no request is queued or running.
+  void wait_idle();
+
+  /// Drains the queue (finishing every admitted request), then stops the
+  /// workers. Further submissions are rejected with "shutting_down".
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// One `stats` event line (also pushed to the sink by submit_line).
+  [[nodiscard]] std::string stats_json();
+
+ private:
+  struct Pending {
+    Request req;
+    uint64_t seq = 0;
+    util::exec::CancellationSource source;  ///< tripped by cancel()
+    double enqueue_s = 0.0;                 ///< monotonic, for queue_wait_s
+  };
+
+  void worker_loop();
+  void run_request(const Pending& p);
+  void emit(const std::string& line);
+  [[nodiscard]] double now_s() const;
+
+  TemplateRegistry& registry_;
+  const ServiceConfig cfg_;
+  EventSink sink_;
+  SessionCache cache_;
+  util::exec::CancellationSource root_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes workers on queue push / state change
+  std::condition_variable idle_cv_;  ///< wakes wait_idle / shutdown
+  std::deque<Pending> queue_;
+  std::map<std::string, util::exec::CancellationSource> running_;  ///< id -> cancel handle
+  std::map<std::string, int> running_per_tenant_;
+  bool paused_ = false;
+  bool draining_ = false;
+  uint64_t next_seq_ = 0;
+  long completed_ = 0;
+  long rejected_ = 0;
+  long cancelled_ = 0;
+
+  std::mutex emit_mu_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  /// Declared last so it is destroyed first: the destructor's shutdown()
+  /// makes every drainer task return, then the pool joins its threads
+  /// while the rest of the service is still alive.
+  util::ThreadPool pool_;
+};
+
+}  // namespace wnet::server

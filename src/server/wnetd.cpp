@@ -1,0 +1,67 @@
+// wnetd — the exploration-as-a-service solve daemon.
+//
+// Reads line-delimited JSON requests from stdin, writes line-delimited JSON
+// events to stdout (see server/protocol.h for both grammars). One process
+// serves many tenants: requests multiplex over a worker pool with
+// per-request deadlines, cancellation and budgets, and repeated requests
+// answer from the content-addressed session cache.
+//
+// Usage:
+//   wnetd [--workers N] [--queue N] [--cache-mb N]
+//         [--time-limit S] [--max-time-limit S]
+//
+// Exits on stdin EOF, a {"op": "shutdown"} request, or SIGINT/SIGTERM
+// (which cancels in-flight requests; each still emits its structured
+// partial result before the daemon drains).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/solve_service.h"
+#include "util/exec/exec.h"
+
+namespace {
+
+double flag_value(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wnet;
+
+  server::ServiceConfig cfg;
+  cfg.workers = static_cast<int>(flag_value(argc, argv, "--workers", 2));
+  cfg.queue_limit = static_cast<int>(flag_value(argc, argv, "--queue", 32));
+  cfg.cache_max_bytes =
+      static_cast<size_t>(flag_value(argc, argv, "--cache-mb", 256)) << 20;
+  cfg.default_time_limit_s = flag_value(argc, argv, "--time-limit", 60.0);
+  cfg.max_time_limit_s = flag_value(argc, argv, "--max-time-limit", 600.0);
+
+  util::exec::install_interrupt_handlers();
+
+  server::TemplateRegistry registry;
+  server::SolveService service(registry, cfg, [](const std::string& line) {
+    // One write per line; unbuffered flush so clients see events as they
+    // happen, not when the pipe buffer fills.
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  });
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (util::exec::interrupt_signal() != 0) break;
+    if (!service.submit_line(line)) return 0;  // shutdown request: drained
+  }
+  if (util::exec::interrupt_signal() != 0) service.cancel_all();
+  service.shutdown();
+  return 0;
+}

@@ -41,6 +41,17 @@ Deadline Deadline::tightened(double seconds) const {
   return d;
 }
 
+RequestControl make_request_control(double time_limit_s, const CancellationToken& parent,
+                                    long max_bb_nodes, long max_yen_candidates,
+                                    long max_encode_rows) {
+  RequestControl rc{CancellationSource(parent), {}};
+  rc.control.deadline = Deadline::after(time_limit_s);
+  rc.control.token = rc.source.token();
+  rc.control.budget =
+      std::make_shared<ResourceBudget>(max_bb_nodes, max_yen_candidates, max_encode_rows);
+  return rc;
+}
+
 namespace {
 
 /// Static so the signal handler needs no capture; the source's cancel() is

@@ -270,6 +270,22 @@ class ExecControl {
   }
 };
 
+/// Owner + bundle pair for one admitted server request: `source` is the
+/// handle the daemon keeps for cancel-by-request-id, `control` is what
+/// travels into the solve (deadline `time_limit_s` from admission, a token
+/// linked to `parent` so one daemon-wide cancel stops every in-flight
+/// request, and a fresh ResourceBudget over the request's own caps).
+struct RequestControl {
+  CancellationSource source;
+  ExecControl control;
+};
+
+[[nodiscard]] RequestControl make_request_control(double time_limit_s,
+                                                  const CancellationToken& parent,
+                                                  long max_bb_nodes = -1,
+                                                  long max_yen_candidates = -1,
+                                                  long max_encode_rows = -1);
+
 /// Process-wide interrupt plumbing for CLI/bench binaries:
 /// install_interrupt_handlers() routes SIGINT and SIGTERM to a static
 /// CancellationSource whose token this returns, so a Ctrl-C trips every

@@ -280,10 +280,19 @@ class Checker {
         const char e = peek();
         if (e == 'u') {
           ++pos_;
-          for (int i = 0; i < 4; ++i, ++pos_) {
-            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
-              return err("invalid \\u escape");
+          uint32_t cp = 0;
+          if (auto err4 = hex4(&cp)) return err4;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (eof() || peek() != '\\' || pos_ + 1 >= s_.size() || s_[pos_ + 1] != 'u') {
+              return err("lone high surrogate");
             }
+            pos_ += 2;
+            uint32_t lo = 0;
+            if (auto err4 = hex4(&lo)) return err4;
+            if (lo < 0xDC00 || lo > 0xDFFF) return err("invalid low surrogate");
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return err("lone low surrogate");
           }
           continue;
         }
@@ -295,6 +304,20 @@ class Checker {
       ++pos_;
     }
     return err("unterminated string");
+  }
+
+  std::optional<std::string> hex4(uint32_t* out) {
+    *out = 0;
+    for (int i = 0; i < 4; ++i, ++pos_) {
+      if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+        return err("invalid \\u escape");
+      }
+      const char c = peek();
+      const uint32_t d = (c >= '0' && c <= '9') ? static_cast<uint32_t>(c - '0')
+                                                : static_cast<uint32_t>((c | 0x20) - 'a' + 10);
+      *out = (*out << 4) | d;
+    }
+    return std::nullopt;
   }
 
   std::optional<std::string> parse_number() {
@@ -329,5 +352,299 @@ class Checker {
 }  // namespace
 
 std::optional<std::string> json_error(std::string_view text) { return Checker(text).run(); }
+
+// ------------------------------------------------------- JsonValue / parse
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> JsonValue::get_string(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->as_string();
+}
+
+std::optional<double> JsonValue::get_number(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->as_number();
+}
+
+std::string JsonValue::get_string(std::string_view key, const std::string& fallback) const {
+  return get_string(key).value_or(fallback);
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  return get_number(key).value_or(fallback);
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+/// Recursive-descent parser building a JsonValue tree. Mirrors Checker's
+/// grammar exactly; the two stay in lockstep so json_parse succeeds iff
+/// json_error returns nullopt.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    JsonValue out;
+    skip_ws();
+    if (!parse_value(0, &out)) {
+      if (error != nullptr) *error = err_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      set_err("trailing garbage after top-level value");
+      if (error != nullptr) *error = err_;
+      return std::nullopt;
+    }
+    return out;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool set_err(const std::string& what) {
+    err_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) ++pos_;
+  }
+
+  bool consume(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(int depth, JsonValue* out) {
+    if (depth > kMaxDepth) return set_err("nesting too deep");
+    if (eof()) return set_err("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth, out);
+      case '[': return parse_array(depth, out);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return parse_string(&out->str_);
+      case 't':
+        if (!consume("true")) return set_err("invalid literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return true;
+      case 'f':
+        if (!consume("false")) return set_err("invalid literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return true;
+      case 'n':
+        if (!consume("null")) return set_err("invalid literal");
+        out->kind_ = JsonValue::Kind::kNull;
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(int depth, JsonValue* out) {
+    out->kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') return set_err("expected object key string");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return set_err("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      JsonValue member;
+      if (!parse_value(depth + 1, &member)) return false;
+      out->members_.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eof()) return set_err("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return set_err("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(int depth, JsonValue* out) {
+    out->kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue item;
+      if (!parse_value(depth + 1, &item)) return false;
+      out->items_.push_back(std::move(item));
+      skip_ws();
+      if (eof()) return set_err("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return set_err("expected ',' or ']' in array");
+    }
+  }
+
+  static void append_utf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_hex4(uint32_t* out) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i, ++pos_) {
+      if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+        return set_err("invalid \\u escape");
+      }
+      const char c = peek();
+      v = v * 16 + static_cast<uint32_t>(c <= '9'   ? c - '0'
+                                         : c <= 'F' ? c - 'A' + 10
+                                                    : c - 'a' + 10);
+    }
+    *out = v;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (!eof()) {
+      const auto u = static_cast<unsigned char>(peek());
+      if (u < 0x20) return set_err("unescaped control character in string");
+      if (peek() == '"') {
+        ++pos_;
+        return true;
+      }
+      if (peek() == '\\') {
+        ++pos_;
+        if (eof()) return set_err("truncated escape");
+        const char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t cp = 0;
+            if (!parse_hex4(&cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF.
+              if (eof() || peek() != '\\' || pos_ + 1 >= s_.size() || s_[pos_ + 1] != 'u') {
+                return set_err("lone high surrogate");
+              }
+              pos_ += 2;
+              uint32_t lo = 0;
+              if (!parse_hex4(&lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF) return set_err("invalid low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return set_err("lone low surrogate");
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: return set_err("invalid escape character");
+        }
+        continue;
+      }
+      out->push_back(peek());
+      ++pos_;
+    }
+    return set_err("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const size_t start = pos_;
+    const auto digit = [this] { return !eof() && peek() >= '0' && peek() <= '9'; };
+    if (!eof() && peek() == '-') ++pos_;
+    if (!digit()) return set_err("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digit()) return set_err("digits required after decimal point");
+      while (digit()) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digit()) return set_err("digits required in exponent");
+      while (digit()) ++pos_;
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    double v = 0.0;
+    const char* first = s_.data() + start;
+    const char* last = s_.data() + pos_;
+    const auto r = std::from_chars(first, last, v);
+    if (r.ec != std::errc{} && r.ec != std::errc::result_out_of_range) {
+      return set_err("number out of range");
+    }
+    out->num_ = v;
+    return true;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  std::string err_;
+};
+
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
+  return JsonParser(text).run(error);
+}
 
 }  // namespace wnet::util::obs

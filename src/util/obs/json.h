@@ -22,10 +22,12 @@
 // fuzz harnesses; it accepts exactly what python -m json.tool accepts.
 
 #include <charconv>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace wnet::util::obs {
@@ -115,5 +117,62 @@ class JsonWriter {
 [[nodiscard]] inline bool json_valid(std::string_view text) {
   return !json_error(text).has_value();
 }
+
+/// A parsed JSON value tree — the read side of the obs layer, added for the
+/// solve daemon's line-delimited request protocol. json_parse() accepts
+/// exactly the grammar json_error() accepts (strict RFC 8259: no bare
+/// inf/nan, no trailing garbage, full escape decoding including surrogate
+/// pairs), so anything the daemon admits could have been produced by the
+/// JsonWriter and vice versa.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// First member named `key`, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  // Typed member lookups with defaults: the convenience layer request
+  // parsing is written against. Missing member -> `fallback`; a member of
+  // the wrong kind -> nullopt from the optional-returning forms.
+  [[nodiscard]] std::optional<std::string> get_string(std::string_view key) const;
+  [[nodiscard]] std::optional<double> get_number(std::string_view key) const;
+  [[nodiscard]] std::string get_string(std::string_view key, const std::string& fallback) const;
+  [[nodiscard]] double get_number(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Strict parse of exactly one JSON value (same grammar as json_error).
+/// Returns nullopt and fills `error` (if non-null) with a human-readable
+/// message + byte offset on any violation.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text,
+                                                  std::string* error = nullptr);
 
 }  // namespace wnet::util::obs

@@ -9,6 +9,12 @@
 
 namespace wnet::util {
 
+namespace {
+std::atomic<long> g_suppressed_total{0};
+}  // namespace
+
+long suppressed_exception_total() { return g_suppressed_total.load(std::memory_order_relaxed); }
+
 int resolve_threads(int requested) {
   if (requested >= 1) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -60,9 +66,13 @@ ParallelExecutor::ParallelExecutor(int threads) : threads_(std::max(1, threads))
 
 ParallelExecutor::~ParallelExecutor() = default;
 
-void ParallelExecutor::for_each(int n, const std::function<void(int)>& fn) const {
+void ParallelExecutor::for_each(int n, const std::function<void(int)>& fn,
+                                long* suppressed_out) const {
+  if (suppressed_out != nullptr) *suppressed_out = 0;
   if (n <= 0) return;
   if (pool_ == nullptr) {
+    // Serial: the first exception propagates eagerly, later indices never
+    // run, so nothing is ever suppressed.
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -109,15 +119,21 @@ void ParallelExecutor::for_each(int n, const std::function<void(int)>& fn) const
   // never aborts its siblings — their slot-owned results survive intact),
   // and the LOWEST-index exception is rethrown, i.e. the same one a serial
   // loop would have surfaced first. Additional exceptions are necessarily
-  // dropped — C++ can only propagate one — but never silently: their count
-  // is recorded in the observability layer before the rethrow.
+  // dropped — C++ can only propagate one — but never silently: the count is
+  // written to `suppressed_out` and the process-wide total BEFORE the
+  // rethrow (so it survives the unwind and is visible from server
+  // telemetry even with tracing off), and mirrored to the trace counter
+  // when a recorder is active.
   long failed = 0;
   for (const std::exception_ptr& e : join->errors) {
     if (e) ++failed;
   }
-  if (failed > 1) {
+  const long suppressed = failed > 1 ? failed - 1 : 0;
+  if (suppressed_out != nullptr) *suppressed_out = suppressed;
+  if (suppressed > 0) {
+    g_suppressed_total.fetch_add(suppressed, std::memory_order_relaxed);
     obs::TraceRecorder::global().counter_add("thread_pool.suppressed_exceptions",
-                                             static_cast<double>(failed - 1));
+                                             static_cast<double>(suppressed));
   }
   for (const std::exception_ptr& e : join->errors) {
     if (e) std::rethrow_exception(e);

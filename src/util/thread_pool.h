@@ -14,6 +14,14 @@ namespace wnet::util {
 /// (0, negative) means "auto" — the hardware concurrency, floored at 1.
 [[nodiscard]] int resolve_threads(int requested);
 
+/// Process-wide count of parallel-task exceptions that were suppressed
+/// because a lower-index sibling's exception was rethrown instead (C++ can
+/// only propagate one). Always maintained — unlike the
+/// `thread_pool.suppressed_exceptions` trace counter, which records only
+/// while tracing is enabled — so long-lived servers can surface multi-
+/// failure requests in telemetry alone.
+[[nodiscard]] long suppressed_exception_total();
+
 /// Fixed-size worker pool over a FIFO task queue. Tasks are opaque
 /// void() closures; completion signalling is the caller's business
 /// (ParallelExecutor below layers deterministic fan-out/join on top).
@@ -63,7 +71,16 @@ class ParallelExecutor {
   [[nodiscard]] bool serial() const { return pool_ == nullptr; }
 
   /// Runs fn(i) for every i in [0, n), blocking until all complete.
-  void for_each(int n, const std::function<void(int)>& fn) const;
+  ///
+  /// When more than one task throws, only the lowest-index exception can
+  /// propagate; the others are suppressed. `suppressed_out` (if non-null)
+  /// receives the number of suppressed sibling exceptions — written BEFORE
+  /// the rethrow, so a caller's catch block can read it — and the same
+  /// count is added to the process-wide suppressed_exception_total(),
+  /// independent of whether tracing is enabled. 0 on a clean run or when
+  /// only one task threw. The serial path throws eagerly (later indices
+  /// never run), so it always reports 0.
+  void for_each(int n, const std::function<void(int)>& fn, long* suppressed_out = nullptr) const;
 
   /// Index-ordered map: out[i] = fn(i). The merge is deterministic by
   /// construction — slot i is written only by the task that claimed i —

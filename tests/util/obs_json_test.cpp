@@ -344,5 +344,92 @@ TEST(JsonFuzz, RandomCampaignReportsAlwaysSerializeValid) {
   }
 }
 
+// --- json_parse: the read side added for the solve daemon ----------------
+
+TEST(JsonParse, RoundTripsWriterOutputExactly) {
+  JsonWriter w;
+  w.begin_object()
+      .field("s", "a \"quoted\" \\ line\nnext")
+      .field("n", -12.5)
+      .field("i", 42)
+      .field("b", true);
+  w.key("arr").begin_array().value(1).value("two").null_value().end_array();
+  w.key("nested").begin_object().field("inner", 0.125).end_object();
+  const std::string doc = w.end_object().take();
+
+  std::string error;
+  const auto v = json_parse(doc, &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->get_string("s", ""), "a \"quoted\" \\ line\nnext");
+  EXPECT_EQ(v->get_number("n", 0.0), -12.5);
+  EXPECT_EQ(v->get_number("i", 0.0), 42.0);
+  EXPECT_TRUE(v->get_bool("b", false));
+  const JsonValue* arr = v->find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->items().size(), 3u);
+  EXPECT_EQ(arr->items()[0].as_number(), 1.0);
+  EXPECT_EQ(arr->items()[1].as_string(), "two");
+  EXPECT_TRUE(arr->items()[2].is_null());
+  const JsonValue* nested = v->find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->get_number("inner", 0.0), 0.125);
+}
+
+TEST(JsonParse, AcceptsExactlyWhatTheValidatorAccepts) {
+  const char* cases[] = {
+      "null",
+      "true",
+      "[1, 2, 3]",
+      "{\"a\": [{}]}",
+      "-0.5e2",
+      "\"\\u00e9\\u20ac\"",
+      "\"\\ud83d\\ude00\"",  // surrogate pair
+      "  {\"k\": \"v\"}  ",
+  };
+  for (const char* text : cases) {
+    EXPECT_TRUE(json_parse(text).has_value()) << text;
+    EXPECT_FALSE(json_error(text).has_value()) << text;
+  }
+  const char* bad[] = {
+      "",
+      "{",
+      "[1,]",
+      "{'a': 1}",
+      "{\"a\": 01}",
+      "Infinity",
+      "nan",
+      "[1] trailing",
+      "\"\\ud83d\"",     // lone surrogate
+      "\"unterminated",
+      "{\"a\" 1}",
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(json_parse(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+    EXPECT_TRUE(json_error(text).has_value()) << text;
+  }
+}
+
+TEST(JsonParse, EscapeAndUtf8Decoding) {
+  const auto v = json_parse(R"("a\tb\u0041\u00e9")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\tbA\xc3\xa9");
+}
+
+TEST(JsonParse, TypedLookupsDistinguishMissingFromWrongKind) {
+  const auto v = json_parse(R"({"s": "x", "n": 3})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_string("s"), "x");
+  EXPECT_FALSE(v->get_string("n").has_value());      // wrong kind
+  EXPECT_FALSE(v->get_string("missing").has_value());
+  EXPECT_EQ(v->get_number("n"), 3.0);
+  EXPECT_FALSE(v->get_number("s").has_value());
+  EXPECT_EQ(v->get_number("s", 7.0), 7.0);  // fallback form
+  EXPECT_EQ(v->find("nope"), nullptr);
+}
+
 }  // namespace
 }  // namespace wnet::util::obs

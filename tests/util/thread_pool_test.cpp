@@ -184,5 +184,45 @@ TEST(ParallelExecutor, SurvivesAnExceptionAndKeepsWorking) {
   for (int i = 0; i < 8; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], 2 * i);
 }
 
+// Suppressed sibling exceptions used to be recorded only while tracing was
+// enabled; a long-lived server with tracing off saw nothing. The count now
+// surfaces through the rethrow path (out-param, written before the throw)
+// and the process-wide total, with no tracing involved.
+TEST(ParallelExecutor, SuppressedCountSurfacesWithoutTracing) {
+  const ParallelExecutor exec(4);
+  const long total_before = suppressed_exception_total();
+  long suppressed = -1;
+  try {
+    exec.for_each(12, [](int i) {
+      if (i == 2 || i == 6 || i == 9) throw std::runtime_error(std::to_string(i));
+    }, &suppressed);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "2");  // lowest index rethrown
+  }
+  EXPECT_EQ(suppressed, 2);  // 3 throwers, 1 rethrown
+  EXPECT_EQ(suppressed_exception_total() - total_before, 2);
+
+  // Clean runs and single-thrower runs report zero.
+  suppressed = -1;
+  exec.for_each(8, [](int) {}, &suppressed);
+  EXPECT_EQ(suppressed, 0);
+  suppressed = -1;
+  EXPECT_THROW(exec.for_each(8, [](int i) {
+    if (i == 5) throw std::runtime_error("only");
+  }, &suppressed),
+               std::runtime_error);
+  EXPECT_EQ(suppressed, 0);
+
+  // The serial path throws eagerly (later indices never run): always 0.
+  const ParallelExecutor serial(1);
+  suppressed = -1;
+  EXPECT_THROW(serial.for_each(8, [](int i) {
+    if (i == 1) throw std::runtime_error("serial");
+  }, &suppressed),
+               std::runtime_error);
+  EXPECT_EQ(suppressed, 0);
+}
+
 }  // namespace
 }  // namespace wnet::util
